@@ -1,0 +1,28 @@
+"""Figure 3: p(B|I) and p(I|B) vs traffic intensity — grid, Poisson.
+
+Reproduction target (shape): p(S busy | R idle) increases with traffic
+intensity; p(S idle | R busy) decreases; the analytical curves (paper
+eqs. 3-5) track the simulation within the paper's own level of
+agreement.  Absolute values depend on the substrate; EXPERIMENTS.md
+records paper-vs-measured.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig3 import render_points, run_fig3
+
+
+def bench_fig3_probability_curves(benchmark):
+    points = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
+    print()
+    print(render_points("Figure 3: grid topology, Poisson traffic", points))
+
+    usable = [p for p in points if p.rho > 0.05]
+    assert len(usable) >= 3
+
+    # Shape assertions: p(B|I) rises with intensity, p(I|B) falls.
+    lo = min(usable, key=lambda p: p.rho)
+    hi = max(usable, key=lambda p: p.rho)
+    assert hi.sim_p_busy_given_idle > lo.sim_p_busy_given_idle
+    assert hi.ana_p_busy_given_idle >= lo.ana_p_busy_given_idle
+    assert hi.ana_p_idle_given_busy <= lo.ana_p_idle_given_busy

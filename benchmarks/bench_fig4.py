@@ -1,0 +1,23 @@
+"""Figure 4: p(B|I) and p(I|B) vs traffic intensity — random, CBR.
+
+Same measurement as Figure 3 on the 112-node random placement with CBR
+traffic; the paper reports the same qualitative behavior as the grid.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig3 import render_points
+from repro.experiments.fig4 import run_fig4
+
+
+def bench_fig4_probability_curves(benchmark):
+    points = benchmark.pedantic(run_fig4, rounds=1, iterations=1)
+    print()
+    print(render_points("Figure 4: random topology, CBR traffic", points))
+
+    usable = [p for p in points if p.rho > 0.05]
+    assert len(usable) >= 3
+    lo = min(usable, key=lambda p: p.rho)
+    hi = max(usable, key=lambda p: p.rho)
+    assert hi.sim_p_busy_given_idle > lo.sim_p_busy_given_idle
+    assert hi.ana_p_idle_given_busy <= lo.ana_p_idle_given_busy

@@ -1,0 +1,44 @@
+"""Motivation experiment: the attack really does starve neighbors.
+
+The paper's Section 1 claim — back-off timer manipulation grabs a
+drastically unfair bandwidth share — measured on the grid: the
+cheater's share of its contention neighborhood's deliveries rises with
+PM, and Jain's fairness index falls.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fairness import run_starvation_sweep
+from repro.experiments.scenarios import GridScenario
+
+
+def _factory(seed):
+    return GridScenario(load=0.8, seed=seed)
+
+
+def bench_starvation_sweep(benchmark):
+    points = benchmark.pedantic(
+        run_starvation_sweep,
+        args=(_factory,),
+        kwargs={"pm_values": (0, 25, 50, 80, 100)},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(f"{'PM':>4s} {'cheater share':>14s} {'fair share':>11s} "
+          f"{'Jain index':>11s} {'cheater pkts':>13s} {'neighbor mean':>14s}")
+    for p in points:
+        print(
+            f"{p.pm:>4d} {p.cheater_share:>14.3f} {p.fair_share:>11.3f} "
+            f"{p.fairness_index:>11.3f} {p.cheater_packets:>13d} "
+            f"{p.neighbor_packets_mean:>14.1f}"
+        )
+
+    honest = points[0]
+    worst = points[-1]
+    # The cheater's share grows substantially with PM ...
+    assert worst.cheater_share > 1.5 * max(honest.cheater_share, 1e-9)
+    # ... well past its fair share ...
+    assert worst.cheater_share > 1.5 * worst.fair_share
+    # ... and overall fairness degrades.
+    assert worst.fairness_index < honest.fairness_index

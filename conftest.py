@@ -1,0 +1,16 @@
+"""Root pytest configuration.
+
+The benchmark modules print the reproduced paper tables/figures to
+stdout — that output *is* the experiment artifact.  For benchmark-only
+runs the captured output of passing benches is included in the terminal
+summary (equivalent to passing ``-rP``), so
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` records
+the tables without extra flags.
+"""
+
+
+def pytest_configure(config):
+    if config.getoption("benchmark_only", default=False):
+        existing = config.option.reportchars or ""
+        if "P" not in existing:
+            config.option.reportchars = existing + "P"

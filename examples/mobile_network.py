@@ -1,0 +1,54 @@
+"""Detection under mobility: the paper's random-waypoint scenario.
+
+112 nodes move through a 3000 m x 3000 m field at 0-20 m/s (random
+waypoint, Table 1).  The monitor keeps observing its tagged neighbor
+while topology — and therefore the interference structure — shifts
+around them.  The paper found that mobility roughly doubles the number
+of samples needed for the same confidence; this example shows the
+detector still converging on a PM = 60 cheater.
+
+Run:  python examples/mobile_network.py
+"""
+
+from repro.core.detector import BackoffMisbehaviorDetector, DetectorConfig
+from repro.experiments.scenarios import RandomScenario
+from repro.mac.misbehavior import PercentageMisbehavior
+
+
+def run(pm, seed=9):
+    scenario = RandomScenario(load=0.6, mobile=True, seed=seed)
+    _sim, sender, _monitor = scenario.build()
+    sim, sender, monitor = scenario.build(
+        policies={sender: PercentageMisbehavior(pm)} if pm else None
+    )
+    detector = BackoffMisbehaviorDetector(
+        monitor,
+        sender,
+        config=DetectorConfig(sample_size=25),
+        separation=scenario.separation,
+    )
+    sim.add_listener(detector)
+    sim.run(60.0, stop_condition=lambda: len(detector.observations) >= 120)
+    return detector
+
+
+def main():
+    for pm in (0, 60):
+        detector = run(pm)
+        stat = [v for v in detector.verdicts if not v.deterministic]
+        rate = (
+            sum(v.is_malicious for v in stat) / len(stat) if stat else float("nan")
+        )
+        print(
+            f"PM={pm:3d}: {len(detector.observations):4d} samples, "
+            f"window reject rate {rate:.2f}, "
+            f"{len(detector.violations)} deterministic catches, "
+            f"rho={detector.rho:.2f}"
+        )
+    print()
+    print("The honest run stays near 0; the cheater is rejected in most")
+    print("windows despite node movement (compare Figure 5(d)).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Multi-hop traffic over the AODV substrate.
+
+The paper's evaluation traffic is one-hop, but its network stack runs
+AODV.  This example drives a 5-hop chain: AODV discovers the route,
+the relay service forwards each packet hop by hop through the MAC
+simulator (every hop contends for the channel), and we account for the
+routing control overhead.
+
+Run:  python examples/multihop_aodv.py
+"""
+
+from repro import Simulation, SimulationConfig
+from repro.routing.relay import MultiHopService
+from repro.traffic.queue import Packet
+
+
+def main():
+    # A 6-node chain, 240 m apart: 0 - 1 - 2 - 3 - 4 - 5.
+    positions = [(240.0 * i, 0.0) for i in range(6)]
+    sim = Simulation(positions, config=SimulationConfig(seed=8))
+
+    relay = MultiHopService(sim.macs, link_provider=sim.medium)
+    sim.add_listener(relay)
+
+    # Inject 10 end-to-end packets at node 0 toward node 5.
+    source, destination = 0, 5
+    first_hop = relay.first_hop(source, destination)
+    print(f"AODV route discovered: first hop {source} -> {first_hop}")
+    route = relay.router.route(source, destination)
+    print(f"hop count {route.hop_count}, control messages so far: "
+          f"{relay.router.control_messages}")
+
+    for _ in range(10):
+        sim.macs[source].enqueue(
+            Packet(
+                source=source,
+                destination=first_hop,
+                final_destination=destination,
+            )
+        )
+
+    sim.run(duration_s=5.0)
+
+    print(f"packets delivered end-to-end: {relay.delivered_end_to_end}/10")
+    print(f"MAC-level forwards performed: {relay.forwarded}")
+    print(f"per-node MAC successes: "
+          f"{ {i: sim.macs[i].stats.successes for i in sim.macs} }")
+    assert relay.delivered_end_to_end == 10
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+"""repro — reproduction of "Detecting MAC Layer Back-off Timer Violations
+in Mobile Ad Hoc Networks" (Lolla, Law, Krishnamurthy, Ravishankar,
+Manjunath; IEEE ICDCS 2006).
+
+Quick start::
+
+    from repro import (
+        Simulation, Flow, grid_positions, BackoffMisbehaviorDetector,
+        PercentageMisbehavior,
+    )
+
+    positions = grid_positions()                 # the paper's 7x8 grid
+    sender, monitor = 27, 28
+    sim = Simulation(
+        positions,
+        flows=[Flow(source=sender, load=0.6)],
+        policies={sender: PercentageMisbehavior(pm=50)},
+    )
+    detector = BackoffMisbehaviorDetector(monitor, sender)
+    sim.add_listener(detector)
+    sim.run(duration_s=5.0)
+    print(detector.latest_verdict)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.core import (
+    ArmaTrafficEstimator,
+    BackoffHypothesisTest,
+    BackoffMisbehaviorDetector,
+    BackoffObservation,
+    BianchiModel,
+    ChannelObserver,
+    CompetingTerminalEstimator,
+    DetectorConfig,
+    MonitorHandoff,
+    NodeDensityEstimator,
+    SystemStateEstimator,
+    Verdict,
+    rank_sum_test,
+)
+from repro.core.records import Diagnosis
+from repro.geometry import RegionModel, SensingRegions
+from repro.mac import (
+    AdaptiveLoadCheat,
+    AlienDistributionBackoff,
+    DcfMac,
+    FixedBackoff,
+    HonestBackoff,
+    IntermittentMisbehavior,
+    MacTiming,
+    NoExponentialBackoff,
+    PercentageMisbehavior,
+    RtsFrame,
+    VerifiableBackoffPrng,
+)
+from repro.sim import Flow, Simulation, SimulationConfig, StatsCollector
+from repro.topology import (
+    RandomWaypoint,
+    StaticMobility,
+    center_pair_indices,
+    grid_positions,
+    random_positions,
+)
+from repro.util import RngStream
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveLoadCheat",
+    "AlienDistributionBackoff",
+    "ArmaTrafficEstimator",
+    "BackoffHypothesisTest",
+    "BackoffMisbehaviorDetector",
+    "BackoffObservation",
+    "BianchiModel",
+    "ChannelObserver",
+    "CompetingTerminalEstimator",
+    "DcfMac",
+    "DetectorConfig",
+    "Diagnosis",
+    "FixedBackoff",
+    "Flow",
+    "HonestBackoff",
+    "IntermittentMisbehavior",
+    "MacTiming",
+    "MonitorHandoff",
+    "NoExponentialBackoff",
+    "NodeDensityEstimator",
+    "PercentageMisbehavior",
+    "RandomWaypoint",
+    "RegionModel",
+    "RngStream",
+    "RtsFrame",
+    "SensingRegions",
+    "Simulation",
+    "SimulationConfig",
+    "StaticMobility",
+    "StatsCollector",
+    "SystemStateEstimator",
+    "Verdict",
+    "VerifiableBackoffPrng",
+    "center_pair_indices",
+    "grid_positions",
+    "random_positions",
+    "rank_sum_test",
+    "__version__",
+]

@@ -1,0 +1,58 @@
+"""Detection latency: how quickly a cheater is flagged.
+
+The paper discusses the trade-off between "quickness" and accuracy
+(larger windows detect subtler cheats but take longer to fill,
+especially at low load).  This module quantifies it from a finished
+run: the slot and sample index of the first malicious verdict, split by
+which layer fired (deterministic vs statistical).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.units import slots_to_seconds
+
+
+@dataclass(frozen=True)
+class DetectionLatency:
+    """When the tagged node was first flagged."""
+
+    first_flag_slot: int            # None-like sentinel: -1 when never
+    first_flag_seconds: float
+    samples_at_flag: int
+    deterministic_first: bool       # True if a verifier beat the test
+    flagged: bool
+
+    @classmethod
+    def never(cls):
+        return cls(
+            first_flag_slot=-1,
+            first_flag_seconds=float("inf"),
+            samples_at_flag=-1,
+            deterministic_first=False,
+            flagged=False,
+        )
+
+
+def detection_latency(detector, slot_time_us=20.0):
+    """Latency of the first malicious verdict for a finished detector.
+
+    Accepts anything exposing ``verdicts`` and ``observations`` (a
+    :class:`~repro.core.detector.BackoffMisbehaviorDetector` or a
+    :class:`~repro.core.handoff.MonitorHandoff`).
+    """
+    malicious = [v for v in detector.verdicts if v.is_malicious]
+    if not malicious:
+        return DetectionLatency.never()
+    first = min(malicious, key=lambda v: v.slot)
+    samples_before = sum(
+        1 for o in detector.observations if o.slot <= first.slot
+    )
+    return DetectionLatency(
+        first_flag_slot=first.slot,
+        first_flag_seconds=slots_to_seconds(first.slot, slot_time_us),
+        samples_at_flag=samples_before,
+        deterministic_first=first.deterministic,
+        flagged=True,
+    )

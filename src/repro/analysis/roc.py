@@ -1,0 +1,66 @@
+"""ROC analysis: detection vs false-alarm trade-off over alpha.
+
+The paper fixes one significance level; sweeping it shows the whole
+receiver-operating curve of the windowed rank-sum detector.  Feed one
+honest run and one misbehaving run of the same scenario, and get
+(false-alarm rate, detection rate) pairs per alpha.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.ranksum import rank_sum_test
+from repro.mac.backoff import contention_window
+
+DEFAULT_ALPHAS = (0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.2)
+
+
+@dataclass(frozen=True)
+class RocPoint:
+    alpha: float
+    false_alarm_rate: float
+    detection_rate: float
+    honest_windows: int
+    cheat_windows: int
+
+
+def _window_p_values(detector, sample_size, alternative="less"):
+    """One rank-sum p-value per non-overlapping window."""
+    cfg = detector.config
+    observations = [
+        o for o in detector.observations if o.attempt <= cfg.max_test_attempt
+    ]
+    p_values = []
+    for start in range(0, len(observations) - sample_size + 1, sample_size):
+        window = observations[start : start + sample_size]
+        x, y = [], []
+        for o in window:
+            norm = contention_window(min(o.attempt, 7), 31, 1023) + 1.0
+            x.append(o.dictated / norm)
+            y.append(o.estimated / norm + cfg.guard_band)
+        p_values.append(rank_sum_test(x, y, alternative).p_value)
+    return p_values
+
+
+def roc_sweep(honest_detector, cheat_detector, sample_size,
+              alphas=DEFAULT_ALPHAS):
+    """ROC points from one honest and one misbehaving run."""
+    honest_p = _window_p_values(honest_detector, sample_size)
+    cheat_p = _window_p_values(cheat_detector, sample_size)
+    if not honest_p or not cheat_p:
+        raise ValueError("both runs need at least one full window")
+    points = []
+    for alpha in sorted(alphas):
+        far = sum(p < alpha for p in honest_p) / len(honest_p)
+        det = sum(p < alpha for p in cheat_p) / len(cheat_p)
+        points.append(
+            RocPoint(
+                alpha=alpha,
+                false_alarm_rate=far,
+                detection_rate=det,
+                honest_windows=len(honest_p),
+                cheat_windows=len(cheat_p),
+            )
+        )
+    return points

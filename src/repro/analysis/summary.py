@@ -1,0 +1,60 @@
+"""Summary statistics of the monitor's back-off estimation."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.mac.backoff import contention_window
+
+
+@dataclass(frozen=True)
+class EstimationSummary:
+    """How well estimated back-offs tracked the dictated ones."""
+
+    samples: int
+    mean_dictated: float
+    mean_estimated: float
+    mean_error: float               # estimated - dictated, slots
+    mean_normalized_error: float    # in CW-relative units
+    rmse: float
+    unambiguous_fraction: float     # monitor idle through the interval
+
+    @property
+    def relative_shift(self):
+        """estimated / dictated mean ratio (1.0 = unbiased; PM = m%
+        cheats pull this toward (100 - m)/100)."""
+        if self.mean_dictated == 0:
+            return float("nan")
+        return self.mean_estimated / self.mean_dictated
+
+
+def summarize_estimation(detector):
+    """An :class:`EstimationSummary` over a detector's samples."""
+    observations = detector.observations
+    n = len(observations)
+    if n == 0:
+        return EstimationSummary(
+            samples=0,
+            mean_dictated=float("nan"),
+            mean_estimated=float("nan"),
+            mean_error=float("nan"),
+            mean_normalized_error=float("nan"),
+            rmse=float("nan"),
+            unambiguous_fraction=float("nan"),
+        )
+    errors = [o.estimated - o.dictated for o in observations]
+    normalized = [
+        (o.estimated - o.dictated)
+        / (contention_window(min(o.attempt, 7), 31, 1023) + 1.0)
+        for o in observations
+    ]
+    return EstimationSummary(
+        samples=n,
+        mean_dictated=sum(o.dictated for o in observations) / n,
+        mean_estimated=sum(o.estimated for o in observations) / n,
+        mean_error=sum(errors) / n,
+        mean_normalized_error=sum(normalized) / n,
+        rmse=math.sqrt(sum(e * e for e in errors) / n),
+        unambiguous_fraction=sum(o.unambiguous for o in observations) / n,
+    )

@@ -1,0 +1,56 @@
+"""Local node-density estimation (paper Section 4).
+
+Having estimated the number of competing terminals ``n_R`` within its
+transmission range ``R`` (via the Bianchi inversion), a monitor
+approximates the network as uniformly dense and computes
+
+    density = n_R / (pi R^2),
+    nodes in region A_x = density * area(A_x),
+
+which supplies the n, k (and m, j) counts of eqs. 3-4.  The paper notes
+this is valid only for uniform node distributions; non-uniform densities
+would need explicit degree reports (out of scope there and here).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.geometry.regions import RegionModel
+from repro.util.validation import check_positive
+
+
+class NodeDensityEstimator:
+    """Turns a competing-terminal count into per-region node counts."""
+
+    def __init__(self, transmission_range=250.0, region_model=None):
+        self.transmission_range = check_positive(
+            transmission_range, "transmission_range"
+        )
+        self.region_model = (
+            region_model if region_model is not None else RegionModel()
+        )
+
+    def density_from_terminals(self, n_terminals):
+        """Nodes per square meter implied by ``n_terminals`` in range R."""
+        if n_terminals < 0:
+            raise ValueError(f"n_terminals must be >= 0, got {n_terminals}")
+        area = math.pi * self.transmission_range**2
+        return n_terminals / area
+
+    def region_counts(self, n_terminals):
+        """Expected node counts for A1..A5 given ``n_terminals``.
+
+        Returns the dict of real-valued expected counts; eqs. 3-4 use
+        them directly as the exponents n + k (they need not be
+        integers).
+        """
+        density = self.density_from_terminals(n_terminals)
+        if density <= 0:
+            return {label: 0.0 for label in ("A1", "A2", "A3", "A4", "A5")}
+        return self.region_model.expected_counts(density)
+
+    def contention_exponent(self, n_terminals):
+        """The n + k of eqs. 3-4 (nodes in A1 plus nodes in A2)."""
+        counts = self.region_counts(n_terminals)
+        return counts["A1"] + counts["A2"]

@@ -1,0 +1,457 @@
+"""The back-off misbehavior detector (the paper's full framework).
+
+One detector instance monitors one *tagged* neighbor on behalf of one
+*monitor* node.  Attach it to a simulation as a listener; it then:
+
+1. regenerates the tagged node's verifiable PRS from its MAC address,
+2. tracks the monitor's own busy/idle channel view (ARMA traffic
+   intensity, eq. 6) and — unless the caller supplies known region node
+   counts — the Bianchi competing-terminals/density estimate,
+3. for every decoded RTS of the tagged node, forms a sample pair:
+   the *dictated* back-off x (pure function of the announced SeqOff# and
+   Attempt#) and the *estimated observed* back-off y (eqs. 1-5 applied
+   to the monitor's idle/busy counts over the contention interval),
+4. runs the deterministic verifiers (SeqOff# monotonicity, Attempt#/MD5
+   consistency, and the sound countdown upper bound: even if the tagged
+   node could count during every slot the monitor did not rule out, it
+   could not have finished the dictated countdown),
+5. runs the Wilcoxon rank-sum hypothesis test whenever the observation
+   window is full, emitting a :class:`Verdict`.
+
+Sample hygiene: a pair is only entered into the statistical window when
+the contention interval is trustworthy — the previous transmission of
+the tagged node was observed, the announced SeqOff# advanced by exactly
+one (no missed frames in between), and the estimate passes a
+plausibility bound (an estimate far above the contention window means
+the tagged node simply had no traffic queued, which says nothing about
+its timers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.arma import ArmaTrafficEstimator
+from repro.core.bianchi import CompetingTerminalEstimator
+from repro.core.density import NodeDensityEstimator
+from repro.core.deterministic import (
+    AttemptNumberVerifier,
+    SequenceOffsetVerifier,
+    UnambiguousCountdownVerifier,
+)
+from repro.core.hypothesis import BackoffHypothesisTest, TestDecision
+from repro.core.observation import ChannelObserver
+from repro.core.records import BackoffObservation, Diagnosis, Verdict
+from repro.core.sysstate import SystemStateEstimator
+from repro.geometry.regions import RegionModel
+from repro.mac.backoff import contention_window
+from repro.mac.constants import DEFAULT_TIMING
+from repro.mac.frames import SEQ_OFF_MODULUS
+from repro.mac.prng import VerifiableBackoffPrng
+from repro.sim.listeners import SimulationListener
+
+
+@dataclass
+class DetectorConfig:
+    """Tunables of the detection framework."""
+
+    sample_size: int = 50
+    alpha: float = 0.05
+    alternative: str = "less"
+    #: Divide each sample pair by its attempt's (CW + 1) before ranking.
+    #: Retransmission attempts draw from doubled windows, so raw back-off
+    #: populations are heavy-tailed mixtures; normalizing makes every
+    #: dictated sample ~ U[0, 1] and restores the rank-sum test's power
+    #: under heterogeneous attempt numbers.
+    normalize_by_cw: bool = True
+    #: Practical-significance margin, in normalized (CW-relative) units,
+    #: added to each estimated sample before ranking: H0 is only
+    #: rejected when the observed back-offs fall short of the dictated
+    #: ones by *more* than this.  Absorbs the residual estimation bias of
+    #: non-uniform/mobile neighborhoods (the paper's model assumes
+    #: uniform density); a PM = 25 cheat shifts samples by ~0.125,
+    #: comfortably past the default band.
+    guard_band: float = 0.06
+    arma_alpha: float = 0.995
+    arma_interval_slots: int = 500
+    #: Known node counts in regions A2 / A1 (the paper's grid experiments
+    #: fix n = k = 5); None -> estimate from the Bianchi inversion.
+    known_n: float = None
+    known_k: float = None
+    #: Representative-interferer geometry; None -> RegionModel defaults.
+    region_model: RegionModel = None
+    #: Discard samples whose estimate exceeds slack * (CW + 1) slots.
+    plausibility_slack: float = 2.0
+    #: Discard samples whose *busy* slot count exceeds
+    #: ``max_busy_factor * (CW + 1)``: the p(I|B) term's estimation error
+    #: scales linearly with the busy mass, so a countdown stretched over
+    #: thousands of busy slots carries more model error than signal.
+    max_busy_factor: float = 8.0
+    #: Tolerance of the deterministic countdown bound, in slots.
+    countdown_tolerance: int = 6
+    #: Evaluate the hypothesis test every ``test_stride`` new samples
+    #: once the window is full (1 = every sample).
+    test_stride: int = 1
+    #: Samples observed before this slot are used for the online
+    #: estimators and the deterministic verifiers but not for the
+    #: hypothesis test: while traffic ramps up and the ARMA/density
+    #: estimates settle, estimated back-offs are systematically off.
+    warmup_slots: int = 100_000
+    #: Correct the eq.-4 p(I|B) for non-uniform neighbor occupancy: the
+    #: monitor tracks the fraction of transmissions it senses whose
+    #: sender the tagged node cannot sense (obtainable from the position
+    #: /degree reports the paper proposes for non-uniform densities) and
+    #: scales p(I|B) by measured-over-uniform.  Essential under mobility,
+    #: near-neutral on the uniform grid.
+    occupancy_correction: bool = True
+    #: EWMA factor for the occupancy tracker.
+    occupancy_alpha: float = 0.99
+    #: Only attempts up to this number enter the statistical window.
+    #: High-attempt intervals are long (CW up to 1023), so any error in
+    #: p(I|B) is amplified by thousands of busy slots; attempts 1-3 are
+    #: the bulk of the traffic and estimate conservatively.  Deterministic
+    #: checks still run on every attempt.
+    max_test_attempt: int = 3
+
+
+class BackoffMisbehaviorDetector(SimulationListener):
+    """Monitors one tagged neighbor for back-off timer violations."""
+
+    def __init__(self, monitor_id, tagged_id, config=None, timing=None,
+                 separation=None):
+        self.config = config if config is not None else DetectorConfig()
+        self.timing = timing if timing is not None else DEFAULT_TIMING
+        self.monitor_id = monitor_id
+        self.tagged_id = tagged_id
+
+        cfg = self.config
+        self.observer = ChannelObserver(monitor_id, tagged_id)
+        self.prng = VerifiableBackoffPrng(
+            tagged_id, cw_min=self.timing.cw_min, cw_max=self.timing.cw_max
+        )
+        region_model = cfg.region_model
+        if region_model is None:
+            kwargs = {}
+            if separation is not None:
+                kwargs["separation"] = separation
+            region_model = RegionModel(**kwargs)
+        self.state_estimator = SystemStateEstimator(region_model)
+        self.arma = ArmaTrafficEstimator(
+            cfg.arma_alpha, cfg.arma_interval_slots
+        )
+        self.terminal_estimator = CompetingTerminalEstimator()
+        self.density_estimator = NodeDensityEstimator(region_model=region_model)
+        self.test = BackoffHypothesisTest(
+            cfg.sample_size, cfg.alpha, cfg.alternative
+        )
+        self.seq_verifier = SequenceOffsetVerifier()
+        self.attempt_verifier = AttemptNumberVerifier()
+        self.countdown_verifier = UnambiguousCountdownVerifier(
+            cfg.countdown_tolerance
+        )
+
+        self.observations = []       # accepted BackoffObservation samples
+        self.skipped_samples = 0
+        self.verdicts = []
+        self.violations = []         # DeterministicViolation records
+        self._arma_cursor = 0
+        self._processed = 0          # observer.observed entries consumed
+        self._samples_since_test = 0
+        self._birth_slot = None      # first slot this detector saw
+        self._invisible_ewma = None  # P(sender invisible to tagged | sensed)
+        self._occupancy_samples = 0
+
+    # -- listener plumbing -------------------------------------------------
+
+    def on_transmission_start(self, slot, transmission, medium):
+        self.observer.on_transmission_start(slot, transmission, medium)
+
+    def on_positions_updated(self, slot, positions, medium):
+        self.observer.on_positions_updated(slot, positions, medium)
+        self._refresh_geometry(positions)
+
+    def _refresh_geometry(self, positions):
+        """Track the monitor-sender separation under mobility.
+
+        The region areas of eqs. 3-4 depend on the S-R distance; a
+        monitor can range a one-hop neighbor from received signal
+        strength, so the detector is allowed to know it.  Without this,
+        a neighbor drifting very close (nearly identical channel views)
+        is systematically *under*-estimated and honest nodes get
+        flagged.
+        """
+        mon = positions.get(self.monitor_id)
+        tag = positions.get(self.tagged_id)
+        if mon is None or tag is None:
+            return
+        from repro.geometry.vectors import distance
+
+        separation = max(distance(mon, tag), 1.0)
+        current = self.state_estimator.region_model
+        if abs(separation - current.separation) < 10.0:
+            return  # avoid churning the geometry for sub-noise moves
+        model = RegionModel(
+            sensing_range=current.sensing_range,
+            separation=separation,
+            interferer_offset=current.interferer_offset,
+            far_interferer_offset=current.far_interferer_offset,
+        )
+        self.state_estimator = SystemStateEstimator(model)
+        self.density_estimator = NodeDensityEstimator(region_model=model)
+
+    def on_transmission_end(self, slot, transmission, success, medium):
+        if self._birth_slot is None:
+            self._birth_slot = transmission.start_slot
+            self._arma_cursor = transmission.start_slot
+        self.observer.on_transmission_end(slot, transmission, success, medium)
+        sender = transmission.sender
+        if sender != self.monitor_id and medium.senses(sender, self.monitor_id):
+            # Every sensed attempt feeds the collision-probability
+            # estimate behind the density inversion.
+            self.terminal_estimator.record_attempt(collided=not success)
+            if sender != self.tagged_id and self.config.occupancy_correction:
+                self._record_occupancy(
+                    invisible=not medium.senses(sender, self.tagged_id)
+                )
+        self._advance_arma(slot)
+        if sender == self.tagged_id:
+            self._process_new_observations(medium)
+
+    # -- online state ------------------------------------------------------
+
+    def _advance_arma(self, slot):
+        # Busy intervals are recorded when transmissions *end*, so slots
+        # closer than one full exchange to the present may still gain
+        # busy mass from in-flight transmissions.  Only slots older than
+        # that horizon are final; feeding newer ones would undercount.
+        target = slot - self.timing.exchange_slots
+        if target <= self._arma_cursor:
+            return
+        idle, busy = self.observer.idle_busy_counts(self._arma_cursor, target)
+        self.arma.ingest(busy, idle + busy)
+        self._arma_cursor = target
+
+    @property
+    def rho(self):
+        """Current ARMA traffic-intensity estimate."""
+        return self.arma.estimate
+
+    def _record_occupancy(self, invisible):
+        value = 1.0 if invisible else 0.0
+        if self._invisible_ewma is None:
+            self._invisible_ewma = value
+        else:
+            alpha = self.config.occupancy_alpha
+            self._invisible_ewma = alpha * self._invisible_ewma + (1 - alpha) * value
+        self._occupancy_samples += 1
+
+    @property
+    def p_ib_scale(self):
+        """Measured-over-uniform invisible-transmitter ratio (eq.-4 scale)."""
+        if (
+            not self.config.occupancy_correction
+            or self._invisible_ewma is None
+            or self._occupancy_samples < 50
+        ):
+            return 1.0
+        baseline = self.state_estimator.region_model.regions.uniform_invisible_fraction
+        if baseline <= 0:
+            return 1.0
+        return self._invisible_ewma / baseline
+
+    def _region_counts(self):
+        cfg = self.config
+        if cfg.known_n is not None and cfg.known_k is not None:
+            return cfg.known_n, cfg.known_k
+        counts = self.density_estimator.region_counts(
+            self.terminal_estimator.estimate
+        )
+        n = cfg.known_n if cfg.known_n is not None else counts["A2"]
+        k = cfg.known_k if cfg.known_k is not None else counts["A1"]
+        return n, k
+
+    # -- the main sample pipeline -------------------------------------------
+
+    def _process_new_observations(self, medium):
+        observed = self.observer.observed
+        while self._processed < len(observed):
+            index = self._processed
+            self._processed += 1
+            current = observed[index]
+            if current.rts is None:
+                continue  # sensed but not decodable: no announced fields
+            self._run_deterministic_frame_checks(current)
+            if index == 0:
+                continue  # no previous activity to anchor the interval
+            previous = observed[index - 1]
+            self._form_sample(previous, current)
+
+    def _run_deterministic_frame_checks(self, current):
+        rts = current.rts
+        last_field = self.seq_verifier.last_field
+        gap_free = (
+            last_field is not None
+            and (rts.seq_off_field - last_field) % SEQ_OFF_MODULUS == 1
+        )
+        violation = self.seq_verifier.observe(rts, current.start_slot)
+        if violation is not None:
+            self._record_violation(violation)
+        violation = self.attempt_verifier.observe(
+            rts, current.start_slot, gap_free=gap_free
+        )
+        if violation is not None:
+            self._record_violation(violation)
+
+    def _form_sample(self, previous, current):
+        rts = current.rts
+        start = previous.end_slot
+        end = current.start_slot
+        if end <= start:
+            return
+        if previous.rts is not None:
+            advance = (rts.seq_off_field - previous.rts.seq_off_field) % SEQ_OFF_MODULUS
+            if advance != 1:
+                # Missed frames in between: interval spans >1 back-off.
+                self.skipped_samples += 1
+                return
+
+        idle, busy = self.observer.idle_busy_counts(start, end)
+        own_tx = self.observer.own_tx_slots_in(start, end)
+        dictated = self.prng.dictated_backoff(rts.seq_off, rts.attempt)
+        window = contention_window(
+            min(rts.attempt, self.timing.retry_limit),
+            self.timing.cw_min,
+            self.timing.cw_max,
+        )
+
+        # Sound upper bound: the tagged node might have counted during any
+        # slot except the monitor's own transmissions and the single DIFS
+        # it must defer after the preceding busy period.  (Per-stretch
+        # DIFS costs are NOT subtracted here: the monitor's idle stretches
+        # may be fragmented by transmissions the sender never sensed, and
+        # a sound bound must not over-subtract.)
+        budget = max(idle + busy - own_tx - self.timing.difs_slots, 0)
+        violation = self.countdown_verifier.observe(
+            dictated, budget, current.start_slot
+        )
+        if violation is not None:
+            self._record_violation(violation)
+
+        warmup_end = (self._birth_slot or 0) + self.config.warmup_slots
+        if current.start_slot < warmup_end:
+            self.skipped_samples += 1
+            return
+        if busy > self.config.max_busy_factor * (window + 1):
+            self.skipped_samples += 1
+            return
+
+        n, k = self._region_counts()
+        if busy == 0:
+            # The monitor saw the whole interval idle: the slots available
+            # to the sender are known exactly (the per-slot p(I|I) discount
+            # is an *average* and would bias clean intervals low).  This is
+            # the paper's deterministic regime.
+            estimated = max(float(idle - self.timing.difs_slots), 0.0)
+        else:
+            i_est, b_est = self.state_estimator.estimate_sender_slots(
+                idle, busy, self.rho, n, k, p_ib_scale=self.p_ib_scale
+            )
+            # DIFS correction: the sender defers one DIFS before its first
+            # countdown slot and one more after each period it spent
+            # frozen.  The monitor cannot see the sender's freezes
+            # directly, so it prices them from the estimate itself: Best
+            # busy-at-sender slots amount to ~ Best / exchange_slots busy
+            # periods.
+            freeze_periods = b_est / max(self.timing.exchange_slots, 1)
+            difs_cost = self.timing.difs_slots * (1.0 + freeze_periods)
+            estimated = max(i_est - difs_cost, 0.0)
+        if estimated > self.config.plausibility_slack * (window + 1):
+            self.skipped_samples += 1
+            return
+
+        observation = BackoffObservation(
+            slot=current.start_slot,
+            seq_off=rts.seq_off,
+            attempt=rts.attempt,
+            dictated=dictated,
+            estimated=estimated,
+            idle_slots=idle,
+            busy_slots=busy,
+            interval_slots=end - start,
+            rho=self.rho,
+            unambiguous=busy == 0,
+        )
+        self.observations.append(observation)
+        if rts.attempt > self.config.max_test_attempt:
+            return
+        if self.config.normalize_by_cw:
+            self.test.add_sample(
+                dictated / (window + 1.0),
+                estimated / (window + 1.0) + self.config.guard_band,
+            )
+        else:
+            self.test.add_sample(
+                dictated, estimated + self.config.guard_band * (window + 1.0)
+            )
+        self._samples_since_test += 1
+        if (
+            self.test.window_full
+            and self._samples_since_test >= self.config.test_stride
+        ):
+            self._samples_since_test = 0
+            self._evaluate(current.start_slot)
+
+    # -- verdicts ------------------------------------------------------------
+
+    def _record_violation(self, violation):
+        self.violations.append(violation)
+        self.verdicts.append(
+            Verdict(
+                diagnosis=Diagnosis.MALICIOUS,
+                sample_size=self.test.n_samples,
+                slot=violation.slot,
+                reason=f"{violation.kind}: {violation.detail}",
+                deterministic=True,
+            )
+        )
+
+    def _evaluate(self, slot):
+        decision, result = self.test.evaluate()
+        if decision is TestDecision.NOT_ENOUGH_SAMPLES:
+            return
+        diagnosis = (
+            Diagnosis.MALICIOUS
+            if decision is TestDecision.REJECT_H0
+            else Diagnosis.WELL_BEHAVED
+        )
+        self.verdicts.append(
+            Verdict(
+                diagnosis=diagnosis,
+                p_value=result.p_value,
+                statistic=result.statistic,
+                sample_size=result.n_y,
+                slot=slot,
+                reason="rank-sum window evaluation",
+            )
+        )
+
+    # -- conveniences -----------------------------------------------------------
+
+    @property
+    def observation_count(self):
+        """Number of accepted samples (for stop conditions)."""
+        return len(self.observations)
+
+    @property
+    def latest_verdict(self):
+        return self.verdicts[-1] if self.verdicts else None
+
+    @property
+    def flagged_malicious(self):
+        """True if any verdict so far deems the tagged node malicious."""
+        return any(v.is_malicious for v in self.verdicts)
+
+    def reset_window(self):
+        """Clear the statistical window (e.g., after a monitor hand-off)."""
+        self.test.reset()
+        self._samples_since_test = 0

@@ -1,0 +1,127 @@
+"""Monitor hand-off under mobility.
+
+The paper's mobile experiments "choose a neighbor of the malicious node
+to monitor its activity.  If this neighbor moves out of range, another
+neighbor is randomly chosen."  :class:`MonitorHandoff` implements that
+protocol: it owns the current :class:`BackoffMisbehaviorDetector`, and
+at every mobility epoch checks whether the monitor can still decode the
+tagged node; if not, it promotes a random current neighbor to monitor
+and starts a fresh detector (statistical history does not transfer —
+the new monitor has its own channel view).
+
+Verdicts and deterministic violations from all monitors are accumulated
+so experiment harnesses see one continuous stream.
+"""
+
+from __future__ import annotations
+
+from repro.core.detector import BackoffMisbehaviorDetector, DetectorConfig
+from repro.geometry.vectors import distance
+from repro.sim.listeners import SimulationListener
+
+
+class MonitorHandoff(SimulationListener):
+    """Keeps *some* neighbor monitoring the tagged node at all times."""
+
+    def __init__(self, tagged_id, initial_monitor, config=None, timing=None,
+                 rng=None, separation=None):
+        if rng is None:
+            raise ValueError("MonitorHandoff requires an RngStream")
+        self.tagged_id = tagged_id
+        self.config = config if config is not None else DetectorConfig()
+        self.timing = timing
+        self._rng = rng
+        self.detector = BackoffMisbehaviorDetector(
+            initial_monitor,
+            tagged_id,
+            config=self.config,
+            timing=timing,
+            separation=separation,
+        )
+        self.handoffs = 0
+        self.retired_detectors = []
+
+    # -- aggregated views ----------------------------------------------------
+
+    @property
+    def monitor_id(self):
+        return self.detector.monitor_id
+
+    @property
+    def observations(self):
+        """Samples across all monitors, in order."""
+        out = []
+        for det in self.retired_detectors:
+            out.extend(det.observations)
+        out.extend(self.detector.observations)
+        return out
+
+    @property
+    def observation_count(self):
+        """Cheap total sample count (for stop conditions)."""
+        return len(self.detector.observations) + sum(
+            len(det.observations) for det in self.retired_detectors
+        )
+
+    @property
+    def verdicts(self):
+        out = []
+        for det in self.retired_detectors:
+            out.extend(det.verdicts)
+        out.extend(self.detector.verdicts)
+        return out
+
+    @property
+    def violations(self):
+        out = []
+        for det in self.retired_detectors:
+            out.extend(det.violations)
+        out.extend(self.detector.violations)
+        return out
+
+    @property
+    def flagged_malicious(self):
+        return any(v.is_malicious for v in self.verdicts)
+
+    # -- listener plumbing ------------------------------------------------------
+
+    def on_transmission_start(self, slot, transmission, medium):
+        self.detector.on_transmission_start(slot, transmission, medium)
+
+    def on_transmission_end(self, slot, transmission, success, medium):
+        self.detector.on_transmission_end(slot, transmission, success, medium)
+
+    def on_positions_updated(self, slot, positions, medium):
+        if self.tagged_id in medium.neighbors(self.monitor_id):
+            self.detector.on_positions_updated(slot, positions, medium)
+            return
+        replacement = self._pick_replacement(medium)
+        if replacement is None:
+            # Tagged node currently has no neighbors at all; keep the old
+            # monitor (it will produce no samples until someone is close).
+            self.detector.on_positions_updated(slot, positions, medium)
+            return
+        self._handoff(replacement, positions, medium, slot)
+
+    def _pick_replacement(self, medium):
+        candidates = sorted(
+            n for n in medium.neighbors(self.tagged_id) if n != self.tagged_id
+        )
+        return self._rng.choice(candidates) if candidates else None
+
+    def _handoff(self, new_monitor, positions, medium, slot):
+        self.retired_detectors.append(self.detector)
+        self.handoffs += 1
+        separation = None
+        mon = positions.get(new_monitor)
+        tag = positions.get(self.tagged_id)
+        if mon is not None and tag is not None:
+            separation = max(distance(mon, tag), 1.0)
+        self.detector = BackoffMisbehaviorDetector(
+            new_monitor,
+            self.tagged_id,
+            config=self.config,
+            timing=self.timing,
+            separation=separation,
+        )
+        self.detector.on_positions_updated(slot, positions, medium)

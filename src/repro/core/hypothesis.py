@@ -1,0 +1,82 @@
+"""The hypothesis test wrapping the rank-sum statistic.
+
+    H0: S is well-behaved.
+    H1: S is malicious.
+
+The monitor accumulates paired samples — dictated back-offs x (known
+exactly from the announced PRS state) and estimated observed back-offs y
+— and rejects H0 when the rank-sum test finds y significantly smaller
+than x.  The significance level alpha bounds the false-alarm
+(misdiagnosis) probability per window; the paper reports misdiagnosis
+below 0.01, which corresponds to alpha = 0.01 here.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+
+from repro.core.ranksum import rank_sum_test
+from repro.util.validation import check_positive, check_probability
+
+
+class TestDecision(enum.Enum):
+    __test__ = False  # not a pytest class, despite the name
+
+    REJECT_H0 = "reject"          # deem the tagged node malicious
+    RETAIN_H0 = "retain"
+    NOT_ENOUGH_SAMPLES = "pending"
+
+
+class BackoffHypothesisTest:
+    """Sliding-window rank-sum test over back-off sample pairs.
+
+    Parameters
+    ----------
+    sample_size:
+        Window length (the paper evaluates 10, 25, 50, 100).
+    alpha:
+        Significance level for rejecting H0.
+    alternative:
+        Passed to the rank-sum test; ``"less"`` (default) tests for
+        *shorter* observed back-offs, the misbehavior of interest.
+        ``"two-sided"`` also catches anomalously long back-offs.
+    """
+
+    def __init__(self, sample_size=50, alpha=0.01, alternative="less"):
+        self.sample_size = int(check_positive(sample_size, "sample_size"))
+        self.alpha = check_probability(alpha, "alpha")
+        self.alternative = alternative
+        self._x = deque(maxlen=self.sample_size)
+        self._y = deque(maxlen=self.sample_size)
+
+    def add_sample(self, dictated, estimated):
+        """Append one (x, y) pair to the window."""
+        self._x.append(float(dictated))
+        self._y.append(float(estimated))
+
+    @property
+    def n_samples(self):
+        return len(self._x)
+
+    @property
+    def window_full(self):
+        return len(self._x) >= self.sample_size
+
+    def reset(self):
+        self._x.clear()
+        self._y.clear()
+
+    def evaluate(self):
+        """Run the test on the current window.
+
+        Returns ``(decision, result)`` where ``result`` is the
+        :class:`~repro.core.ranksum.RankSumResult` (None while the
+        window is short).
+        """
+        if not self.window_full:
+            return TestDecision.NOT_ENOUGH_SAMPLES, None
+        result = rank_sum_test(list(self._x), list(self._y), self.alternative)
+        if result.p_value < self.alpha:
+            return TestDecision.REJECT_H0, result
+        return TestDecision.RETAIN_H0, result

@@ -1,0 +1,240 @@
+"""What a monitoring node can actually see of the channel.
+
+The monitor's raw material is (a) its own per-slot busy/idle view of the
+medium and (b) the transmissions of the tagged node it can sense, with
+the modified-RTS fields of those it can also *decode*.  Everything the
+detector does — ARMA traffic intensity, the Iest/Best estimates, the
+rank-sum samples — is computed from this observer, never from simulator
+ground truth the node could not know.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from repro.sim.listeners import SimulationListener
+
+
+@dataclass
+class ObservedTransmission:
+    """One transmission of the tagged node, as seen by the monitor."""
+
+    start_slot: int
+    end_slot: int
+    rts: object          # the decoded RtsFrame, or None if not decodable
+    success: bool
+    receiver: int
+
+
+def joint_state_counts(observer_r, observer_s, start, end):
+    """Slot counts of the joint (R state, S state) channel view.
+
+    Returns a dict with keys ``"II"``, ``"IB"``, ``"BI"``, ``"BB"`` —
+    first letter R's state, second S's — over ``[start, end)``.  This is
+    the ground-truth measurement behind the paper's Figures 3-4: e.g.
+    p(S busy | R idle) = IB / (II + IB).
+    """
+    if end <= start:
+        return {"II": 0, "IB": 0, "BI": 0, "BB": 0}
+
+    def edges(observer):
+        points = []
+        for lo, hi in zip(observer._busy_starts, observer._busy_ends):
+            lo, hi = max(lo, start), min(hi, end)
+            if hi > lo:
+                points.append((lo, hi))
+        return points
+
+    r_busy = edges(observer_r)
+    s_busy = edges(observer_s)
+    boundaries = sorted(
+        {start, end}
+        | {p for lo, hi in r_busy for p in (lo, hi)}
+        | {p for lo, hi in s_busy for p in (lo, hi)}
+    )
+
+    def busy_at(intervals, t):
+        # Intervals are sorted and disjoint; binary search the candidate.
+        import bisect as _bisect
+
+        i = _bisect.bisect_right(intervals, (t, float("inf"))) - 1
+        return i >= 0 and intervals[i][0] <= t < intervals[i][1]
+
+    counts = {"II": 0, "IB": 0, "BI": 0, "BB": 0}
+    for lo, hi in zip(boundaries, boundaries[1:]):
+        if hi <= lo:
+            continue
+        key = ("B" if busy_at(r_busy, lo) else "I") + (
+            "B" if busy_at(s_busy, lo) else "I"
+        )
+        counts[key] += hi - lo
+    return counts
+
+
+class ChannelObserver(SimulationListener):
+    """Records one monitor's channel view and its view of a tagged node.
+
+    Parameters
+    ----------
+    monitor_id:
+        The observing node.
+    tagged_id:
+        The neighbor being monitored (the paper's "tagged node").  May
+        be changed later with :meth:`retag` (used under mobility when
+        the monitor hands off).
+    """
+
+    def __init__(self, monitor_id, tagged_id):
+        self.monitor_id = monitor_id
+        self.tagged_id = tagged_id
+        # Busy intervals [start, end) at the monitor, kept sorted by
+        # start and non-overlapping (merged on insert).
+        self._busy_starts = []
+        self._busy_ends = []
+        # In-flight transmissions we flagged as sensed at their start.
+        self._sensed_active = {}
+        self._decodable_active = {}
+        self.observed = []           # ObservedTransmission of the tagged node
+        self.monitor_tx_slots = 0    # air time of the monitor's own frames
+        self._own_intervals = []     # the monitor's own (start, end) tx periods
+        self.last_slot = 0
+
+    # -- listener callbacks ----------------------------------------------------
+
+    def on_transmission_start(self, slot, transmission, medium):
+        key = id(transmission)
+        sender = transmission.sender
+        if sender == self.monitor_id:
+            self._sensed_active[key] = True
+        elif medium.senses(sender, self.monitor_id):
+            self._sensed_active[key] = True
+        if sender == self.tagged_id:
+            # Decodable iff in decode range, the monitor itself silent,
+            # and no other sensed transmission garbling the preamble.
+            decodable = (
+                medium.can_decode(sender, self.monitor_id)
+                and not medium.is_transmitting(self.monitor_id)
+                and not medium.interferers_at(self.monitor_id, exclude_sender=sender)
+            )
+            self._decodable_active[key] = decodable
+
+    def on_transmission_end(self, slot, transmission, success, medium):
+        key = id(transmission)
+        self.last_slot = max(self.last_slot, transmission.end_slot)
+        if self._sensed_active.pop(key, False):
+            self._add_busy_interval(transmission.start_slot, transmission.end_slot)
+            if transmission.sender == self.monitor_id:
+                self.monitor_tx_slots += transmission.duration
+                self._own_intervals.append(
+                    (transmission.start_slot, transmission.end_slot)
+                )
+        if transmission.sender == self.tagged_id:
+            decodable = self._decodable_active.pop(key, False)
+            self.observed.append(
+                ObservedTransmission(
+                    start_slot=transmission.start_slot,
+                    end_slot=transmission.end_slot,
+                    rts=transmission.frame if decodable else None,
+                    success=success,
+                    receiver=transmission.receiver,
+                )
+            )
+
+    def retag(self, new_tagged_id, drop_history=True):
+        """Switch the tagged node (monitor hand-off under mobility)."""
+        self.tagged_id = new_tagged_id
+        if drop_history:
+            self.observed.clear()
+            self._decodable_active.clear()
+
+    # -- busy/idle accounting ----------------------------------------------------
+
+    def _add_busy_interval(self, start, end):
+        """Insert [start, end) and merge with overlapping neighbors."""
+        if end <= start:
+            return
+        i = bisect.bisect_left(self._busy_starts, start)
+        # Merge backwards into a predecessor that overlaps us.
+        if i > 0 and self._busy_ends[i - 1] >= start:
+            i -= 1
+            start = self._busy_starts[i]
+            end = max(end, self._busy_ends[i])
+            del self._busy_starts[i], self._busy_ends[i]
+        # Merge forward over any successors we swallow.
+        while i < len(self._busy_starts) and self._busy_starts[i] <= end:
+            end = max(end, self._busy_ends[i])
+            del self._busy_starts[i], self._busy_ends[i]
+        self._busy_starts.insert(i, start)
+        self._busy_ends.insert(i, end)
+
+    def busy_slots_in(self, start, end):
+        """Number of busy slots the monitor saw in [start, end)."""
+        if end <= start:
+            return 0
+        total = 0
+        i = bisect.bisect_right(self._busy_starts, start) - 1
+        i = max(i, 0)
+        while i < len(self._busy_starts) and self._busy_starts[i] < end:
+            lo = max(self._busy_starts[i], start)
+            hi = min(self._busy_ends[i], end)
+            if hi > lo:
+                total += hi - lo
+            i += 1
+        return total
+
+    def idle_busy_counts(self, start, end):
+        """(idle, busy) slot counts at the monitor over [start, end)."""
+        busy = self.busy_slots_in(start, end)
+        return (end - start) - busy, busy
+
+    def idle_stretches_in(self, start, end):
+        """Number of maximal idle stretches within [start, end).
+
+        Each stretch costs the sender a DIFS before it may resume its
+        countdown, so the detector subtracts one DIFS per stretch from
+        the estimated countdown budget.
+        """
+        if end <= start:
+            return 0
+        # Collect busy sub-intervals clipped to [start, end).
+        clipped = []
+        i = bisect.bisect_right(self._busy_starts, start) - 1
+        i = max(i, 0)
+        while i < len(self._busy_starts) and self._busy_starts[i] < end:
+            lo = max(self._busy_starts[i], start)
+            hi = min(self._busy_ends[i], end)
+            if hi > lo:
+                clipped.append((lo, hi))
+            i += 1
+        stretches = 0
+        cursor = start
+        for lo, hi in clipped:
+            if lo > cursor:
+                stretches += 1
+            cursor = max(cursor, hi)
+        if cursor < end:
+            stretches += 1
+        return stretches
+
+    def own_tx_slots_in(self, start, end):
+        """Slots in [start, end) spent transmitting by the monitor itself.
+
+        The tagged neighbor certainly freezes during these (it senses
+        the monitor), so the deterministic countdown bound excludes
+        them.  Own transmissions never overlap each other, so a linear
+        clip suffices.
+        """
+        total = 0
+        for lo, hi in self._own_intervals:
+            lo, hi = max(lo, start), min(hi, end)
+            if hi > lo:
+                total += hi - lo
+        return total
+
+    def traffic_intensity(self, start, end):
+        """Fraction of busy slots over [start, end) (the paper's rho)."""
+        if end <= start:
+            return 0.0
+        _idle, busy = self.idle_busy_counts(start, end)
+        return busy / (end - start)

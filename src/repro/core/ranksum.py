@@ -1,0 +1,161 @@
+"""The Wilcoxon rank-sum (Mann-Whitney) test, implemented from scratch.
+
+The paper chooses this non-parametric test because back-off samples are
+far from Gaussian (they are bounded, discrete, and mixture-shaped), so
+t-tests are inappropriate.  The monitor's question is one-sided: *are
+the observed back-offs stochastically smaller than the dictated ones?*
+
+Implementation notes:
+
+- ranks use the average-rank convention for ties;
+- for small combined samples without ties the *exact* null distribution
+  of the rank sum is computed by dynamic programming;
+- otherwise the normal approximation with tie correction and continuity
+  correction is used (the standard large-sample treatment).
+
+``scipy.stats.ranksums`` exists, but the test is the analytical heart of
+the paper's statistical method, so it is implemented here (and verified
+against scipy in the test suite).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+
+ALTERNATIVES = ("two-sided", "less", "greater")
+
+#: Largest combined sample size for which the exact null is enumerated.
+EXACT_LIMIT = 25
+
+
+def wilcoxon_ranks(values):
+    """Average ranks (1-based) of ``values``, ties sharing their mean rank."""
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    i = 0
+    while i < len(order):
+        j = i
+        while j + 1 < len(order) and values[order[j + 1]] == values[order[i]]:
+            j += 1
+        mean_rank = (i + j) / 2.0 + 1.0
+        for idx in order[i : j + 1]:
+            ranks[idx] = mean_rank
+        i = j + 1
+    return ranks
+
+
+@dataclass(frozen=True)
+class RankSumResult:
+    """Outcome of one rank-sum test."""
+
+    statistic: float       # rank sum of the second sample (y)
+    u_statistic: float     # Mann-Whitney U of the second sample
+    p_value: float
+    alternative: str
+    method: str            # "exact" or "normal"
+    n_x: int
+    n_y: int
+
+
+@lru_cache(maxsize=4096)
+def _exact_cdf_table(n_y, n_total):
+    """Counts of rank subsets: ways[s] = #(size-n_y subsets of 1..n_total
+    with rank sum s).  Cached per (n_y, n_total)."""
+    max_sum = n_total * (n_total + 1) // 2
+    # ways[k][s] -> rolled into 1-D per k to bound memory.
+    ways = [[0] * (max_sum + 1) for _ in range(n_y + 1)]
+    ways[0][0] = 1
+    for rank in range(1, n_total + 1):
+        for k in range(min(rank, n_y), 0, -1):
+            row, prev = ways[k], ways[k - 1]
+            for s in range(max_sum, rank - 1, -1):
+                if prev[s - rank]:
+                    row[s] += prev[s - rank]
+    return tuple(ways[n_y])
+
+
+def _exact_p(w_y, n_y, n_total, alternative):
+    counts = _exact_cdf_table(n_y, n_total)
+    total = math.comb(n_total, n_y)
+    w = int(round(w_y))
+    cdf_le = sum(counts[: w + 1]) / total
+    sf_ge = sum(counts[w:]) / total
+    if alternative == "less":
+        return cdf_le
+    if alternative == "greater":
+        return sf_ge
+    return min(1.0, 2.0 * min(cdf_le, sf_ge))
+
+
+def _normal_p(w_y, n_x, n_y, tie_sizes, alternative):
+    n_total = n_x + n_y
+    mean = n_y * (n_total + 1) / 2.0
+    variance = n_x * n_y * (n_total + 1) / 12.0
+    if tie_sizes:
+        tie_term = sum(t**3 - t for t in tie_sizes)
+        variance -= n_x * n_y * tie_term / (12.0 * n_total * (n_total - 1))
+    if variance <= 0:
+        # All observations identical: no evidence either way.
+        return 1.0
+    sd = math.sqrt(variance)
+
+    def phi(z):
+        return 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))
+
+    if alternative == "less":
+        return phi((w_y - mean + 0.5) / sd)
+    if alternative == "greater":
+        return 1.0 - phi((w_y - mean - 0.5) / sd)
+    z = (w_y - mean) / sd
+    return min(1.0, 2.0 * (1.0 - phi(abs(z) - 0.5 / sd)))
+
+
+def rank_sum_test(x, y, alternative="two-sided"):
+    """Wilcoxon rank-sum test of sample ``y`` against sample ``x``.
+
+    ``alternative`` describes ``y`` relative to ``x``:
+
+    - ``"less"``     — H1: y is stochastically smaller than x (the
+      misbehavior direction: observed back-offs shorter than dictated);
+    - ``"greater"``  — H1: y is stochastically larger;
+    - ``"two-sided"``— H1: the distributions differ.
+
+    Returns a :class:`RankSumResult`.
+    """
+    if alternative not in ALTERNATIVES:
+        raise ValueError(f"alternative must be one of {ALTERNATIVES}")
+    x = list(x)
+    y = list(y)
+    if not x or not y:
+        raise ValueError("rank_sum_test requires two non-empty samples")
+
+    combined = x + y
+    ranks = wilcoxon_ranks(combined)
+    w_y = sum(ranks[len(x) :])
+    n_x, n_y = len(x), len(y)
+    u_y = w_y - n_y * (n_y + 1) / 2.0
+
+    # Tie group sizes for the variance correction / exact-method gate.
+    tie_sizes = []
+    for value in set(combined):
+        t = combined.count(value)
+        if t > 1:
+            tie_sizes.append(t)
+
+    if not tie_sizes and (n_x + n_y) <= EXACT_LIMIT:
+        p = _exact_p(w_y, n_y, n_x + n_y, alternative)
+        method = "exact"
+    else:
+        p = _normal_p(w_y, n_x, n_y, tie_sizes, alternative)
+        method = "normal"
+    return RankSumResult(
+        statistic=w_y,
+        u_statistic=u_y,
+        p_value=min(max(p, 0.0), 1.0),
+        alternative=alternative,
+        method=method,
+        n_x=n_x,
+        n_y=n_y,
+    )

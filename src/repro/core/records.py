@@ -1,0 +1,53 @@
+"""Data records produced by the detection framework."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Diagnosis(enum.Enum):
+    """Outcome of evaluating one observation window."""
+
+    WELL_BEHAVED = "well_behaved"
+    MALICIOUS = "malicious"
+    INSUFFICIENT_DATA = "insufficient_data"
+
+
+@dataclass(frozen=True)
+class BackoffObservation:
+    """One rank-sum sample pair for the tagged node.
+
+    ``dictated`` is the x-population value (what the verifiable PRS
+    obliged for the announced offset/attempt); ``estimated`` the
+    y-population value (the countdown the monitor estimates the sender
+    actually performed, via eqs. 1-2).
+    """
+
+    slot: int                 # RTS start slot
+    seq_off: int              # announced PRS offset
+    attempt: int              # announced attempt number
+    dictated: int             # slots the PRS dictated
+    estimated: float          # slots the monitor estimates were counted
+    idle_slots: int           # monitor-idle slots in the contention interval
+    busy_slots: int           # monitor-busy slots in the contention interval
+    interval_slots: int       # total contention interval length
+    rho: float                # ARMA traffic-intensity estimate at the time
+    unambiguous: bool         # True if the monitor was idle throughout
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """One diagnosis of the tagged node."""
+
+    diagnosis: Diagnosis
+    p_value: float = None
+    statistic: float = None
+    sample_size: int = 0
+    slot: int = 0
+    reason: str = ""
+    deterministic: bool = False   # True if a deterministic check fired
+
+    @property
+    def is_malicious(self):
+        return self.diagnosis is Diagnosis.MALICIOUS

@@ -1,0 +1,118 @@
+"""Turning verdicts into action: neighborhood reputation.
+
+The paper detects misbehavior; a deployment must also *respond* (the
+paper's conclusion points at discouraging/penalizing violators).  This
+module aggregates a stream of per-window verdicts into a reputation
+score per tagged node and a quarantine decision, with exponential decay
+so a node that reforms (or was unluckily flagged) recovers.
+
+Scores live in [0, 1]: 1 = fully trusted.  Each malicious verdict
+multiplies the score by ``penalty``; each clean evaluation moves it
+back toward 1 at ``recovery`` rate; deterministic violations weigh
+heavier than statistical rejections (they carry no error probability
+beyond digest collisions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.validation import check_in_range, check_probability
+
+
+@dataclass
+class ReputationConfig:
+    """Tunables for verdict aggregation."""
+
+    statistical_penalty: float = 0.5
+    deterministic_penalty: float = 0.1
+    recovery: float = 0.05
+    quarantine_threshold: float = 0.2
+    rehabilitate_threshold: float = 0.6
+
+    def __post_init__(self):
+        check_in_range(self.statistical_penalty, 0.0, 1.0, "statistical_penalty")
+        check_in_range(self.deterministic_penalty, 0.0, 1.0, "deterministic_penalty")
+        check_probability(self.recovery, "recovery")
+        check_probability(self.quarantine_threshold, "quarantine_threshold")
+        check_probability(self.rehabilitate_threshold, "rehabilitate_threshold")
+        if self.rehabilitate_threshold <= self.quarantine_threshold:
+            raise ValueError(
+                "rehabilitate_threshold must exceed quarantine_threshold "
+                "(hysteresis)"
+            )
+
+
+@dataclass
+class _NodeRecord:
+    score: float = 1.0
+    quarantined: bool = False
+    malicious_verdicts: int = 0
+    clean_verdicts: int = 0
+    last_update_slot: int = 0
+
+
+class ReputationTracker:
+    """Per-neighbor reputation from the detector's verdict stream."""
+
+    def __init__(self, config=None):
+        self.config = config if config is not None else ReputationConfig()
+        self._records = {}
+
+    def _record(self, node_id):
+        return self._records.setdefault(node_id, _NodeRecord())
+
+    def ingest(self, node_id, verdict):
+        """Fold one :class:`~repro.core.records.Verdict` into the score."""
+        record = self._record(node_id)
+        record.last_update_slot = verdict.slot
+        if verdict.is_malicious:
+            record.malicious_verdicts += 1
+            penalty = (
+                self.config.deterministic_penalty
+                if verdict.deterministic
+                else self.config.statistical_penalty
+            )
+            record.score *= penalty
+        else:
+            record.clean_verdicts += 1
+            record.score += self.config.recovery * (1.0 - record.score)
+        self._update_quarantine(record)
+        return record.score
+
+    def ingest_all(self, node_id, verdicts):
+        for verdict in verdicts:
+            self.ingest(node_id, verdict)
+        return self.score(node_id)
+
+    def _update_quarantine(self, record):
+        if record.quarantined:
+            if record.score >= self.config.rehabilitate_threshold:
+                record.quarantined = False
+        elif record.score <= self.config.quarantine_threshold:
+            record.quarantined = True
+
+    # -- queries ---------------------------------------------------------
+
+    def score(self, node_id):
+        """Current score (1.0 for nodes never evaluated)."""
+        record = self._records.get(node_id)
+        return record.score if record is not None else 1.0
+
+    def is_quarantined(self, node_id):
+        record = self._records.get(node_id)
+        return record.quarantined if record is not None else False
+
+    def quarantined_nodes(self):
+        return sorted(
+            node_id
+            for node_id, record in self._records.items()
+            if record.quarantined
+        )
+
+    def stats(self, node_id):
+        """(malicious, clean) verdict counts for a node."""
+        record = self._records.get(node_id)
+        if record is None:
+            return (0, 0)
+        return (record.malicious_verdicts, record.clean_verdicts)

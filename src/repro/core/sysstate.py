@@ -1,0 +1,91 @@
+"""The analytical system-state model: paper equations 1-5.
+
+A monitor R that observed I idle and B busy slots estimates the number
+of slots its tagged neighbor S could have counted down:
+
+    Iest = p(I|I) * I + p(I|B) * B          (eq. 1)
+    Best = N - Iest                          (eq. 2)
+
+with the conditional channel-view probabilities
+
+    p(B|I) = [A2/(A1+A2)] * [1 - (1-rho)^(n+k)]                      (eq. 3)
+    p(I|B) = [A4/(A4+A5)] *
+             ([A1/(A1+A2)] * (1-(1-rho)^(k+n)) + (1-rho)^(k+n))      (eq. 4)
+    p(I|I) = 1 - p(B|I)                                              (eq. 5)
+
+where rho is the traffic intensity, A1..A5 the Figure-1 region areas,
+n the node count in A2 and k the count in A1.  The derivation assumes
+(i) at most one transmitter in (A1 u A2) at a time, (ii) independent
+M/M/1-style queues with empty-queue probability (1 - rho), and (iii) no
+effects from beyond A1..A5 — the approximations the paper validates by
+simulation in Figures 3-4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.regions import RegionModel
+from repro.util.validation import check_non_negative, check_probability
+
+
+@dataclass(frozen=True)
+class SystemStateProbabilities:
+    """The conditional probabilities of eqs. 3-5 for one system state."""
+
+    p_busy_given_idle: float    # p(S busy | R idle)   — eq. 3
+    p_idle_given_busy: float    # p(S idle | R busy)   — eq. 4
+    p_idle_given_idle: float    # p(S idle | R idle)   — eq. 5
+
+    def __post_init__(self):
+        check_probability(self.p_busy_given_idle, "p_busy_given_idle")
+        check_probability(self.p_idle_given_busy, "p_idle_given_busy")
+        check_probability(self.p_idle_given_idle, "p_idle_given_idle")
+
+
+class SystemStateEstimator:
+    """Evaluates eqs. 1-5 for a given region geometry."""
+
+    def __init__(self, region_model=None):
+        self.region_model = (
+            region_model if region_model is not None else RegionModel()
+        )
+
+    def probabilities(self, rho, n, k, p_ib_scale=1.0):
+        """The :class:`SystemStateProbabilities` for traffic intensity
+        ``rho`` with ``n`` nodes in A2 and ``k`` nodes in A1.
+
+        ``n`` and ``k`` may be expected (non-integer) counts from the
+        density estimator.  ``p_ib_scale`` multiplies the eq.-4 result:
+        the detector's occupancy correction passes the ratio of the
+        *measured* invisible-transmitter fraction to the uniform-density
+        baseline, compensating for non-uniform neighborhoods (the
+        uniformity assumption the paper flags as a limitation).
+        """
+        check_probability(rho, "rho")
+        check_non_negative(n, "n")
+        check_non_negative(k, "k")
+        check_non_negative(p_ib_scale, "p_ib_scale")
+        regions = self.region_model.regions
+        someone_has_traffic = 1.0 - (1.0 - rho) ** (n + k)
+        all_queues_empty = (1.0 - rho) ** (n + k)
+
+        p_b_i = regions.left_exclusive_fraction * someone_has_traffic
+        p_i_b = p_ib_scale * regions.right_exclusive_fraction * (
+            regions.left_hidden_fraction * someone_has_traffic + all_queues_empty
+        )
+        return SystemStateProbabilities(
+            p_busy_given_idle=min(max(p_b_i, 0.0), 1.0),
+            p_idle_given_busy=min(max(p_i_b, 0.0), 1.0),
+            p_idle_given_idle=min(max(1.0 - p_b_i, 0.0), 1.0),
+        )
+
+    def estimate_sender_slots(self, idle, busy, rho, n, k, p_ib_scale=1.0):
+        """Eqs. 1-2: (Iest, Best) for observed (I, B) at the monitor."""
+        check_non_negative(idle, "idle")
+        check_non_negative(busy, "busy")
+        probs = self.probabilities(rho, n, k, p_ib_scale=p_ib_scale)
+        i_est = probs.p_idle_given_idle * idle + probs.p_idle_given_busy * busy
+        total = idle + busy
+        i_est = min(max(i_est, 0.0), float(total))
+        return i_est, total - i_est

@@ -1,0 +1,25 @@
+"""Experiment harness: reproduces every table and figure of the paper.
+
+Each ``figN`` module exposes a ``run_*`` function returning structured
+results plus a ``main()`` that prints the series the paper plots.  The
+benchmarks in ``benchmarks/`` call these with scaled-down defaults; the
+``REPRO_SCALE`` environment variable multiplies the fidelity knobs
+(trial counts, durations) for full-fidelity runs.
+"""
+
+from repro.experiments.config import Table1Config, TABLE1
+from repro.experiments.scenarios import (
+    GridScenario,
+    RandomScenario,
+    build_grid_simulation,
+    build_random_simulation,
+)
+
+__all__ = [
+    "GridScenario",
+    "RandomScenario",
+    "TABLE1",
+    "Table1Config",
+    "build_grid_simulation",
+    "build_random_simulation",
+]

@@ -1,0 +1,122 @@
+"""Bandwidth-starvation measurement: what the attack actually steals.
+
+The paper's motivation: "by simply manipulating the back-off timers ...
+malicious nodes can cause a drastically reduced allocation of bandwidth
+to well-behaved nodes."  This module quantifies it — per-node goodput,
+the cheater's share of its contention neighborhood, and Jain's fairness
+index — so the starvation claim is itself reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.listeners import SimulationListener
+from repro.util.validation import check_positive
+
+
+def jain_fairness_index(values):
+    """Jain's index: 1.0 = perfectly fair, 1/n = one node takes all."""
+    values = [float(v) for v in values]
+    if not values:
+        raise ValueError("jain_fairness_index needs at least one value")
+    total = sum(values)
+    squares = sum(v * v for v in values)
+    if squares == 0:
+        return 1.0  # everyone got nothing: degenerate but equal
+    return total * total / (len(values) * squares)
+
+
+class GoodputTracker(SimulationListener):
+    """Delivered payload bits per node, measured on the air."""
+
+    def __init__(self, payload_bytes=512):
+        self.payload_bytes = int(check_positive(payload_bytes, "payload_bytes"))
+        self.delivered_packets = {}
+        self.first_slot = None
+        self.last_slot = 0
+
+    def on_transmission_end(self, slot, transmission, success, medium):
+        if self.first_slot is None:
+            self.first_slot = transmission.start_slot
+        self.last_slot = max(self.last_slot, transmission.end_slot)
+        if success:
+            sender = transmission.sender
+            self.delivered_packets[sender] = (
+                self.delivered_packets.get(sender, 0) + 1
+            )
+
+    def goodput_bps(self, node_id, slot_time_us=20.0):
+        """Delivered payload bits/second for one node."""
+        if self.first_slot is None:
+            return 0.0
+        span_s = max((self.last_slot - self.first_slot) * slot_time_us / 1e6, 1e-9)
+        packets = self.delivered_packets.get(node_id, 0)
+        return packets * self.payload_bytes * 8 / span_s
+
+    def share_of(self, node_id, population):
+        """Node's fraction of the packets delivered by ``population``."""
+        total = sum(self.delivered_packets.get(n, 0) for n in population)
+        if total == 0:
+            return 0.0
+        return self.delivered_packets.get(node_id, 0) / total
+
+
+@dataclass(frozen=True)
+class StarvationPoint:
+    """Throughput allocation at one misbehavior level."""
+
+    pm: int
+    cheater_share: float
+    fair_share: float          # 1 / population size
+    fairness_index: float
+    cheater_packets: int
+    neighbor_packets_mean: float
+
+
+def measure_starvation(scenario_factory, pm, seed, duration_s=8.0):
+    """Run one scenario and measure the cheater's bandwidth grab.
+
+    The share is computed over the cheater and the flow sources inside
+    its sensing neighborhood (the nodes it directly competes with).
+    """
+    from repro.mac.misbehavior import PercentageMisbehavior
+
+    scenario = scenario_factory(seed)
+    _sim, sender, _monitor = scenario.build()
+    policies = {sender: PercentageMisbehavior(pm)} if pm else None
+    sim, sender, monitor = scenario.build(policies=policies)
+    tracker = GoodputTracker(payload_bytes=sim.config.timing.payload_bytes)
+    sim.add_listener(tracker)
+    sim.run(duration_s)
+
+    competitors = [
+        flow.source
+        for flow in sim.flows
+        if flow.source == sender
+        or sim.medium.senses(flow.source, sender)
+    ]
+    deliveries = [tracker.delivered_packets.get(n, 0) for n in competitors]
+    neighbors = [n for n in competitors if n != sender]
+    neighbor_counts = [tracker.delivered_packets.get(n, 0) for n in neighbors]
+    return StarvationPoint(
+        pm=pm,
+        cheater_share=tracker.share_of(sender, competitors),
+        fair_share=1.0 / len(competitors) if competitors else float("nan"),
+        fairness_index=jain_fairness_index(deliveries),
+        cheater_packets=tracker.delivered_packets.get(sender, 0),
+        neighbor_packets_mean=(
+            sum(neighbor_counts) / len(neighbor_counts)
+            if neighbor_counts
+            else float("nan")
+        ),
+    )
+
+
+def run_starvation_sweep(scenario_factory, pm_values=(0, 25, 50, 80, 100),
+                         seed=201, duration_s=8.0):
+    """The cheater's share and the fairness index across PM levels."""
+    return [
+        measure_starvation(scenario_factory, pm, seed, duration_s)
+        for pm in pm_values
+    ]

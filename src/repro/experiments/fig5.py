@@ -1,0 +1,156 @@
+"""Figure 5: probability of correct diagnosis vs. percentage of misbehavior.
+
+Panels (a)-(c): static grid at loads 0.3 / 0.6 / 0.9, sample sizes
+{10, 25, 50, 100}.  Panel (d): mobile random-waypoint network at load
+0.6.  For each (load, PM) the sender S runs the PM timer cheat; the
+monitor R collects back-off samples and every non-overlapping window of
+``sample size`` observations yields one diagnosis (hypothesis-test
+rejection, or a deterministic violation within the window).  The
+reported probability is the fraction of windows that correctly diagnose
+S — the paper's per-run detection probability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.reporting import format_series
+from repro.experiments.runner import (
+    collect_detection_samples,
+    scaled,
+    windowed_detection_rate,
+)
+from repro.experiments.scenarios import GridScenario, RandomScenario
+
+SAMPLE_SIZES = (10, 25, 50, 100)
+DEFAULT_PM_SWEEP = (10, 25, 40, 50, 65, 80, 100)
+DEFAULT_LOADS = (0.3, 0.6, 0.9)
+
+
+@dataclass(frozen=True)
+class DetectionPoint:
+    """Detection probability for one (load, pm, sample size).
+
+    ``detection_probability`` is the paper's measured quantity — the
+    probability of the hypothesis test rejecting H0.  ``combined_probability``
+    additionally counts windows in which a deterministic verifier fired
+    (the full framework's diagnosis rate).
+    """
+
+    load: float
+    pm: int
+    sample_size: int
+    detection_probability: float
+    combined_probability: float
+    windows: int
+    violations: int
+
+
+def run_detection_curve(scenario_factory, load, pm_values=DEFAULT_PM_SWEEP,
+                        sample_sizes=SAMPLE_SIZES, windows=None,
+                        alpha=0.05, base_seed=17, max_duration_s=300.0,
+                        runs=None):
+    """Detection probabilities for one load across PM and sample sizes.
+
+    Pools non-overlapping windows across ``runs`` independent seeds, as
+    the paper averages its detection probabilities over repeated runs.
+    """
+    windows = windows if windows is not None else scaled(6)
+    runs = runs if runs is not None else scaled(2)
+    target = windows * max(sample_sizes)
+    points = []
+    for pm in pm_values:
+        detectors = []
+        for run_index in range(runs):
+            scenario = scenario_factory(
+                load, base_seed + pm + 1000 * run_index
+            )
+            detectors.append(
+                collect_detection_samples(
+                    scenario,
+                    pm,
+                    target_samples=target,
+                    max_duration_s=max_duration_s,
+                )
+            )
+        violations = sum(len(d.violations) for d in detectors)
+        for size in sample_sizes:
+            stat_hits = 0.0
+            combined_hits = 0.0
+            total_windows = 0
+            for detector in detectors:
+                stat_rate, n_windows = windowed_detection_rate(
+                    detector, size, alpha=alpha, include_deterministic=False
+                )
+                combined_rate, _ = windowed_detection_rate(
+                    detector, size, alpha=alpha, include_deterministic=True
+                )
+                if n_windows:
+                    stat_hits += stat_rate * n_windows
+                    combined_hits += combined_rate * n_windows
+                    total_windows += n_windows
+            points.append(
+                DetectionPoint(
+                    load=load,
+                    pm=pm,
+                    sample_size=size,
+                    detection_probability=(
+                        stat_hits / total_windows if total_windows else float("nan")
+                    ),
+                    combined_probability=(
+                        combined_hits / total_windows
+                        if total_windows
+                        else float("nan")
+                    ),
+                    windows=total_windows,
+                    violations=violations,
+                )
+            )
+    return points
+
+
+def grid_factory(load, seed):
+    return GridScenario(load=load, traffic="poisson", seed=seed)
+
+
+def mobile_factory(load, seed):
+    return RandomScenario(load=load, traffic="cbr", mobile=True, seed=seed)
+
+
+def run_fig5_static(loads=DEFAULT_LOADS, **kwargs):
+    """Panels (a)-(c): one detection curve per load, static grid."""
+    return {load: run_detection_curve(grid_factory, load, **kwargs) for load in loads}
+
+
+def run_fig5_mobile(load=0.6, **kwargs):
+    """Panel (d): the mobile scenario at load 0.6."""
+    return run_detection_curve(mobile_factory, load, **kwargs)
+
+
+def render_curve(title, points, sample_sizes=SAMPLE_SIZES, combined=False):
+    pm_values = sorted({p.pm for p in points})
+    series = {}
+    for size in sample_sizes:
+        by_pm = {
+            p.pm: (
+                p.combined_probability if combined else p.detection_probability
+            )
+            for p in points
+            if p.sample_size == size
+        }
+        series[f"s={size}"] = [by_pm.get(pm, float("nan")) for pm in pm_values]
+    return format_series(title, "PM", pm_values, series)
+
+
+def main():
+    results = run_fig5_static()
+    for load, points in results.items():
+        print(render_curve(f"Figure 5: P(correct diagnosis), load={load}", points))
+        print()
+    mobile = run_fig5_mobile()
+    print(render_curve("Figure 5(d): mobile scenario, load=0.6", mobile))
+    return results
+
+
+if __name__ == "__main__":
+    main()

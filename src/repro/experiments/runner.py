@@ -1,0 +1,133 @@
+"""Shared experiment plumbing: fidelity scaling and sample collection.
+
+The paper averages over 20 runs (probability curves) and 10,000 runs
+(detection probabilities).  The default bench fidelity is far lower so
+the whole suite completes in minutes; set ``REPRO_SCALE`` (a float
+multiplier, default 1.0) to raise trial counts and durations toward the
+paper's, e.g. ``REPRO_SCALE=10 pytest benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+
+from repro.core.detector import BackoffMisbehaviorDetector, DetectorConfig
+from repro.core.ranksum import rank_sum_test
+
+
+def fidelity_scale():
+    """The REPRO_SCALE multiplier (>= 0.1)."""
+    raw = os.environ.get("REPRO_SCALE", "1.0")
+    try:
+        scale = float(raw)
+    except ValueError as exc:
+        raise ValueError(f"REPRO_SCALE must be a float, got {raw!r}") from exc
+    return max(scale, 0.1)
+
+
+def scaled(value, minimum=1):
+    """``value`` scaled by REPRO_SCALE, floored at ``minimum``."""
+    return max(int(round(value * fidelity_scale())), minimum)
+
+
+def collect_detection_samples(scenario, pm, detector_config=None,
+                              target_samples=500, max_duration_s=240.0,
+                              policies=None):
+    """Run one scenario with a (possibly misbehaving) sender and collect
+    the detector's raw sample stream.
+
+    Returns the detector after the run; ``detector.observations`` holds
+    the (dictated, estimated) pairs and ``detector.violations`` the
+    deterministic catches.  The simulation stops as soon as
+    ``target_samples`` observations exist (or at ``max_duration_s``).
+    """
+    from repro.core.handoff import MonitorHandoff
+    from repro.mac.misbehavior import PercentageMisbehavior
+    from repro.util.rng import RngStream
+
+    sender_policies = dict(policies or {})
+    detector_config = detector_config or DetectorConfig(
+        sample_size=10_000, known_n=5, known_k=5
+    )
+    sim, sender, monitor = scenario.build(policies=None)
+    if pm or sender_policies:
+        # Rebuild with the malicious policy now that the sender is known.
+        if pm:
+            sender_policies[sender] = PercentageMisbehavior(pm)
+        sim, sender, monitor = scenario.build(policies=sender_policies)
+    mobile = bool(getattr(scenario, "mobile", False))
+    if mobile:
+        # The paper's mobile protocol: when the monitor drifts out of
+        # range, a random current neighbor takes over.
+        detector = MonitorHandoff(
+            sender,
+            monitor,
+            config=detector_config,
+            rng=RngStream(getattr(scenario, "seed", 0), "monitor-handoff"),
+            separation=getattr(scenario, "separation", None),
+        )
+    else:
+        detector = BackoffMisbehaviorDetector(
+            monitor,
+            sender,
+            config=detector_config,
+            separation=getattr(scenario, "separation", None),
+        )
+    sim.add_listener(detector)
+    sim.run(
+        max_duration_s,
+        stop_condition=lambda: detector.observation_count >= target_samples,
+    )
+    return detector
+
+
+def windowed_detection_rate(detector, sample_size, alpha=0.05,
+                            alternative="less", include_deterministic=True,
+                            max_attempt=None, guard_band=None):
+    """Fraction of non-overlapping windows diagnosing the sender malicious.
+
+    This mirrors the paper's per-run semantics: each window of
+    ``sample_size`` samples yields one hypothesis-test decision; a
+    deterministic violation inside the window's time span also counts
+    as a (correct or false) malicious diagnosis.  ``max_attempt`` and
+    ``guard_band`` default to the detector's configuration.
+    """
+    if max_attempt is None:
+        max_attempt = detector.config.max_test_attempt
+    if guard_band is None:
+        guard_band = detector.config.guard_band
+    observations = [
+        o for o in detector.observations if o.attempt <= max_attempt
+    ]
+    if len(observations) < sample_size:
+        return float("nan"), 0
+    violation_slots = sorted(v.slot for v in detector.violations)
+    detected = 0
+    windows = 0
+    for start in range(0, len(observations) - sample_size + 1, sample_size):
+        window = observations[start : start + sample_size]
+        x = [w.dictated / _norm(w) for w in window]
+        y = [w.estimated / _norm(w) + guard_band for w in window]
+        result = rank_sum_test(x, y, alternative)
+        hit = result.p_value < alpha
+        if include_deterministic and not hit:
+            lo = window[0].slot
+            hi = window[-1].slot
+            hit = any(lo <= s <= hi for s in violation_slots)
+        detected += 1 if hit else 0
+        windows += 1
+    return detected / windows, windows
+
+
+def _norm(observation):
+    """The CW normalizer for one observation (see DetectorConfig)."""
+    from repro.mac.backoff import contention_window
+
+    window = contention_window(min(observation.attempt, 7), 31, 1023)
+    return window + 1.0
+
+
+def split_seeds(base_seed, count):
+    """Deterministic distinct seeds for repeated trials."""
+    return [base_seed * 10_007 + i for i in range(count)]

@@ -1,0 +1,173 @@
+"""Scenario builders matching the paper's two evaluation setups.
+
+Grid: 7x8 nodes, 240 m spacing, 30 source-destination pairs (each source
+streams to a random one-hop neighbor); the monitored sender S and the
+monitor R are the two adjacent nodes nearest the grid center, with S
+sending to R (paper Section 5, "Simulation Measurements").
+
+Random: 112 nodes uniform in 3000 m x 3000 m, same flow structure; S is
+the node nearest the field center and R its nearest neighbor.  The
+mobile variant runs the random waypoint model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry.vectors import distance
+from repro.sim.network import Flow, Simulation, SimulationConfig
+from repro.topology.mobility import RandomWaypoint
+from repro.topology.placement import (
+    center_pair_indices,
+    grid_positions,
+    random_positions,
+)
+from repro.util.rng import RngStream
+
+
+def _flow_sources(n_nodes, n_pairs, sender, monitor, rng):
+    """Pick ``n_pairs`` distinct flow sources, always including the
+    monitored sender, never the monitor (it must be free to observe)."""
+    candidates = [i for i in range(n_nodes) if i not in (sender, monitor)]
+    rng.shuffle(candidates)
+    return [sender] + candidates[: max(n_pairs - 1, 0)]
+
+
+@dataclass
+class GridScenario:
+    """The paper's first experiment setup."""
+
+    rows: int = 7
+    cols: int = 8
+    spacing: float = 240.0
+    n_pairs: int = 30
+    load: float = 0.6
+    traffic: str = "poisson"      # "poisson" | "cbr"
+    seed: int = 1
+
+    def build(self, policies=None, mac_options=None):
+        """Returns ``(simulation, sender, monitor)``."""
+        positions = grid_positions(self.rows, self.cols, self.spacing)
+        sender, monitor = center_pair_indices(self.rows, self.cols)
+        rng = RngStream(self.seed, "grid-flow-sources")
+        sources = _flow_sources(
+            len(positions), self.n_pairs, sender, monitor, rng
+        )
+        flows = [
+            Flow(
+                source=src,
+                destination=monitor if src == sender else None,
+                kind=self.traffic,
+                load=self.load,
+            )
+            for src in sources
+        ]
+        sim = Simulation(
+            positions,
+            flows=flows,
+            policies=policies,
+            config=SimulationConfig(seed=self.seed),
+            mac_options=mac_options,
+        )
+        return sim, sender, monitor
+
+    @property
+    def separation(self):
+        return self.spacing
+
+
+@dataclass
+class RandomScenario:
+    """The paper's second setup: random placement, optionally mobile."""
+
+    n_nodes: int = 112
+    width: float = 3000.0
+    height: float = 3000.0
+    n_pairs: int = 30
+    load: float = 0.6
+    traffic: str = "cbr"
+    mobile: bool = False
+    max_speed: float = 20.0
+    pause_time: float = 0.0
+    seed: int = 1
+
+    def build(self, policies=None, mac_options=None):
+        """Returns ``(simulation, sender, monitor)``."""
+        place_rng = RngStream(self.seed, "random-placement")
+        positions = random_positions(
+            self.n_nodes, self.width, self.height, rng=place_rng
+        )
+        sender, monitor = self._center_pair(positions)
+        rng = RngStream(self.seed, "random-flow-sources")
+        sources = _flow_sources(self.n_nodes, self.n_pairs, sender, monitor, rng)
+        # Under mobility a fixed S -> R stream dies as soon as the pair
+        # separates; the paper's sources pick an (in-range) neighbor, so
+        # mobile flows re-choose per packet.
+        flows = [
+            Flow(
+                source=src,
+                destination=(
+                    monitor if src == sender and not self.mobile else None
+                ),
+                kind=self.traffic,
+                load=self.load,
+                per_packet_destination=True if self.mobile else None,
+            )
+            for src in sources
+        ]
+        if self.mobile:
+            topology = RandomWaypoint(
+                positions,
+                width=self.width,
+                height=self.height,
+                max_speed=self.max_speed,
+                pause_time=self.pause_time,
+                rng=RngStream(self.seed, "waypoints"),
+            )
+        else:
+            topology = positions
+        sim = Simulation(
+            topology,
+            flows=flows,
+            policies=policies,
+            config=SimulationConfig(seed=self.seed),
+            mac_options=mac_options,
+        )
+        self._positions = positions
+        return sim, sender, monitor
+
+    def _center_pair(self, positions):
+        """Sender nearest the field center; monitor its nearest neighbor
+        within decode range (falls back to nearest node outright)."""
+        center = (self.width / 2.0, self.height / 2.0)
+        sender = min(
+            range(len(positions)), key=lambda i: distance(positions[i], center)
+        )
+        others = [
+            (distance(positions[i], positions[sender]), i)
+            for i in range(len(positions))
+            if i != sender
+        ]
+        others.sort()
+        self.pair_separation = others[0][0]
+        return sender, others[0][1]
+
+    @property
+    def separation(self):
+        return getattr(self, "pair_separation", 240.0)
+
+
+def build_grid_simulation(load=0.6, traffic="poisson", seed=1, policies=None,
+                          n_pairs=30):
+    """Convenience wrapper returning ``(sim, sender, monitor)``."""
+    scenario = GridScenario(load=load, traffic=traffic, seed=seed, n_pairs=n_pairs)
+    return scenario.build(policies=policies)
+
+
+def build_random_simulation(load=0.6, traffic="cbr", seed=1, policies=None,
+                            mobile=False, n_pairs=30):
+    """Convenience wrapper returning ``(sim, sender, monitor)``."""
+    scenario = RandomScenario(
+        load=load, traffic=traffic, seed=seed, mobile=mobile, n_pairs=n_pairs
+    )
+    return scenario.build(policies=policies)

@@ -1,0 +1,25 @@
+"""Planar geometry used by the PHY layer and the analytical model.
+
+The detection framework's analytical model (paper Section 3) is driven by
+areas of regions formed by overlapping sensing disks; this package
+provides exact circle-intersection areas and the concrete A1..A5 region
+model of the paper's Figure 1.
+"""
+
+from repro.geometry.circles import (
+    circle_area,
+    circle_intersection_area,
+    crescent_area,
+)
+from repro.geometry.regions import RegionModel, SensingRegions
+from repro.geometry.vectors import distance, midpoint
+
+__all__ = [
+    "RegionModel",
+    "SensingRegions",
+    "circle_area",
+    "circle_intersection_area",
+    "crescent_area",
+    "distance",
+    "midpoint",
+]

@@ -1,0 +1,58 @@
+"""Exact areas of circles, circular lenses and crescents.
+
+The analytical model of the paper needs the areas of regions formed by
+two overlapping sensing disks (the "lens" where both nodes sense the
+channel, and the "crescents" each node senses exclusively).  The closed
+forms below are the standard circle-circle intersection formulas.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.util.validation import check_non_negative, check_positive
+
+
+def circle_area(radius):
+    """Area of a circle of the given radius."""
+    check_non_negative(radius, "radius")
+    return math.pi * radius * radius
+
+
+def circle_intersection_area(r1, r2, d):
+    """Area of the lens formed by two circles of radii ``r1``, ``r2``
+    whose centers are ``d`` apart.
+
+    Handles the degenerate cases exactly: disjoint circles (area 0) and
+    one circle containing the other (area of the smaller circle).
+    """
+    check_positive(r1, "r1")
+    check_positive(r2, "r2")
+    check_non_negative(d, "d")
+
+    if d >= r1 + r2:
+        return 0.0
+    # Near-coincident centers (incl. subnormal d, where 2*d*r underflows
+    # to zero) degenerate to full containment of the smaller circle.
+    if d <= abs(r1 - r2) or d < 1e-12 * max(r1, r2):
+        return circle_area(min(r1, r2))
+
+    # Standard two-circular-segment decomposition.
+    r1_sq = r1 * r1
+    r2_sq = r2 * r2
+    alpha = math.acos((d * d + r1_sq - r2_sq) / (2.0 * d * r1))
+    beta = math.acos((d * d + r2_sq - r1_sq) / (2.0 * d * r2))
+    return (
+        r1_sq * (alpha - math.sin(2.0 * alpha) / 2.0)
+        + r2_sq * (beta - math.sin(2.0 * beta) / 2.0)
+    )
+
+
+def crescent_area(r1, r2, d):
+    """Area of circle 1 *excluding* its overlap with circle 2.
+
+    This is the region a node at the center of circle 1 covers
+    exclusively (e.g., the part of S's sensing disk that R does not
+    sense).
+    """
+    return circle_area(r1) - circle_intersection_area(r1, r2, d)

@@ -1,0 +1,234 @@
+"""The A1..A5 sensing-region model of the paper's Figure 1.
+
+The monitor R and the sender S sit ``d`` apart, each with sensing radius
+``rho``.  The paper's analytical model partitions the relevant plane into
+five regions (left to right, with S left of R):
+
+- ``A2`` — points S senses but R does not (``disk(S) \\ disk(R)``),
+- ``A3`` — points both sense (``disk(S) ∩ disk(R)``),
+- ``A4`` — points R senses but S does not (``disk(R) \\ disk(S)``),
+- ``A1`` — points outside S's sensing disk whose occupants contend with
+  the A2 nodes (they can freeze them),
+- ``A5`` — points outside R's (and S's) sensing disks whose occupants
+  can be transmitting while a node in A4 keeps R busy.
+
+The paper defines A1 and A5 only pictorially ("areas enclosed between
+their respective left and right arcs", with third-party nodes T and V
+drawn in the crescents).  We formalize them as follows — the paper's
+verbal derivations constrain the *role* of each region, and the exact
+extents are calibrated once against the packet-level simulator (see
+DESIGN.md §2 and the ablation benchmark):
+
+- ``A1`` is the sensing disk of a representative interferer T placed
+  ``interferer_offset`` to the left of S, minus S's disk.  The ratio
+  ``A2/(A1+A2)`` then plays its eq.-3 role: *given that the channel on
+  S's side is occupied, how likely is the occupant inside S's sensing
+  range* (making S busy while R is idle).  The default offset of 450 m
+  makes this ratio ≈ 0.35, matching the simulator's measured
+  p(S busy | R idle) saturation value on the paper's grid.
+- ``A5`` defaults to the *union* of all positions from which a hidden
+  transmitter could be active during an R-busy slot without S sensing
+  it: everything within ``2 rho`` of R but outside both sensing disks,
+  i.e. ``pi (2 rho)^2 - pi rho^2 - A2``.  The eq.-4 ratio
+  ``A4/(A4+A5)`` is then small (≈ 0.09), which — multiplied by the
+  A1/(A1+A2) factor — reproduces the simulator's measured
+  p(S idle | R busy) (the single-representative-crescent alternative
+  overestimates it several-fold; pass ``far_interferer_offset`` to get
+  that variant for the ablation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.geometry.circles import circle_area, circle_intersection_area, crescent_area
+from repro.geometry.vectors import distance
+from repro.util.validation import check_positive
+
+#: Region labels, left to right as in Figure 1.
+REGION_LABELS = ("A1", "A2", "A3", "A4", "A5")
+
+
+@dataclass(frozen=True)
+class SensingRegions:
+    """Areas (m^2) of the five regions for one S/R geometry."""
+
+    a1: float
+    a2: float
+    a3: float
+    a4: float
+    a5: float
+
+    def as_dict(self):
+        return {"A1": self.a1, "A2": self.a2, "A3": self.a3, "A4": self.a4, "A5": self.a5}
+
+    @property
+    def left_exclusive_fraction(self):
+        """``A2 / (A1 + A2)`` — the ratio used in paper eq. 3."""
+        total = self.a1 + self.a2
+        return self.a2 / total if total > 0 else 0.0
+
+    @property
+    def left_hidden_fraction(self):
+        """``A1 / (A1 + A2)`` — the ratio used in paper eq. 4."""
+        total = self.a1 + self.a2
+        return self.a1 / total if total > 0 else 0.0
+
+    @property
+    def right_exclusive_fraction(self):
+        """``A4 / (A4 + A5)`` — the ratio used in paper eq. 4."""
+        total = self.a4 + self.a5
+        return self.a4 / total if total > 0 else 0.0
+
+    @property
+    def uniform_invisible_fraction(self):
+        """``A4 / (A3 + A4)``: under uniform node density, the chance
+        that a transmission the monitor senses comes from the region the
+        sender cannot sense.  The occupancy correction compares the
+        *measured* invisibility fraction against this baseline."""
+        total = self.a3 + self.a4
+        return self.a4 / total if total > 0 else 0.0
+
+
+@dataclass
+class RegionModel:
+    """Concrete geometry for the analytical model.
+
+    Parameters
+    ----------
+    sensing_range:
+        Carrier-sensing / interference radius rho (m); Table 1 uses 550.
+    separation:
+        Distance between sender S and monitor R (m); 240 in the paper's
+        grid topology.
+    interferer_offset:
+        Distance of the representative third-party interferer T (left of
+        S) whose sensing disk defines A1.  Calibrated default: 450 m.
+    far_interferer_offset:
+        If None (default), A5 is the union annulus described in the
+        module docstring.  If a float, A5 is instead the crescent of a
+        representative interferer V placed that far right of R (the
+        symmetric-to-A1 construction; kept for the ablation study).
+    """
+
+    sensing_range: float = 550.0
+    separation: float = 240.0
+    interferer_offset: float = 450.0
+    far_interferer_offset: float = None
+    _regions: SensingRegions = field(init=False, repr=False, default=None)
+
+    def __post_init__(self):
+        check_positive(self.sensing_range, "sensing_range")
+        check_positive(self.separation, "separation")
+        check_positive(self.interferer_offset, "interferer_offset")
+        if self.far_interferer_offset is not None:
+            check_positive(self.far_interferer_offset, "far_interferer_offset")
+        self._regions = self._compute_areas()
+
+    # -- geometry ---------------------------------------------------------
+
+    def _compute_areas(self):
+        rho = self.sensing_range
+        d = self.separation
+        lens_sr = circle_intersection_area(rho, rho, d)
+        exclusive = crescent_area(rho, rho, d)  # disk(S) \ disk(R) == disk(R) \ disk(S)
+        a1 = crescent_area(rho, rho, self.interferer_offset)  # disk(T) \ disk(S)
+        if self.far_interferer_offset is None:
+            # Union of hidden-transmitter positions on R's side:
+            # within 2*rho of R, outside disk(R) and outside disk(S).
+            a5 = circle_area(2.0 * rho) - circle_area(rho) - exclusive
+        else:
+            a5 = crescent_area(rho, rho, self.far_interferer_offset)
+        return SensingRegions(a1=a1, a2=exclusive, a3=lens_sr, a4=exclusive, a5=a5)
+
+    @property
+    def regions(self):
+        """The :class:`SensingRegions` areas for this geometry."""
+        return self._regions
+
+    # -- point classification ---------------------------------------------
+
+    def classify(self, point, sender=(0.0, 0.0), monitor=None):
+        """Assign ``point`` to one of A1..A5, or ``None`` if outside all.
+
+        ``sender`` and ``monitor`` give the actual S and R positions; by
+        default S is at the origin and R at ``(separation, 0)``.  The
+        representative interferer T lies on the S-R line, left of S;
+        the A5 test follows the active construction (union annulus by
+        default, representative crescent if ``far_interferer_offset``
+        is set).
+
+        Classification priority follows the partition used in the
+        paper's derivations: membership in the S/R disks decides
+        A2/A3/A4, then the outer constructions decide A1/A5.
+        """
+        if monitor is None:
+            monitor = (self.separation, 0.0)
+        rho = self.sensing_range
+        d_s = distance(point, sender)
+        d_r = distance(point, monitor)
+        in_s = d_s <= rho
+        in_r = d_r <= rho
+        if in_s and in_r:
+            return "A3"
+        if in_s:
+            return "A2"
+        if in_r:
+            return "A4"
+        t_pos = self._left_interferer_position(sender, monitor)
+        if distance(point, t_pos) <= rho:
+            return "A1"
+        if self.far_interferer_offset is None:
+            if d_r <= 2.0 * rho:
+                return "A5"
+        else:
+            v_pos = self._right_interferer_position(sender, monitor)
+            if distance(point, v_pos) <= rho:
+                return "A5"
+        return None
+
+    def _axis_unit(self, sender, monitor):
+        d = distance(sender, monitor)
+        if d == 0:
+            raise ValueError("sender and monitor must not be coincident")
+        return (monitor[0] - sender[0]) / d, (monitor[1] - sender[1]) / d
+
+    def _left_interferer_position(self, sender, monitor):
+        ux, uy = self._axis_unit(sender, monitor)
+        off = self.interferer_offset
+        return (sender[0] - ux * off, sender[1] - uy * off)
+
+    def _right_interferer_position(self, sender, monitor):
+        ux, uy = self._axis_unit(sender, monitor)
+        off = self.far_interferer_offset
+        return (monitor[0] + ux * off, monitor[1] + uy * off)
+
+    def count_nodes(self, positions, sender=(0.0, 0.0), monitor=None):
+        """Count nodes per region.
+
+        Returns a dict ``{"A1": k, "A2": n, "A3": ..., "A4": m, "A5": j}``
+        using the paper's variable naming for the counts that enter
+        eqs. 3-4 (k nodes in A1, n in A2, m in A4, j in A5).  The sender
+        and monitor themselves should not be included in ``positions``.
+        """
+        counts = {label: 0 for label in REGION_LABELS}
+        for point in positions:
+            label = self.classify(point, sender, monitor)
+            if label is not None:
+                counts[label] += 1
+        return counts
+
+    def expected_counts(self, node_density):
+        """Expected node counts per region under a uniform density.
+
+        ``node_density`` is nodes per square meter; this is the estimate
+        a monitor forms from the Bianchi competing-terminals inversion
+        (paper Section 4: the number of nodes in area A_x is
+        ``n_R / (pi R^2) * A_x``).
+        """
+        check_positive(node_density, "node_density")
+        return {
+            label: node_density * area
+            for label, area in self._regions.as_dict().items()
+        }

@@ -1,0 +1,44 @@
+"""Small 2-D vector helpers.
+
+Positions throughout the simulator are plain ``(x, y)`` tuples of floats;
+keeping them as tuples (rather than a vector class) keeps the hot paths
+allocation-light and lets numpy batch operations where needed.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def distance(a, b):
+    """Euclidean distance between points ``a`` and ``b``."""
+    return math.hypot(a[0] - b[0], a[1] - b[1])
+
+
+def distance_squared(a, b):
+    """Squared Euclidean distance (avoids the sqrt on hot paths)."""
+    dx = a[0] - b[0]
+    dy = a[1] - b[1]
+    return dx * dx + dy * dy
+
+
+def midpoint(a, b):
+    """Midpoint of segment ``ab``."""
+    return ((a[0] + b[0]) / 2.0, (a[1] + b[1]) / 2.0)
+
+
+def translate(point, dx, dy):
+    """Point shifted by ``(dx, dy)``."""
+    return (point[0] + dx, point[1] + dy)
+
+
+def unit_vector(a, b):
+    """Unit vector pointing from ``a`` to ``b``.
+
+    Raises ``ValueError`` for coincident points, where the direction is
+    undefined.
+    """
+    d = distance(a, b)
+    if d == 0:
+        raise ValueError("unit vector undefined for coincident points")
+    return ((b[0] - a[0]) / d, (b[1] - a[1]) / d)

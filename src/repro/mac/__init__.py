@@ -1,0 +1,49 @@
+"""IEEE 802.11 DCF MAC layer with the paper's verifiable-back-off extension.
+
+Implements: slotted DCF timing (DIFS/SIFS, 20 us slots), the binary
+exponential back-off with freeze/resume semantics, RTS/CTS/DATA/ACK
+exchanges, the modified RTS frame carrying the pseudo-random-sequence
+offset, attempt number and MD5 message digest (paper Section 4), and a
+family of misbehavior strategies including the paper's "percentage of
+misbehavior" (PM) timer cheat.
+"""
+
+from repro.mac.backoff import BackoffScheduler, contention_window
+from repro.mac.constants import MacTiming
+from repro.mac.dcf import DcfMac, MacState
+from repro.mac.digest import data_digest
+from repro.mac.frames import AckFrame, CtsFrame, DataFrame, RtsFrame
+from repro.mac.misbehavior import (
+    AdaptiveLoadCheat,
+    AlienDistributionBackoff,
+    BackoffPolicy,
+    FixedBackoff,
+    HonestBackoff,
+    IntermittentMisbehavior,
+    NoExponentialBackoff,
+    PercentageMisbehavior,
+)
+from repro.mac.prng import VerifiableBackoffPrng, mac_address_seed
+
+__all__ = [
+    "AckFrame",
+    "AdaptiveLoadCheat",
+    "AlienDistributionBackoff",
+    "BackoffPolicy",
+    "BackoffScheduler",
+    "CtsFrame",
+    "DataFrame",
+    "DcfMac",
+    "FixedBackoff",
+    "HonestBackoff",
+    "IntermittentMisbehavior",
+    "MacState",
+    "MacTiming",
+    "NoExponentialBackoff",
+    "PercentageMisbehavior",
+    "RtsFrame",
+    "VerifiableBackoffPrng",
+    "contention_window",
+    "data_digest",
+    "mac_address_seed",
+]

@@ -1,0 +1,92 @@
+"""Back-off countdown bookkeeping with freeze/resume semantics.
+
+IEEE 802.11 decrements the back-off timer only while the medium has been
+idle for at least a DIFS; when the medium turns busy the timer freezes
+and resumes (after another DIFS) where it left off.  The event-driven
+simulator cannot tick every slot, so :class:`BackoffScheduler` keeps the
+countdown as ``(remaining, counting-since)`` and converts between the
+two on every channel-state transition.
+
+A *generation* counter invalidates stale completion events: the engine
+tags each scheduled completion with the generation at scheduling time
+and discards the event if the generation moved on (i.e., the countdown
+was frozen or restarted in between).
+"""
+
+from __future__ import annotations
+
+from repro.mac.prng import contention_window_for_attempt
+
+
+def contention_window(attempt, cw_min, cw_max):
+    """CW for a 1-based attempt (alias of the PRS module's rule)."""
+    return contention_window_for_attempt(attempt, cw_min, cw_max)
+
+
+class BackoffScheduler:
+    """Freeze/resume countdown state for one node."""
+
+    def __init__(self):
+        self.remaining = None   # slots still to count; None = inactive
+        self.anchor = None      # slot at which counting (re)started; None = frozen
+        self.generation = 0
+        #: dictated back-off drawn for the current attempt (for tracing)
+        self.initial = None
+
+    # -- state predicates ----------------------------------------------------
+
+    @property
+    def active(self):
+        """A back-off is pending (counting or frozen)."""
+        return self.remaining is not None
+
+    @property
+    def counting(self):
+        return self.remaining is not None and self.anchor is not None
+
+    # -- transitions -----------------------------------------------------------
+
+    def start(self, slots):
+        """Begin a fresh back-off of ``slots`` (frozen until resumed)."""
+        if slots < 0:
+            raise ValueError(f"back-off must be non-negative, got {slots}")
+        self.remaining = int(slots)
+        self.initial = int(slots)
+        self.anchor = None
+        self.generation += 1
+
+    def resume(self, anchor_slot):
+        """Medium usable from ``anchor_slot`` (a DIFS after it went idle);
+        counting restarts there.  Returns the completion slot."""
+        if self.remaining is None:
+            raise RuntimeError("resume() with no active back-off")
+        self.anchor = int(anchor_slot)
+        self.generation += 1
+        return self.completion_slot
+
+    def freeze(self, now_slot):
+        """Medium turned busy at ``now_slot``; bank the slots counted.
+
+        Freezing an already-frozen (or inactive) countdown is a no-op,
+        which keeps the engine's reconcile pass idempotent.
+        """
+        if self.remaining is None or self.anchor is None:
+            return
+        elapsed = max(0, int(now_slot) - self.anchor)
+        self.remaining = max(0, self.remaining - elapsed)
+        self.anchor = None
+        self.generation += 1
+
+    def finish(self):
+        """Countdown reached zero; clear state."""
+        self.remaining = None
+        self.anchor = None
+        self.initial = None
+        self.generation += 1
+
+    @property
+    def completion_slot(self):
+        """Slot at which the countdown reaches zero, if counting."""
+        if not self.counting:
+            raise RuntimeError("completion_slot on a non-counting back-off")
+        return self.anchor + self.remaining

@@ -1,0 +1,25 @@
+"""Message digests for the modified RTS frame.
+
+The paper attaches an MD5 digest (RFC 1321) of the upcoming DATA packet
+to every RTS so monitors can verify that a retransmitted packet really is
+the same packet (and therefore that the announced attempt number must
+have increased).  MD5's cryptographic weaknesses are irrelevant here —
+the scheme only needs collision resistance against nodes that want two
+*different* packets to look identical, and the paper's choice is kept.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def data_digest(payload):
+    """128-bit MD5 digest of a DATA payload, as bytes."""
+    if not isinstance(payload, (bytes, bytearray)):
+        raise TypeError(f"payload must be bytes, got {type(payload).__name__}")
+    return hashlib.md5(bytes(payload)).digest()
+
+
+def digests_match(a, b):
+    """Constant-type comparison helper for two digests."""
+    return bytes(a) == bytes(b)

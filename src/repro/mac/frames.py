@@ -1,0 +1,75 @@
+"""MAC frames, including the paper's modified RTS (Figure 2).
+
+The modification adds three fields to the stock RTS: a 13-bit
+sequence-offset number (``seq_off``) committing the sender to a position
+in its dictated pseudo-random back-off sequence, a 3-bit attempt number
+(``attempt``), and a 16-byte MD5 digest of the DATA frame that will
+follow.  Monitors use these to recompute the back-off the sender was
+obliged to use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+SEQ_OFF_BITS = 13
+SEQ_OFF_MODULUS = 1 << SEQ_OFF_BITS  # the 13-bit field wraps at 8192
+ATTEMPT_BITS = 3
+MAX_ATTEMPT_FIELD = (1 << ATTEMPT_BITS) - 1
+
+
+@dataclass(frozen=True)
+class RtsFrame:
+    """Modified request-to-send.
+
+    ``seq_off`` is stored unwrapped internally for convenience; the
+    on-air 13-bit value is :attr:`seq_off_field`.  ``digest`` is the MD5
+    of the DATA payload to follow.
+    """
+
+    sender: int
+    receiver: int
+    seq_off: int
+    attempt: int
+    digest: bytes
+
+    def __post_init__(self):
+        if self.seq_off < 0:
+            raise ValueError(f"seq_off must be non-negative, got {self.seq_off}")
+        if not 1 <= self.attempt <= MAX_ATTEMPT_FIELD:
+            raise ValueError(
+                f"attempt must be in [1, {MAX_ATTEMPT_FIELD}], got {self.attempt}"
+            )
+        if len(self.digest) != 16:
+            raise ValueError(f"digest must be 16 bytes, got {len(self.digest)}")
+
+    @property
+    def seq_off_field(self):
+        """The wrapped 13-bit sequence offset as transmitted on air."""
+        return self.seq_off % SEQ_OFF_MODULUS
+
+
+@dataclass(frozen=True)
+class CtsFrame:
+    """Clear-to-send (unmodified)."""
+
+    sender: int
+    receiver: int
+
+
+@dataclass(frozen=True)
+class DataFrame:
+    """A DATA frame carrying one queued packet."""
+
+    sender: int
+    receiver: int
+    payload: bytes
+    packet_uid: int
+
+
+@dataclass(frozen=True)
+class AckFrame:
+    """Acknowledgment (unmodified)."""
+
+    sender: int
+    receiver: int

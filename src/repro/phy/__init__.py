@@ -1,0 +1,28 @@
+"""Physical layer: propagation, links, and the shared wireless medium.
+
+Replaces the ns-2 PHY used in the paper.  The channel model is the same
+log-distance + log-normal shadowing model (ns-2's ``Shadowing``
+propagation), with decode/carrier-sense thresholds calibrated so that the
+sigma = 0 (free-space-like) case reproduces Table 1's 250 m transmission
+range and 550 m sensing/interference range exactly.
+"""
+
+from repro.phy.channel import Channel, LinkState
+from repro.phy.medium import Medium, Transmission
+from repro.phy.propagation import (
+    FreeSpacePropagation,
+    LogNormalShadowing,
+    PropagationModel,
+    range_to_threshold_margin_db,
+)
+
+__all__ = [
+    "Channel",
+    "FreeSpacePropagation",
+    "LinkState",
+    "LogNormalShadowing",
+    "Medium",
+    "PropagationModel",
+    "Transmission",
+    "range_to_threshold_margin_db",
+]

@@ -1,0 +1,79 @@
+"""Link-level channel model: who can decode whom, who senses whom.
+
+IEEE 802.11 distinguishes the *transmission* range (frames decodable)
+from the much larger *sensing/interference* range (medium appears busy,
+concurrent transmissions corrupt receptions).  The paper leans on exactly
+this asymmetry — it is what makes the monitor's channel view diverge from
+the sender's — so the channel model keeps both ranges first-class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.vectors import distance
+from repro.phy.propagation import FreeSpacePropagation
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class LinkState:
+    """Snapshot of one directed link's reachability."""
+
+    distance: float
+    decodable: bool
+    sensed: bool
+
+
+class Channel:
+    """Pairwise reachability queries on top of a propagation model.
+
+    Parameters
+    ----------
+    transmission_range:
+        Nominal decode range in meters (Table 1: 250 m).
+    sensing_range:
+        Nominal carrier-sense / interference range in meters
+        (Table 1: 550 m).
+    propagation:
+        A :class:`~repro.phy.propagation.PropagationModel`; defaults to
+        deterministic free space (the paper's baseline).
+    """
+
+    def __init__(self, transmission_range=250.0, sensing_range=550.0, propagation=None):
+        self.transmission_range = check_positive(transmission_range, "transmission_range")
+        self.sensing_range = check_positive(sensing_range, "sensing_range")
+        if sensing_range < transmission_range:
+            raise ValueError(
+                "sensing_range must be >= transmission_range "
+                f"({sensing_range} < {transmission_range})"
+            )
+        self.propagation = propagation if propagation is not None else FreeSpacePropagation()
+
+    # -- queries -----------------------------------------------------------
+
+    def link_state(self, a_id, a_pos, b_id, b_pos):
+        """Full :class:`LinkState` between two placed nodes."""
+        d = distance(a_pos, b_pos)
+        pair = (a_id, b_id)
+        return LinkState(
+            distance=d,
+            decodable=d <= self.propagation.effective_range(self.transmission_range, pair),
+            sensed=d <= self.propagation.effective_range(self.sensing_range, pair),
+        )
+
+    def decodable(self, a_id, a_pos, b_id, b_pos):
+        """True if a frame sent by ``a`` can be decoded at ``b``."""
+        d = distance(a_pos, b_pos)
+        return d <= self.propagation.effective_range(
+            self.transmission_range, (a_id, b_id)
+        )
+
+    def sensed(self, a_id, a_pos, b_id, b_pos):
+        """True if ``b`` senses the medium busy while ``a`` transmits."""
+        d = distance(a_pos, b_pos)
+        return d <= self.propagation.effective_range(self.sensing_range, (a_id, b_id))
+
+    def refresh_fading(self):
+        """Redraw shadowing margins (call after mobility epochs)."""
+        self.propagation.refresh()

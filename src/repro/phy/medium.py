@@ -1,0 +1,172 @@
+"""The shared wireless medium: active transmissions and carrier sensing.
+
+The medium is the meeting point of the PHY and the slotted MAC engine.
+It tracks which nodes are transmitting (and until which slot), and
+answers, per node, the question the DCF asks every slot boundary: *do I
+sense the channel busy right now, and if so until when?*
+
+Spatial reachability (who senses / can decode whom) is precomputed into
+adjacency sets whenever node positions change; with at most a few hundred
+nodes the O(n^2) rebuild is cheap against the cost of querying it on
+every channel-state transition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Transmission:
+    """One atomic busy period on the air.
+
+    The slotted MAC models a full RTS/CTS/DATA/ACK exchange as a single
+    busy period of precomputed length (see ``repro.mac.constants``); the
+    ``kind`` records what the period carries for observers and collision
+    accounting.
+    """
+
+    sender: int
+    receiver: int
+    start_slot: int
+    end_slot: int
+    kind: str = "data"
+    frame: object = None
+    packet: object = None
+    corrupted: bool = field(default=False, compare=False)
+
+    @property
+    def duration(self):
+        return self.end_slot - self.start_slot
+
+
+class Medium:
+    """Tracks active transmissions and per-node carrier sensing."""
+
+    def __init__(self, channel):
+        self.channel = channel
+        self._positions = {}
+        #: node_id -> set of node_ids whose transmissions it senses
+        self._sensed_from = {}
+        #: node_id -> set of node_ids that sense *its* transmissions
+        self._sensed_by = {}
+        #: node_id -> set of node_ids whose frames it can decode
+        self._decodes_from = {}
+        self._active = {}
+        self._next_tx_id = 0
+
+    # -- topology ----------------------------------------------------------
+
+    def update_positions(self, positions):
+        """Install new node positions and rebuild reachability sets.
+
+        ``positions`` maps node id -> (x, y).  Call once at setup and
+        again at every mobility epoch.
+        """
+        self._positions = dict(positions)
+        ids = sorted(self._positions)
+        self._sensed_from = {i: set() for i in ids}
+        self._sensed_by = {i: set() for i in ids}
+        self._decodes_from = {i: set() for i in ids}
+        for idx, a in enumerate(ids):
+            for b in ids[idx + 1 :]:
+                state_ab = self.channel.link_state(
+                    a, self._positions[a], b, self._positions[b]
+                )
+                state_ba = self.channel.link_state(
+                    b, self._positions[b], a, self._positions[a]
+                )
+                if state_ab.sensed:
+                    self._sensed_from[b].add(a)
+                    self._sensed_by[a].add(b)
+                if state_ab.decodable:
+                    self._decodes_from[b].add(a)
+                if state_ba.sensed:
+                    self._sensed_from[a].add(b)
+                    self._sensed_by[b].add(a)
+                if state_ba.decodable:
+                    self._decodes_from[a].add(b)
+
+    @property
+    def positions(self):
+        return dict(self._positions)
+
+    def neighbors(self, node_id):
+        """Nodes whose frames ``node_id`` can decode (one-hop neighbors)."""
+        return frozenset(self._decodes_from.get(node_id, ()))
+
+    def sensed_sources(self, node_id):
+        """Nodes whose transmissions ``node_id`` senses as busy air."""
+        return frozenset(self._sensed_from.get(node_id, ()))
+
+    def sensors_of(self, node_id):
+        """Nodes that sense ``node_id``'s transmissions."""
+        return frozenset(self._sensed_by.get(node_id, ()))
+
+    def can_decode(self, sender, receiver):
+        return sender in self._decodes_from.get(receiver, ())
+
+    def senses(self, transmitter, listener):
+        return transmitter in self._sensed_from.get(listener, ())
+
+    # -- transmissions -----------------------------------------------------
+
+    def start_transmission(self, transmission):
+        """Register a transmission; returns its medium-assigned id."""
+        if transmission.end_slot <= transmission.start_slot:
+            raise ValueError("transmission must have positive duration")
+        tx_id = self._next_tx_id
+        self._next_tx_id += 1
+        self._active[tx_id] = transmission
+        return tx_id
+
+    def end_transmission(self, tx_id):
+        """Remove a finished transmission; returns it."""
+        return self._active.pop(tx_id)
+
+    def active_transmissions(self):
+        return list(self._active.values())
+
+    def active_items(self):
+        """``(tx_id, transmission)`` pairs for all in-flight transmissions."""
+        return list(self._active.items())
+
+    def active_item(self, tx_id):
+        """The in-flight transmission with medium id ``tx_id``."""
+        return self._active[tx_id]
+
+    def is_transmitting(self, node_id):
+        return any(t.sender == node_id for t in self._active.values())
+
+    # -- carrier sensing ---------------------------------------------------
+
+    def senses_busy(self, node_id):
+        """True if ``node_id`` currently senses the channel busy.
+
+        A node's own transmission does not count: while transmitting it
+        is not performing clear-channel assessment.
+        """
+        sensed = self._sensed_from.get(node_id, ())
+        return any(
+            t.sender in sensed for t in self._active.values() if t.sender != node_id
+        )
+
+    def busy_until(self, node_id):
+        """Last end slot among transmissions ``node_id`` senses, or None."""
+        sensed = self._sensed_from.get(node_id, ())
+        ends = [
+            t.end_slot
+            for t in self._active.values()
+            if t.sender != node_id and t.sender in sensed
+        ]
+        return max(ends) if ends else None
+
+    def interferers_at(self, receiver, exclude_sender):
+        """Active transmitters (other than ``exclude_sender``) that the
+        receiver senses — i.e., sources of collision at ``receiver``."""
+        sensed = self._sensed_from.get(receiver, ())
+        return [
+            t.sender
+            for t in self._active.values()
+            if t.sender != exclude_sender and t.sender in sensed
+        ]

@@ -1,0 +1,15 @@
+"""Routing substrate: neighbor tables and a simplified AODV.
+
+The paper runs AODV under its one-hop evaluation traffic, so routing
+contributes control overhead and next-hop resolution rather than the
+phenomena under study.  We provide a functional reactive router
+(RREQ/RREP flooding with sequence numbers and hop counts over the
+current connectivity graph) plus a relay service that forwards
+multi-hop packets hop by hop through the MAC simulator.
+"""
+
+from repro.routing.aodv import AodvRouter, RouteEntry
+from repro.routing.neighbors import NeighborTable
+from repro.routing.relay import MultiHopService
+
+__all__ = ["AodvRouter", "MultiHopService", "NeighborTable", "RouteEntry"]

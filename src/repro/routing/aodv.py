@@ -1,0 +1,155 @@
+"""A simplified AODV (Ad hoc On-demand Distance Vector) router.
+
+Implements the reactive core of AODV: when a node needs a route it
+floods a route request (RREQ) with a fresh request id; the destination
+(or a node with a fresh-enough route) answers with a route reply (RREP)
+that travels back along the reverse path, installing next-hop entries
+with destination sequence numbers and hop counts at every hop.
+
+The flood is executed over the *current connectivity graph* as a
+breadth-first expansion, charging one control message per (node, RREQ)
+forwarding and per RREP hop — route *state* and control *overhead* are
+modeled faithfully, while the control frames themselves are not pushed
+through the MAC contention (the paper's evaluation traffic is one-hop,
+so AODV contributes negligible air time there; see DESIGN.md §7).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+
+@dataclass
+class RouteEntry:
+    """One node's routing-table entry for a destination."""
+
+    destination: int
+    next_hop: int
+    hop_count: int
+    dest_seq: int
+    installed_slot: int = 0
+
+    @property
+    def is_direct(self):
+        return self.hop_count == 1
+
+
+class AodvRouter:
+    """Network-wide AODV state over a link provider.
+
+    ``link_provider`` is any object with ``neighbors(node_id)`` returning
+    the ids a node can currently exchange frames with (the simulator's
+    :class:`~repro.phy.Medium` qualifies).  One router instance manages
+    the tables of all nodes, which mirrors how the simulator owns all
+    MACs; per-node views stay strictly separate inside.
+    """
+
+    def __init__(self, link_provider):
+        self.links = link_provider
+        #: node -> destination -> RouteEntry
+        self.tables = {}
+        #: destination -> its own monotonically increasing sequence number
+        self._dest_seq = {}
+        self._rreq_id = 0
+        self.control_messages = 0
+        self.rreq_floods = 0
+        self.failed_discoveries = 0
+
+    # -- queries ------------------------------------------------------------
+
+    def route(self, source, destination, slot=0):
+        """The :class:`RouteEntry` at ``source`` for ``destination``,
+        discovering one on demand.  Returns None if unreachable."""
+        if source == destination:
+            raise ValueError("route() from a node to itself")
+        entry = self.tables.get(source, {}).get(destination)
+        if entry is not None:
+            return entry
+        return self._discover(source, destination, slot)
+
+    def next_hop(self, source, destination, slot=0):
+        """Next hop toward ``destination``, or None if unreachable."""
+        entry = self.route(source, destination, slot)
+        return entry.next_hop if entry is not None else None
+
+    # -- route maintenance ----------------------------------------------------
+
+    def invalidate_all(self):
+        """Drop every cached route (e.g., after a mobility epoch)."""
+        self.tables.clear()
+
+    def invalidate_link(self, a, b):
+        """Drop routes using the broken link ``a -> b`` (both directions).
+
+        AODV would also propagate RERR messages; we charge one control
+        message per removed entry in lieu of the RERR flood.
+        """
+        for node, table in self.tables.items():
+            stale = [
+                dest
+                for dest, entry in table.items()
+                if (node == a and entry.next_hop == b)
+                or (node == b and entry.next_hop == a)
+            ]
+            for dest in stale:
+                del table[dest]
+                self.control_messages += 1
+
+    # -- discovery -------------------------------------------------------------
+
+    def _discover(self, source, destination, slot):
+        """Flood an RREQ from ``source``; install forward/reverse routes."""
+        self._rreq_id += 1
+        self.rreq_floods += 1
+        parents = {source: None}
+        frontier = deque([source])
+        found = False
+        while frontier:
+            node = frontier.popleft()
+            if node == destination:
+                found = True
+                break
+            for neighbor in sorted(self.links.neighbors(node)):
+                if neighbor not in parents:
+                    parents[neighbor] = node
+                    frontier.append(neighbor)
+                    self.control_messages += 1  # one RREQ forwarding
+        if not found:
+            self.failed_discoveries += 1
+            return None
+
+        # Reconstruct the discovered path source -> destination.
+        path = [destination]
+        while parents[path[-1]] is not None:
+            path.append(parents[path[-1]])
+        path.reverse()
+
+        seq = self._dest_seq[destination] = self._dest_seq.get(destination, 0) + 1
+        # RREP travels destination -> source, installing forward routes.
+        for i in range(len(path) - 1):
+            hop_count = len(path) - 1 - i
+            self._install(path[i], destination, path[i + 1], hop_count, seq, slot)
+            self.control_messages += 1  # one RREP hop
+        # Reverse routes toward the source (set up by the RREQ pass).
+        for i in range(len(path) - 1, 0, -1):
+            self._install(path[i], source, path[i - 1], i, 0, slot)
+        return self.tables[source][destination]
+
+    def _install(self, node, destination, next_hop, hop_count, dest_seq, slot):
+        table = self.tables.setdefault(node, {})
+        existing = table.get(destination)
+        # AODV freshness rule: prefer higher destination sequence numbers,
+        # then shorter routes.
+        if existing is not None and (
+            existing.dest_seq > dest_seq
+            or (existing.dest_seq == dest_seq and existing.hop_count <= hop_count)
+        ):
+            return
+        table[destination] = RouteEntry(
+            destination=destination,
+            next_hop=next_hop,
+            hop_count=hop_count,
+            dest_seq=dest_seq,
+            installed_slot=slot,
+        )

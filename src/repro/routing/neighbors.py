@@ -1,0 +1,60 @@
+"""One-hop neighbor tables.
+
+Monitors need to know who their one-hop neighbors are (they regenerate
+each neighbor's PRS from its MAC address), and the router needs the
+connectivity graph.  In a deployment this comes from hello beacons; in
+the simulator it is read off the medium's decode adjacency, with an
+optional staleness model so mobile scenarios do not get instantaneous
+perfect knowledge.
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import check_non_negative
+
+
+class NeighborTable:
+    """Tracks one node's current neighbor set.
+
+    ``refresh`` installs a new snapshot (e.g., at each hello interval or
+    mobility epoch); ``neighbors`` returns the last snapshot.  The table
+    remembers when each neighbor was last confirmed so callers can age
+    entries out.
+    """
+
+    def __init__(self, node_id, expiry_slots=None):
+        self.node_id = node_id
+        self.expiry_slots = expiry_slots
+        self._last_seen = {}
+
+    def refresh(self, neighbor_ids, slot=0):
+        """Confirm the given neighbors as reachable at ``slot``."""
+        check_non_negative(slot, "slot")
+        for neighbor in neighbor_ids:
+            if neighbor != self.node_id:
+                self._last_seen[neighbor] = slot
+
+    def neighbors(self, slot=None):
+        """Current neighbor ids, dropping expired entries if aging is on."""
+        if self.expiry_slots is None or slot is None:
+            return frozenset(self._last_seen)
+        horizon = slot - self.expiry_slots
+        return frozenset(
+            n for n, seen in self._last_seen.items() if seen >= horizon
+        )
+
+    def forget(self, neighbor_id):
+        self._last_seen.pop(neighbor_id, None)
+
+    def __contains__(self, neighbor_id):
+        return neighbor_id in self._last_seen
+
+
+def build_neighbor_tables(medium, expiry_slots=None, slot=0):
+    """One :class:`NeighborTable` per node, seeded from the medium."""
+    tables = {}
+    for node_id in medium.positions:
+        table = NeighborTable(node_id, expiry_slots=expiry_slots)
+        table.refresh(medium.neighbors(node_id), slot=slot)
+        tables[node_id] = table
+    return tables

@@ -1,0 +1,63 @@
+"""Hop-by-hop relaying of multi-hop packets through the MAC simulator.
+
+`MultiHopService` attaches to a simulation as a listener.  Packets whose
+``final_destination`` differs from their MAC receiver are, on successful
+delivery, re-enqueued at the receiver toward the next AODV hop — so a
+multi-hop flow really does contend for the channel once per hop, which
+is what makes multi-hop traffic load the medium realistically.
+"""
+
+from __future__ import annotations
+
+from repro.routing.aodv import AodvRouter
+from repro.sim.listeners import SimulationListener
+from repro.traffic.queue import Packet
+
+
+class MultiHopService(SimulationListener):
+    """Forwards packets along AODV routes, one MAC hop at a time."""
+
+    def __init__(self, macs, router=None, link_provider=None):
+        if router is None:
+            if link_provider is None:
+                raise ValueError("MultiHopService needs a router or link_provider")
+            router = AodvRouter(link_provider)
+        self.router = router
+        self.macs = macs
+        self.delivered_end_to_end = 0
+        self.forwarded = 0
+        self.routing_failures = 0
+
+    def first_hop(self, source, final_destination, slot=0):
+        """MAC receiver for a packet leaving ``source``; None if no route."""
+        hop = self.router.next_hop(source, final_destination, slot)
+        if hop is None:
+            self.routing_failures += 1
+        return hop
+
+    def on_transmission_end(self, slot, transmission, success, medium):
+        if not success or transmission.packet is None:
+            return
+        packet = transmission.packet
+        final = packet.final_destination
+        if final is None or final == transmission.receiver:
+            if final is not None:
+                self.delivered_end_to_end += 1
+            return
+        next_hop = self.router.next_hop(transmission.receiver, final, slot)
+        if next_hop is None:
+            self.routing_failures += 1
+            return
+        relay = Packet(
+            source=transmission.receiver,
+            destination=next_hop,
+            size_bytes=packet.size_bytes,
+            created_slot=packet.created_slot,
+            final_destination=final,
+        )
+        self.macs[transmission.receiver].enqueue(relay)
+        self.forwarded += 1
+
+    def on_positions_updated(self, slot, positions, medium):
+        # Topology changed: cached routes may now point at broken links.
+        self.router.invalidate_all()

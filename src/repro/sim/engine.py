@@ -1,0 +1,261 @@
+"""The slot-exact, event-driven simulation core.
+
+Design notes
+------------
+
+*Integer slot clock.*  Every event carries an integer slot timestamp;
+within one slot, events are ordered by kind: transmission phase changes
+first (the channel frees), then mobility epochs, then packet arrivals,
+then back-off completions (nodes whose timers hit zero this slot
+transmit — simultaneously, which is how real DCF collides).
+
+*Reconcile pass.*  After all events of a slot are processed, a single
+reconcile pass updates the back-off machinery of every *affected* node:
+freezes countdowns that now sense a busy medium, resumes (a DIFS later)
+countdowns whose medium went idle, and draws fresh back-offs for nodes
+with newly eligible head packets.  Stale completion events are discarded
+via the per-node back-off generation counter.
+
+*Two-phase transmissions.*  A transmission first occupies the air for
+the RTS+SIFS+CTS handshake.  If by the end of the handshake it was
+corrupted (receiver undecodable, receiver busy or itself transmitting,
+or another transmitter started within the receiver's interference range
+during the handshake — the hidden-terminal case), the busy period ends
+there and the sender backs off with a doubled window.  Otherwise it
+extends into the full RTS/CTS/DATA/ACK exchange.  Corruption of the DATA
+phase by late-starting hidden terminals is not modeled: the CTS has, by
+then, silenced the receiver's neighborhood (NAV), which is exactly the
+protection RTS/CTS exists to provide.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+
+from repro.phy.medium import Transmission
+from repro.traffic.queue import Packet
+from repro.util.units import seconds_to_slots
+
+
+class EventKind(enum.IntEnum):
+    """Within-slot processing order (lower value = earlier)."""
+
+    TRANSMISSION_PHASE = 0
+    MOBILITY_EPOCH = 1
+    ARRIVAL = 2
+    COUNTDOWN_COMPLETE = 3
+
+
+class SimulationEngine:
+    """Drives a set of DCF MACs over a shared medium.
+
+    Parameters
+    ----------
+    medium:
+        A :class:`repro.phy.Medium` with positions already installed.
+    macs:
+        Mapping node id -> :class:`repro.mac.DcfMac`.
+    timing:
+        The :class:`repro.mac.MacTiming` shared by all nodes.
+    traffic_sources:
+        Mapping node id -> object with ``generator`` (a
+        :class:`repro.traffic.TrafficGenerator`) and
+        ``pick_destination(medium, node_id)``; nodes absent from the
+        mapping generate no traffic.
+    mobility:
+        Optional :class:`repro.topology.MobilityModel`; static models
+        skip epoch events entirely.
+    epoch_interval_s:
+        Interval between mobility epochs (position + reachability
+        rebuild), in seconds.
+    """
+
+    def __init__(
+        self,
+        medium,
+        macs,
+        timing,
+        traffic_sources=None,
+        mobility=None,
+        epoch_interval_s=0.5,
+        listeners=None,
+    ):
+        self.medium = medium
+        self.macs = dict(macs)
+        self.timing = timing
+        self.traffic = dict(traffic_sources or {})
+        self.mobility = mobility
+        self.epoch_slots = max(
+            seconds_to_slots(epoch_interval_s, timing.slot_time_us), 1
+        )
+        self.listeners = list(listeners or [])
+        self.now = 0
+        self._heap = []
+        self._seq = itertools.count()
+        self._primed = False
+
+    # -- public API ------------------------------------------------------
+
+    def add_listener(self, listener):
+        self.listeners.append(listener)
+
+    def schedule(self, slot, kind, data=None):
+        if slot < self.now:
+            raise ValueError(f"cannot schedule in the past ({slot} < {self.now})")
+        heapq.heappush(self._heap, (int(slot), int(kind), next(self._seq), data))
+
+    def run_until(self, end_slot, stop_condition=None):
+        """Process events up to and including ``end_slot``.
+
+        ``stop_condition`` (a nullary callable) is polled after each slot
+        batch; returning True ends the run early.  Returns the final
+        simulation slot.
+        """
+        if not self._primed:
+            self._prime()
+        while self._heap and self._heap[0][0] <= end_slot:
+            slot = self._heap[0][0]
+            batch = []
+            while self._heap and self._heap[0][0] == slot:
+                batch.append(heapq.heappop(self._heap))
+            affected = self._process_batch(slot, batch)
+            if affected:
+                self._reconcile(slot, affected)
+            self.now = slot
+            if stop_condition is not None and stop_condition():
+                return self.now
+        self.now = max(self.now, end_slot)
+        return self.now
+
+    # -- setup -----------------------------------------------------------
+
+    def _prime(self):
+        self._primed = True
+        if self.mobility is not None and not self.mobility.is_static:
+            self.schedule(self.epoch_slots, EventKind.MOBILITY_EPOCH)
+        for node_id, source in self.traffic.items():
+            first = source.generator.next_arrival_after(-1)
+            if first is not None:
+                self.schedule(max(first, 0), EventKind.ARRIVAL, node_id)
+        self._reconcile(0, set(self.macs))
+
+    # -- event processing --------------------------------------------------
+
+    def _process_batch(self, slot, batch):
+        """Handle one slot's events; returns the set of affected nodes."""
+        affected = set()
+        for _slot, kind, _seq, data in batch:
+            if kind == EventKind.TRANSMISSION_PHASE:
+                affected |= self._handle_phase(slot, data)
+            elif kind == EventKind.MOBILITY_EPOCH:
+                self._handle_epoch(slot)
+                affected |= set(self.macs)
+            elif kind == EventKind.ARRIVAL:
+                self._handle_arrival(slot, data)
+                affected.add(data)
+            elif kind == EventKind.COUNTDOWN_COMPLETE:
+                affected |= self._handle_countdown(slot, data)
+        return affected
+
+    def _handle_phase(self, slot, tx_id):
+        tx = self.medium.active_item(tx_id)
+        if tx.kind == "handshake" and not tx.corrupted:
+            # CTS received: extend the busy period through DATA + ACK.
+            tx.kind = "exchange"
+            tx.end_slot = tx.start_slot + self.timing.exchange_slots
+            self.schedule(tx.end_slot, EventKind.TRANSMISSION_PHASE, tx_id)
+            return set()
+        success = tx.kind == "exchange"
+        self.medium.end_transmission(tx_id)
+        self.macs[tx.sender].complete_transmission(success)
+        for listener in self.listeners:
+            listener.on_transmission_end(slot, tx, success, self.medium)
+        return self._neighborhood_of(tx.sender) | {tx.sender}
+
+    def _handle_epoch(self, slot):
+        time_s = slot * self.timing.slot_time_us / 1e6
+        positions = self.mobility.positions_at(time_s)
+        self.medium.update_positions(positions)
+        for listener in self.listeners:
+            listener.on_positions_updated(slot, positions, self.medium)
+        self.schedule(slot + self.epoch_slots, EventKind.MOBILITY_EPOCH)
+
+    def _handle_arrival(self, slot, node_id):
+        source = self.traffic[node_id]
+        destination = source.pick_destination(self.medium, node_id)
+        if destination is not None and destination != node_id:
+            packet = Packet(
+                source=node_id,
+                destination=destination,
+                size_bytes=self.timing.payload_bytes,
+                created_slot=slot,
+            )
+            self.macs[node_id].enqueue(packet)
+        nxt = source.generator.next_arrival_after(slot)
+        if nxt is not None:
+            self.schedule(nxt, EventKind.ARRIVAL, node_id)
+
+    def _handle_countdown(self, slot, data):
+        node_id, generation = data
+        mac = self.macs[node_id]
+        if mac.backoff.generation != generation or not mac.backoff.counting:
+            return set()  # stale event: the countdown was frozen/replaced
+        rts = mac.build_rts()
+        mac.begin_transmission()
+        receiver = rts.receiver
+        corrupted = (
+            not self.medium.can_decode(node_id, receiver)
+            or self.medium.is_transmitting(receiver)
+            or self.medium.senses_busy(receiver)
+        )
+        tx = Transmission(
+            sender=node_id,
+            receiver=receiver,
+            start_slot=slot,
+            end_slot=slot + self.timing.handshake_slots,
+            kind="handshake",
+            frame=rts,
+            packet=mac.head_packet,
+            corrupted=corrupted,
+        )
+        tx_id = self.medium.start_transmission(tx)
+        # A transmitter starting now corrupts any in-flight handshake whose
+        # receiver lies within our interference footprint (hidden terminal).
+        for other_id, other in self.medium.active_items():
+            if other_id == tx_id or other.kind != "handshake":
+                continue
+            if self.medium.senses(node_id, other.receiver):
+                other.corrupted = True
+            if self.medium.senses(other.sender, receiver):
+                tx.corrupted = True
+        self.schedule(tx.end_slot, EventKind.TRANSMISSION_PHASE, tx_id)
+        for listener in self.listeners:
+            listener.on_transmission_start(slot, tx, self.medium)
+        return self._neighborhood_of(node_id) | {node_id}
+
+    # -- back-off reconciliation -------------------------------------------
+
+    def _neighborhood_of(self, node_id):
+        """Nodes whose channel view a transition at ``node_id`` can change."""
+        return set(self.medium.sensors_of(node_id))
+
+    def _reconcile(self, slot, affected):
+        for node_id in affected:
+            mac = self.macs.get(node_id)
+            if mac is None or mac.state.value == "transmitting":
+                continue
+            if mac.needs_backoff_draw():
+                mac.draw_backoff()
+            if not mac.backoff.active:
+                continue
+            if self.medium.senses_busy(node_id):
+                mac.backoff.freeze(slot)
+            elif not mac.backoff.counting:
+                completion = mac.backoff.resume(slot + self.timing.difs_slots)
+                self.schedule(
+                    completion,
+                    EventKind.COUNTDOWN_COMPLETE,
+                    (node_id, mac.backoff.generation),
+                )

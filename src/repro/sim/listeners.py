@@ -1,0 +1,60 @@
+"""Observation hooks into the simulation.
+
+Monitors (the detection framework) and experiment instrumentation attach
+as listeners; the engine calls them at every transmission start and
+outcome and at every mobility epoch.  Listeners must not mutate
+simulation state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class SimulationListener:
+    """Base class: override the callbacks you need."""
+
+    def on_transmission_start(self, slot, transmission, medium):
+        """A node occupied the air at ``slot`` (RTS phase begins)."""
+
+    def on_transmission_end(self, slot, transmission, success, medium):
+        """The exchange finished (success) or the RTS failed."""
+
+    def on_positions_updated(self, slot, positions, medium):
+        """A mobility epoch rebuilt the reachability sets."""
+
+
+@dataclass
+class _FlowStats:
+    sent: int = 0
+    delivered: int = 0
+
+
+class StatsCollector(SimulationListener):
+    """Network-wide counters used by tests and experiment reports."""
+
+    def __init__(self):
+        self.transmissions = 0
+        self.successes = 0
+        self.failures = 0
+        self.busy_slots_total = 0
+        self.per_sender = {}
+
+    def on_transmission_start(self, slot, transmission, medium):
+        self.transmissions += 1
+        stats = self.per_sender.setdefault(transmission.sender, _FlowStats())
+        stats.sent += 1
+
+    def on_transmission_end(self, slot, transmission, success, medium):
+        if success:
+            self.successes += 1
+            stats = self.per_sender.setdefault(transmission.sender, _FlowStats())
+            stats.delivered += 1
+        else:
+            self.failures += 1
+        self.busy_slots_total += transmission.duration
+
+    @property
+    def success_ratio(self):
+        done = self.successes + self.failures
+        return self.successes / done if done else 0.0

@@ -1,0 +1,102 @@
+"""Packet-level event tracing (the ns-2 trace-file equivalent).
+
+`TraceRecorder` captures every transmission start/outcome and mobility
+epoch as structured records, renderable in an ns-2-like line format —
+useful for debugging a scenario slot by slot and for regression-testing
+the engine's event ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.listeners import SimulationListener
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced event."""
+
+    slot: int
+    kind: str          # "start" | "success" | "failure" | "epoch"
+    sender: int = -1
+    receiver: int = -1
+    detail: str = ""
+
+    def render(self, slot_time_us=20.0):
+        """ns-2-flavored single-line rendering."""
+        time_s = self.slot * slot_time_us / 1e6
+        symbol = {"start": "s", "success": "r", "failure": "d", "epoch": "M"}[
+            self.kind
+        ]
+        body = f"{symbol} {time_s:.6f} _{self.sender}_ -> _{self.receiver}_"
+        return f"{body} {self.detail}".rstrip()
+
+
+class TraceRecorder(SimulationListener):
+    """Records simulation events, optionally bounded in memory."""
+
+    def __init__(self, max_records=None, senders=None):
+        self.max_records = max_records
+        self.senders = set(senders) if senders is not None else None
+        self.records = []
+        self.dropped = 0
+
+    def _append(self, record):
+        if self.max_records is not None and len(self.records) >= self.max_records:
+            self.dropped += 1
+            return
+        self.records.append(record)
+
+    def _wanted(self, sender):
+        return self.senders is None or sender in self.senders
+
+    def on_transmission_start(self, slot, transmission, medium):
+        if not self._wanted(transmission.sender):
+            return
+        rts = transmission.frame
+        detail = ""
+        if rts is not None:
+            detail = f"RTS seq={rts.seq_off} attempt={rts.attempt}"
+        self._append(
+            TraceRecord(
+                slot=slot,
+                kind="start",
+                sender=transmission.sender,
+                receiver=transmission.receiver,
+                detail=detail,
+            )
+        )
+
+    def on_transmission_end(self, slot, transmission, success, medium):
+        if not self._wanted(transmission.sender):
+            return
+        self._append(
+            TraceRecord(
+                slot=slot,
+                kind="success" if success else "failure",
+                sender=transmission.sender,
+                receiver=transmission.receiver,
+                detail=f"dur={transmission.duration}",
+            )
+        )
+
+    def on_positions_updated(self, slot, positions, medium):
+        self._append(
+            TraceRecord(slot=slot, kind="epoch", detail=f"nodes={len(positions)}")
+        )
+
+    # -- output ------------------------------------------------------------
+
+    def render(self, slot_time_us=20.0):
+        """The whole trace as text."""
+        return "\n".join(r.render(slot_time_us) for r in self.records)
+
+    def write(self, path, slot_time_us=20.0):
+        """Write the trace to a file."""
+        with open(path, "w", encoding="ascii") as handle:
+            handle.write(self.render(slot_time_us))
+            handle.write("\n")
+
+    def events_of(self, sender):
+        return [r for r in self.records if r.sender == sender]

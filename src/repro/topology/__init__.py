@@ -1,0 +1,23 @@
+"""Node placement and mobility models.
+
+Reproduces the two topologies of the paper's evaluation — the 7x8 grid
+with 240 m spacing and the 112-node uniform-random placement in a
+3000 m x 3000 m field — plus the random-waypoint mobility model
+(speeds uniform in 0-20 m/s, the pause times of Table 1).
+"""
+
+from repro.topology.mobility import MobilityModel, RandomWaypoint, StaticMobility
+from repro.topology.placement import (
+    grid_positions,
+    random_positions,
+    center_pair_indices,
+)
+
+__all__ = [
+    "MobilityModel",
+    "RandomWaypoint",
+    "StaticMobility",
+    "center_pair_indices",
+    "grid_positions",
+    "random_positions",
+]

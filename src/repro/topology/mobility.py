@@ -1,0 +1,155 @@
+"""Mobility models: static placement and random waypoint.
+
+The paper's mobile experiments use the random waypoint model in a
+3000 m x 3000 m field with node speeds uniform in 0-20 m/s and pause
+times from {0, 50, 100, 200, 300} s (Table 1).
+
+Models are sampled at discrete *epochs* by the simulator: the engine
+asks for all positions at time ``t`` (seconds) and rebuilds the medium's
+reachability sets.  Waypoint trajectories are computed lazily per node.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.geometry.vectors import distance
+from repro.util.validation import check_non_negative, check_positive
+
+
+class MobilityModel(ABC):
+    """Interface: positions of all nodes at a given simulation time."""
+
+    @abstractmethod
+    def positions_at(self, time_s):
+        """Mapping node id -> (x, y) at ``time_s`` seconds."""
+
+    @property
+    @abstractmethod
+    def is_static(self):
+        """True if positions never change (lets the engine skip epochs)."""
+
+
+class StaticMobility(MobilityModel):
+    """Fixed positions forever (the paper's grid experiments)."""
+
+    def __init__(self, positions):
+        self._positions = {i: tuple(p) for i, p in enumerate(positions)}
+
+    def positions_at(self, time_s):
+        check_non_negative(time_s, "time_s")
+        return dict(self._positions)
+
+    @property
+    def is_static(self):
+        return True
+
+
+@dataclass
+class _Leg:
+    """One segment of a waypoint trajectory: travel then pause."""
+
+    start_time: float
+    start: tuple
+    end: tuple
+    speed: float
+    pause: float
+
+    @property
+    def travel_time(self):
+        d = distance(self.start, self.end)
+        return d / self.speed if self.speed > 0 else 0.0
+
+    @property
+    def end_time(self):
+        return self.start_time + self.travel_time + self.pause
+
+    def position_at(self, time_s):
+        elapsed = time_s - self.start_time
+        travel = self.travel_time
+        if elapsed >= travel:
+            return self.end
+        frac = elapsed / travel if travel > 0 else 1.0
+        return (
+            self.start[0] + frac * (self.end[0] - self.start[0]),
+            self.start[1] + frac * (self.end[1] - self.start[1]),
+        )
+
+
+class RandomWaypoint(MobilityModel):
+    """Random waypoint mobility.
+
+    Each node repeatedly picks a uniform destination in the field,
+    travels there at a speed uniform in ``[min_speed, max_speed]``, then
+    pauses for ``pause_time`` seconds.  A zero minimum speed draw is
+    clamped to a small positive floor to avoid the well-known
+    "stuck node" degeneracy of the model.
+
+    Parameters mirror Table 1: field 3000 m x 3000 m, speeds 0-20 m/s.
+    """
+
+    SPEED_FLOOR = 0.01  # m/s; avoids division by ~zero travel speeds
+
+    def __init__(
+        self,
+        initial_positions,
+        width=3000.0,
+        height=3000.0,
+        min_speed=0.0,
+        max_speed=20.0,
+        pause_time=0.0,
+        rng=None,
+    ):
+        check_positive(width, "width")
+        check_positive(height, "height")
+        check_non_negative(min_speed, "min_speed")
+        check_non_negative(pause_time, "pause_time")
+        if max_speed < min_speed:
+            raise ValueError(
+                f"max_speed ({max_speed}) must be >= min_speed ({min_speed})"
+            )
+        if rng is None:
+            raise ValueError("RandomWaypoint requires an explicit RngStream")
+        self.width = width
+        self.height = height
+        self.min_speed = min_speed
+        self.max_speed = max_speed
+        self.pause_time = pause_time
+        self._rng = rng
+        self._legs = {
+            i: [self._first_leg(tuple(p))] for i, p in enumerate(initial_positions)
+        }
+
+    def _first_leg(self, start):
+        return self._next_leg(0.0, start)
+
+    def _next_leg(self, start_time, start):
+        destination = self._rng.random_point(self.width, self.height)
+        speed = max(self._rng.uniform(self.min_speed, self.max_speed), self.SPEED_FLOOR)
+        return _Leg(
+            start_time=start_time,
+            start=start,
+            end=destination,
+            speed=speed,
+            pause=self.pause_time,
+        )
+
+    def positions_at(self, time_s):
+        check_non_negative(time_s, "time_s")
+        out = {}
+        for node_id, legs in self._legs.items():
+            leg = legs[-1]
+            while leg.end_time <= time_s:
+                leg = self._next_leg(leg.end_time, leg.end)
+                legs.append(leg)
+            # Keep only the current leg; history is not needed again
+            # because the engine queries times monotonically.
+            if len(legs) > 1:
+                del legs[:-1]
+            out[node_id] = leg.position_at(time_s)
+        return out
+
+    @property
+    def is_static(self):
+        return False

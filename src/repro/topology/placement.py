@@ -1,0 +1,60 @@
+"""Static node placements: grid and uniform random.
+
+The paper's first experiment set uses a 7-row x 8-column grid with 240 m
+between one-hop neighbors (56 nodes); the second uses 112 nodes placed
+uniformly at random in a 3000 m x 3000 m field (doubled count "to ensure
+that the network has a high probability of being strongly connected").
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import check_positive
+
+
+def grid_positions(rows=7, cols=8, spacing=240.0, origin=(0.0, 0.0)):
+    """Positions for a ``rows x cols`` grid with the given spacing.
+
+    Nodes are numbered row-major: node ``r * cols + c`` sits at
+    ``origin + (c * spacing, r * spacing)``.  Defaults reproduce the
+    paper's 7x8 / 240 m grid.
+    """
+    check_positive(rows, "rows")
+    check_positive(cols, "cols")
+    check_positive(spacing, "spacing")
+    ox, oy = origin
+    return [
+        (ox + c * spacing, oy + r * spacing)
+        for r in range(rows)
+        for c in range(cols)
+    ]
+
+
+def random_positions(count, width=3000.0, height=3000.0, rng=None):
+    """``count`` positions uniform in a ``width x height`` field.
+
+    ``rng`` is a :class:`repro.util.RngStream`; required for
+    reproducibility (raises if omitted, to prevent accidentally
+    unseeded experiments).
+    """
+    check_positive(count, "count")
+    check_positive(width, "width")
+    check_positive(height, "height")
+    if rng is None:
+        raise ValueError("random_positions requires an explicit RngStream")
+    return [rng.random_point(width, height) for _ in range(count)]
+
+
+def center_pair_indices(rows=7, cols=8):
+    """Indices of two adjacent nodes nearest the grid center.
+
+    The paper places the monitored sender S and the monitor R "in the
+    center of the grid so that the computations take into consideration
+    the interference effects from their two-hop neighbors".  Returns
+    ``(sender_index, monitor_index)`` for horizontally adjacent central
+    nodes.
+    """
+    row = rows // 2
+    col = cols // 2 - 1 if cols >= 2 else 0
+    sender = row * cols + col
+    monitor = sender + 1 if cols >= 2 else sender
+    return sender, monitor

@@ -1,0 +1,22 @@
+"""Traffic generation and MAC-layer queueing.
+
+The paper evaluates with (a) CBR streams to an arbitrarily chosen
+neighbor and (b) a Poisson model where each generated packet goes to an
+arbitrarily chosen neighbor, over UDP (no transport-layer feedback), with
+a drop-tail MAC queue of length 50 and 512-byte packets (Table 1).
+"""
+
+from repro.traffic.generators import (
+    CbrTrafficGenerator,
+    PoissonTrafficGenerator,
+    TrafficGenerator,
+)
+from repro.traffic.queue import DropTailQueue, Packet
+
+__all__ = [
+    "CbrTrafficGenerator",
+    "DropTailQueue",
+    "Packet",
+    "PoissonTrafficGenerator",
+    "TrafficGenerator",
+]

@@ -1,0 +1,39 @@
+"""Shared utilities: time units, seeded random streams, validation.
+
+These helpers are deliberately small and dependency-free; every other
+subpackage builds on them.
+"""
+
+from repro.util.rng import RngStream, derive_seed, spawn_streams
+from repro.util.units import (
+    MICROSECONDS_PER_SECOND,
+    Duration,
+    microseconds_to_slots,
+    seconds_to_slots,
+    slots_to_microseconds,
+    slots_to_seconds,
+)
+from repro.util.validation import (
+    check_finite,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "MICROSECONDS_PER_SECOND",
+    "Duration",
+    "RngStream",
+    "check_finite",
+    "check_in_range",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+    "derive_seed",
+    "microseconds_to_slots",
+    "seconds_to_slots",
+    "slots_to_microseconds",
+    "slots_to_seconds",
+    "spawn_streams",
+]

@@ -1,0 +1,94 @@
+"""Time-unit conversions for the slotted simulator.
+
+The simulator's fundamental unit is the IEEE 802.11 (DSSS PHY) slot of
+20 microseconds.  All MAC timing (DIFS, SIFS, frame durations) is rounded
+to integer numbers of slots; the helpers here centralize the conversions
+so experiments can be written in seconds while the engine runs in slots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+MICROSECONDS_PER_SECOND = 1_000_000
+
+#: IEEE 802.11 DSSS slot time in microseconds (the paper uses 20 us slots).
+DEFAULT_SLOT_TIME_US = 20.0
+
+
+def microseconds_to_slots(us, slot_time_us=DEFAULT_SLOT_TIME_US):
+    """Convert a duration in microseconds to a whole number of slots.
+
+    Durations are rounded *up* so that a frame never occupies less air
+    time in the simulator than it would on a real channel.
+    """
+    if us < 0:
+        raise ValueError(f"duration must be non-negative, got {us}")
+    if slot_time_us <= 0:
+        raise ValueError(f"slot time must be positive, got {slot_time_us}")
+    slots = int(-(-us // slot_time_us))  # ceiling division for floats
+    return max(slots, 0)
+
+
+def slots_to_microseconds(slots, slot_time_us=DEFAULT_SLOT_TIME_US):
+    """Convert a slot count to microseconds."""
+    if slots < 0:
+        raise ValueError(f"slot count must be non-negative, got {slots}")
+    return slots * slot_time_us
+
+
+def seconds_to_slots(seconds, slot_time_us=DEFAULT_SLOT_TIME_US):
+    """Convert seconds to a whole number of slots (rounded up)."""
+    return microseconds_to_slots(seconds * MICROSECONDS_PER_SECOND, slot_time_us)
+
+
+def slots_to_seconds(slots, slot_time_us=DEFAULT_SLOT_TIME_US):
+    """Convert a slot count to seconds."""
+    return slots_to_microseconds(slots, slot_time_us) / MICROSECONDS_PER_SECOND
+
+
+@dataclass(frozen=True)
+class Duration:
+    """A duration expressed in slots, convertible to wall-clock units.
+
+    Keeping durations as explicit slot counts avoids the classic
+    unit-confusion bugs between "slots", "microseconds" and "seconds"
+    in simulator code.
+    """
+
+    slots: int
+    slot_time_us: float = DEFAULT_SLOT_TIME_US
+
+    def __post_init__(self):
+        if self.slots < 0:
+            raise ValueError(f"slots must be non-negative, got {self.slots}")
+        if self.slot_time_us <= 0:
+            raise ValueError(
+                f"slot_time_us must be positive, got {self.slot_time_us}"
+            )
+
+    @classmethod
+    def from_microseconds(cls, us, slot_time_us=DEFAULT_SLOT_TIME_US):
+        return cls(microseconds_to_slots(us, slot_time_us), slot_time_us)
+
+    @classmethod
+    def from_seconds(cls, seconds, slot_time_us=DEFAULT_SLOT_TIME_US):
+        return cls(seconds_to_slots(seconds, slot_time_us), slot_time_us)
+
+    @property
+    def microseconds(self):
+        return slots_to_microseconds(self.slots, self.slot_time_us)
+
+    @property
+    def seconds(self):
+        return slots_to_seconds(self.slots, self.slot_time_us)
+
+    def __add__(self, other):
+        if isinstance(other, Duration):
+            if other.slot_time_us != self.slot_time_us:
+                raise ValueError("cannot add Durations with different slot times")
+            return Duration(self.slots + other.slots, self.slot_time_us)
+        return NotImplemented
+
+    def __int__(self):
+        return self.slots

@@ -1,0 +1,46 @@
+"""Argument-validation helpers.
+
+Simulator configuration errors (a negative load, a probability of 1.3)
+are far cheaper to catch at construction time than three layers deep in
+an event loop; these helpers make the checks one-liners with uniform
+error messages.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def check_positive(value, name):
+    """Raise ``ValueError`` unless ``value`` > 0; return the value."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def check_non_negative(value, name):
+    """Raise ``ValueError`` unless ``value`` >= 0; return the value."""
+    if not value >= 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def check_probability(value, name):
+    """Raise ``ValueError`` unless ``value`` lies in [0, 1]; return it."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be a probability in [0, 1], got {value!r}")
+    return value
+
+
+def check_in_range(value, low, high, name):
+    """Raise ``ValueError`` unless ``low <= value <= high``; return it."""
+    if not low <= value <= high:
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+    return value
+
+
+def check_finite(value, name):
+    """Raise ``ValueError`` unless ``value`` is a finite number; return it."""
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    return value

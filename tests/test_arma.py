@@ -1,0 +1,85 @@
+"""Unit tests for the ARMA traffic-intensity estimator (paper eq. 6)."""
+
+import pytest
+
+from repro.core.arma import ArmaTrafficEstimator
+
+
+class TestUpdate:
+    def test_first_update_seeds_estimate(self):
+        est = ArmaTrafficEstimator()
+        est.update(0.4)
+        assert est.estimate == pytest.approx(0.4)
+
+    def test_recursion_matches_eq6(self):
+        est = ArmaTrafficEstimator(alpha=0.9)
+        est.update(0.5)
+        est.update(1.0)
+        assert est.estimate == pytest.approx(0.9 * 0.5 + 0.1 * 1.0)
+
+    def test_converges_to_constant_input(self):
+        est = ArmaTrafficEstimator(alpha=0.9)
+        for _ in range(300):
+            est.update(0.7)
+        assert est.estimate == pytest.approx(0.7, abs=1e-6)
+
+    def test_alpha_near_one_is_smooth(self):
+        smooth = ArmaTrafficEstimator(alpha=0.995)
+        jumpy = ArmaTrafficEstimator(alpha=0.5)
+        for est in (smooth, jumpy):
+            est.update(0.2)
+            est.update(0.9)
+        assert abs(smooth.estimate - 0.2) < abs(jumpy.estimate - 0.2)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            ArmaTrafficEstimator().update(1.2)
+
+    def test_default_alpha_matches_paper(self):
+        assert ArmaTrafficEstimator().alpha == 0.995
+
+
+class TestIngest:
+    def test_before_data_estimate_zero(self):
+        assert ArmaTrafficEstimator().estimate == 0.0
+
+    def test_partial_interval_uses_raw_mean(self):
+        est = ArmaTrafficEstimator(sample_interval_slots=1000)
+        est.ingest(50, 100)
+        assert not est.warmed_up
+        assert est.estimate == pytest.approx(0.5)
+
+    def test_full_interval_triggers_update(self):
+        est = ArmaTrafficEstimator(sample_interval_slots=100)
+        est.ingest(30, 100)
+        assert est.warmed_up
+        assert est.intervals_consumed == 1
+        assert est.estimate == pytest.approx(0.3)
+
+    def test_many_chunks_track_mean(self):
+        est = ArmaTrafficEstimator(alpha=0.9, sample_interval_slots=100)
+        for _ in range(500):
+            est.ingest(60, 100)
+        assert est.estimate == pytest.approx(0.6, abs=1e-3)
+
+    def test_chunk_boundaries_irrelevant_for_constant_traffic(self):
+        a = ArmaTrafficEstimator(alpha=0.95, sample_interval_slots=100)
+        b = ArmaTrafficEstimator(alpha=0.95, sample_interval_slots=100)
+        for _ in range(100):
+            a.ingest(40, 100)
+        for _ in range(200):
+            b.ingest(20, 50)
+        assert a.estimate == pytest.approx(b.estimate, abs=1e-6)
+
+    def test_invalid_counts_rejected(self):
+        est = ArmaTrafficEstimator()
+        with pytest.raises(ValueError):
+            est.ingest(10, 5)
+        with pytest.raises(ValueError):
+            est.ingest(-1, 5)
+
+    def test_estimate_bounded(self):
+        est = ArmaTrafficEstimator(sample_interval_slots=10)
+        est.ingest(10, 10)
+        est.ingest(0, 10)
+        assert 0.0 <= est.estimate <= 1.0

@@ -1,0 +1,129 @@
+"""Unit tests for the back-off scheduler (freeze/resume semantics)."""
+
+import pytest
+
+from repro.mac.backoff import BackoffScheduler, contention_window
+
+
+class TestContentionWindowAlias:
+    def test_matches_prng_rule(self):
+        assert contention_window(1, 31, 1023) == 31
+        assert contention_window(4, 31, 1023) == 255
+
+
+class TestBackoffScheduler:
+    def test_initial_state(self):
+        s = BackoffScheduler()
+        assert not s.active
+        assert not s.counting
+
+    def test_start_is_frozen(self):
+        s = BackoffScheduler()
+        s.start(10)
+        assert s.active
+        assert not s.counting
+        assert s.remaining == 10
+        assert s.initial == 10
+
+    def test_resume_returns_completion(self):
+        s = BackoffScheduler()
+        s.start(10)
+        assert s.resume(100) == 110
+        assert s.counting
+
+    def test_freeze_banks_elapsed_slots(self):
+        s = BackoffScheduler()
+        s.start(10)
+        s.resume(100)
+        s.freeze(104)
+        assert s.remaining == 6
+        assert not s.counting
+
+    def test_freeze_resume_freeze(self):
+        s = BackoffScheduler()
+        s.start(10)
+        s.resume(100)
+        s.freeze(103)          # counted 3, 7 left
+        s.resume(200)
+        assert s.completion_slot == 207
+
+    def test_freeze_idempotent(self):
+        s = BackoffScheduler()
+        s.start(10)
+        s.resume(100)
+        s.freeze(105)
+        s.freeze(107)  # no-op: already frozen
+        assert s.remaining == 5
+
+    def test_freeze_inactive_is_noop(self):
+        s = BackoffScheduler()
+        s.freeze(50)  # must not raise
+        assert not s.active
+
+    def test_freeze_never_goes_negative(self):
+        s = BackoffScheduler()
+        s.start(5)
+        s.resume(100)
+        s.freeze(1000)
+        assert s.remaining == 0
+
+    def test_freeze_before_anchor_counts_nothing(self):
+        s = BackoffScheduler()
+        s.start(10)
+        s.resume(100)  # anchor 100 (a DIFS after idle)
+        s.freeze(98)   # busy arrived before the anchor
+        assert s.remaining == 10
+
+    def test_finish_clears(self):
+        s = BackoffScheduler()
+        s.start(10)
+        s.resume(0)
+        s.finish()
+        assert not s.active
+        assert s.initial is None
+
+    def test_generation_bumps_on_transitions(self):
+        s = BackoffScheduler()
+        g0 = s.generation
+        s.start(5)
+        g1 = s.generation
+        s.resume(10)
+        g2 = s.generation
+        s.freeze(12)
+        g3 = s.generation
+        assert g0 < g1 < g2 < g3
+
+    def test_zero_backoff(self):
+        s = BackoffScheduler()
+        s.start(0)
+        assert s.resume(100) == 100
+
+    def test_negative_backoff_rejected(self):
+        with pytest.raises(ValueError):
+            BackoffScheduler().start(-1)
+
+    def test_resume_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            BackoffScheduler().resume(0)
+
+    def test_completion_slot_requires_counting(self):
+        s = BackoffScheduler()
+        s.start(5)
+        with pytest.raises(RuntimeError):
+            _ = s.completion_slot
+
+    def test_total_counted_slots_conserved(self):
+        """Across any freeze/resume pattern, counted slots sum to the
+        initial draw."""
+        s = BackoffScheduler()
+        s.start(20)
+        counted = 0
+        s.resume(0)
+        s.freeze(7)
+        counted += 7
+        s.resume(50)
+        s.freeze(55)
+        counted += 5
+        s.resume(100)
+        counted += s.remaining
+        assert counted == 20

@@ -1,0 +1,93 @@
+"""Unit tests for the Bianchi model and competing-terminal estimator."""
+
+import pytest
+
+from repro.core.bianchi import BianchiModel, CompetingTerminalEstimator
+
+
+class TestBianchiModel:
+    def test_tau_zero_collisions(self):
+        model = BianchiModel(cw_min=31, stages=5)
+        # p = 0: tau = 2/(W+1) with W = 32.
+        assert model.tau_of_p(0.0) == pytest.approx(2.0 / 33.0)
+
+    def test_tau_decreases_with_p(self):
+        model = BianchiModel()
+        taus = [model.tau_of_p(p) for p in (0.0, 0.2, 0.4, 0.6, 0.8)]
+        assert taus == sorted(taus, reverse=True)
+
+    def test_tau_no_singularity_at_half(self):
+        model = BianchiModel()
+        assert 0 < model.tau_of_p(0.5) < 1
+        # Continuity around 0.5.
+        assert model.tau_of_p(0.4999) == pytest.approx(
+            model.tau_of_p(0.5001), rel=1e-2
+        )
+
+    def test_p_of_tau(self):
+        model = BianchiModel()
+        assert model.p_of_tau(0.1, 1) == 0.0
+        assert model.p_of_tau(0.1, 2) == pytest.approx(0.1)
+
+    def test_fixed_point_consistency(self):
+        model = BianchiModel()
+        for n in (2, 5, 10, 20, 50):
+            tau, p = model.solve(n)
+            assert tau == pytest.approx(model.tau_of_p(p), abs=1e-8)
+            assert p == pytest.approx(model.p_of_tau(tau, n), abs=1e-8)
+
+    def test_collision_probability_increases_with_n(self):
+        model = BianchiModel()
+        ps = [model.solve(n)[1] for n in (2, 5, 10, 20, 50)]
+        assert ps == sorted(ps)
+
+    def test_known_bianchi_value(self):
+        """Bianchi (2000), W=32, m=5: for n=10 the collision probability
+        is in the published ~0.25-0.35 band."""
+        model = BianchiModel(cw_min=31, stages=5)
+        _tau, p = model.solve(10)
+        assert 0.2 < p < 0.4
+
+
+class TestCompetingTerminalEstimator:
+    def test_inversion_round_trip(self):
+        """solve(n) -> p, then terminals_for(p) must recover n."""
+        model = BianchiModel()
+        estimator = CompetingTerminalEstimator(model)
+        for n in (2, 5, 10, 25):
+            _tau, p = model.solve(n)
+            assert estimator.terminals_for(p) == pytest.approx(n, rel=0.02)
+
+    def test_zero_collisions_means_one_terminal(self):
+        assert CompetingTerminalEstimator().terminals_for(0.0) == 1.0
+
+    def test_estimate_before_data(self):
+        assert CompetingTerminalEstimator().estimate == 1.0
+
+    def test_record_attempts_converges(self):
+        model = BianchiModel()
+        _tau, p_true = model.solve(8)
+        estimator = CompetingTerminalEstimator(model, alpha=0.99)
+        import random
+
+        rng = random.Random(1)
+        for _ in range(5000):
+            estimator.record_attempt(rng.random() < p_true)
+        assert estimator.collision_probability == pytest.approx(p_true, abs=0.05)
+        assert estimator.estimate == pytest.approx(8, rel=0.35)
+
+    def test_monotone_in_p(self):
+        estimator = CompetingTerminalEstimator()
+        ns = [estimator.terminals_for(p) for p in (0.05, 0.1, 0.2, 0.3, 0.4)]
+        assert ns == sorted(ns)
+
+    def test_invalid_p_rejected(self):
+        with pytest.raises(ValueError):
+            CompetingTerminalEstimator().terminals_for(1.5)
+
+    def test_all_collisions_clamped(self):
+        """p = 1.0 (every observed attempt collided) must not crash."""
+        estimator = CompetingTerminalEstimator()
+        estimator.record_attempt(True)
+        assert estimator.collision_probability == 1.0
+        assert estimator.estimate > 1.0

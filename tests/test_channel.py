@@ -1,0 +1,58 @@
+"""Unit tests for repro.phy.channel."""
+
+import pytest
+
+from repro.phy.channel import Channel
+from repro.phy.propagation import LogNormalShadowing
+from repro.util.rng import RngStream
+
+
+class TestChannelRanges:
+    def test_sensing_must_cover_transmission(self):
+        with pytest.raises(ValueError):
+            Channel(transmission_range=550, sensing_range=250)
+
+    def test_decodable_within_250m(self):
+        ch = Channel()
+        assert ch.decodable(0, (0, 0), 1, (240, 0))
+        assert not ch.decodable(0, (0, 0), 1, (251, 0))
+
+    def test_sensed_within_550m(self):
+        ch = Channel()
+        assert ch.sensed(0, (0, 0), 1, (540, 0))
+        assert not ch.sensed(0, (0, 0), 1, (551, 0))
+
+    def test_decodable_implies_sensed(self):
+        ch = Channel()
+        for d in (0.0, 100.0, 249.0, 250.0):
+            if ch.decodable(0, (0, 0), 1, (d, 0)):
+                assert ch.sensed(0, (0, 0), 1, (d, 0))
+
+    def test_link_state_fields(self):
+        ch = Channel()
+        state = ch.link_state(0, (0, 0), 1, (300, 0))
+        assert state.distance == 300.0
+        assert not state.decodable
+        assert state.sensed
+
+
+class TestChannelWithShadowing:
+    def test_shadowing_perturbs_boundary_links(self):
+        rng = RngStream(3, "shadow")
+        ch = Channel(propagation=LogNormalShadowing(8.0, rng=rng))
+        # At exactly the nominal boundary, some pairs decode and some
+        # don't once shadowing is on.
+        outcomes = {
+            ch.decodable(i, (0, 0), i + 1, (250, 0)) for i in range(0, 100, 2)
+        }
+        assert outcomes == {True, False}
+
+    def test_refresh_fading_changes_links(self):
+        rng = RngStream(4, "shadow")
+        ch = Channel(propagation=LogNormalShadowing(10.0, rng=rng))
+        before = [ch.decodable(0, (0, 0), 1, (250, 0)) for _ in range(1)]
+        results = set()
+        for _ in range(50):
+            ch.refresh_fading()
+            results.add(ch.decodable(0, (0, 0), 1, (250, 0)))
+        assert results == {True, False}

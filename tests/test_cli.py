@@ -1,0 +1,52 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table1_parses(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.command == "table1"
+
+    def test_fig5_options(self):
+        args = build_parser().parse_args(
+            ["fig5", "--loads", "0.6", "--pm", "25", "65", "--windows", "3"]
+        )
+        assert args.loads == [0.6]
+        assert args.pm == [25, 65]
+        assert args.windows == 3
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.pm == 60
+        assert args.load == 0.6
+
+
+class TestExecution:
+    def test_table1_output(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "550m" in out
+
+    def test_demo_honest(self, capsys):
+        assert main(["demo", "--pm", "0", "--seconds", "4", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "never flagged" in out
+
+    def test_demo_cheater(self, capsys):
+        assert main(["demo", "--pm", "70", "--seconds", "6", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "flagged malicious" in out
+
+    def test_fig3_tiny(self, capsys):
+        assert main(["fig3", "--loads", "0.02", "--runs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+        assert "rho" in out

@@ -1,0 +1,78 @@
+"""Unit tests for MAC timing constants."""
+
+import pytest
+
+from repro.mac.constants import DEFAULT_TIMING, MacTiming
+
+
+class TestDefaultTiming:
+    def test_slot_is_20us(self):
+        assert DEFAULT_TIMING.slot_time_us == 20.0
+
+    def test_difs_three_slots(self):
+        assert DEFAULT_TIMING.difs_slots == 3
+
+    def test_sifs_one_slot(self):
+        assert DEFAULT_TIMING.sifs_slots == 1
+
+    def test_modified_rts_is_38_bytes(self):
+        # Stock 20-byte RTS + 2 bytes SeqOff#/Attempt# + 16-byte MD5.
+        assert DEFAULT_TIMING.rts_bytes == 38
+
+    def test_rts_air_time(self):
+        # 38 bytes at 1 Mb/s + 192 us preamble = 496 us -> 25 slots.
+        assert DEFAULT_TIMING.rts_slots == 25
+
+    def test_cts_air_time(self):
+        # 14 bytes at 1 Mb/s + 192 us = 304 us -> 16 slots.
+        assert DEFAULT_TIMING.cts_slots == 16
+
+    def test_data_air_time(self):
+        # (512+28) bytes at 2 Mb/s + 192 us = 2352 us -> 118 slots.
+        assert DEFAULT_TIMING.data_slots == 118
+
+    def test_exchange_longer_than_handshake(self):
+        assert DEFAULT_TIMING.exchange_slots > DEFAULT_TIMING.handshake_slots
+
+    def test_handshake_composition(self):
+        t = DEFAULT_TIMING
+        assert t.handshake_slots == t.rts_slots + t.sifs_slots + t.cts_slots
+
+    def test_exchange_composition(self):
+        t = DEFAULT_TIMING
+        assert t.exchange_slots == (
+            t.handshake_slots
+            + t.sifs_slots
+            + t.data_slots
+            + t.sifs_slots
+            + t.ack_slots
+        )
+
+    def test_mean_service_includes_backoff(self):
+        t = DEFAULT_TIMING
+        assert t.mean_service_slots > t.exchange_slots
+
+    def test_cw_bounds(self):
+        assert DEFAULT_TIMING.cw_min == 31
+        assert DEFAULT_TIMING.cw_max == 1023
+
+    def test_retry_limit(self):
+        assert DEFAULT_TIMING.retry_limit == 7
+
+
+class TestCustomTiming:
+    def test_payload_changes_data_slots(self):
+        small = MacTiming(payload_bytes=64)
+        assert small.data_slots < DEFAULT_TIMING.data_slots
+
+    def test_invalid_cw_rejected(self):
+        with pytest.raises(ValueError):
+            MacTiming(cw_min=64, cw_max=32)
+
+    def test_invalid_slot_time_rejected(self):
+        with pytest.raises(ValueError):
+            MacTiming(slot_time_us=0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_TIMING.cw_min = 15

@@ -1,0 +1,143 @@
+"""Unit tests for the deterministic verifiers."""
+
+import pytest
+
+from repro.core.deterministic import (
+    AttemptNumberVerifier,
+    SequenceOffsetVerifier,
+    UnambiguousCountdownVerifier,
+)
+from repro.mac.digest import data_digest
+from repro.mac.frames import RtsFrame, SEQ_OFF_MODULUS
+
+
+def _rts(seq_off, attempt=1, payload=b"p1"):
+    return RtsFrame(
+        sender=1,
+        receiver=2,
+        seq_off=seq_off,
+        attempt=attempt,
+        digest=data_digest(payload),
+    )
+
+
+class TestSequenceOffsetVerifier:
+    def test_normal_progression_clean(self):
+        v = SequenceOffsetVerifier()
+        for i in range(10):
+            assert v.observe(_rts(i), slot=i * 100) is None
+
+    def test_repeat_flagged(self):
+        v = SequenceOffsetVerifier()
+        v.observe(_rts(5), 0)
+        violation = v.observe(_rts(5), 100)
+        assert violation is not None
+        assert violation.kind == "seq_offset"
+
+    def test_regression_flagged(self):
+        v = SequenceOffsetVerifier()
+        v.observe(_rts(5), 0)
+        assert v.observe(_rts(3), 100) is not None
+
+    def test_small_gap_allowed(self):
+        v = SequenceOffsetVerifier(max_gap=10)
+        v.observe(_rts(5), 0)
+        assert v.observe(_rts(9), 100) is None  # monitor missed frames
+
+    def test_huge_jump_flagged(self):
+        v = SequenceOffsetVerifier(max_gap=64)
+        v.observe(_rts(5), 0)
+        assert v.observe(_rts(500), 100) is not None
+
+    def test_wraparound_allowed(self):
+        v = SequenceOffsetVerifier()
+        v.observe(_rts(SEQ_OFF_MODULUS - 1), 0)
+        assert v.observe(_rts(SEQ_OFF_MODULUS), 100) is None  # field wraps to 0
+
+    def test_reset(self):
+        v = SequenceOffsetVerifier()
+        v.observe(_rts(5), 0)
+        v.reset()
+        assert v.observe(_rts(5), 100) is None  # fresh history
+
+    def test_invalid_max_gap_rejected(self):
+        with pytest.raises(ValueError):
+            SequenceOffsetVerifier(max_gap=0)
+        with pytest.raises(ValueError):
+            SequenceOffsetVerifier(max_gap=SEQ_OFF_MODULUS)
+
+
+class TestAttemptNumberVerifier:
+    def test_fresh_packets_at_attempt_one_clean(self):
+        v = AttemptNumberVerifier()
+        assert v.observe(_rts(0, 1, b"a"), 0) is None
+        assert v.observe(_rts(1, 1, b"b"), 100) is None
+
+    def test_legitimate_retransmission_clean(self):
+        v = AttemptNumberVerifier()
+        v.observe(_rts(0, 1, b"a"), 0)
+        assert v.observe(_rts(1, 2, b"a"), 100) is None
+        assert v.observe(_rts(2, 3, b"a"), 200) is None
+
+    def test_same_digest_same_attempt_flagged(self):
+        """The paper's attack: retransmit without incrementing Attempt#
+        (resetting CW to CWmin).  The repeated MD exposes it."""
+        v = AttemptNumberVerifier()
+        v.observe(_rts(0, 1, b"a"), 0)
+        violation = v.observe(_rts(1, 1, b"a"), 100)
+        assert violation is not None
+        assert violation.kind == "attempt_number"
+
+    def test_same_digest_decreasing_attempt_flagged(self):
+        v = AttemptNumberVerifier()
+        v.observe(_rts(0, 3, b"a"), 0)
+        assert v.observe(_rts(1, 2, b"a"), 100) is not None
+
+    def test_fresh_digest_high_attempt_flagged_when_gap_free(self):
+        v = AttemptNumberVerifier()
+        v.observe(_rts(0, 1, b"a"), 0)
+        assert v.observe(_rts(1, 2, b"b"), 100, gap_free=True) is not None
+
+    def test_fresh_digest_high_attempt_tolerated_after_gap(self):
+        """A missed attempt-1 frame must not produce a false alarm."""
+        v = AttemptNumberVerifier()
+        v.observe(_rts(0, 1, b"a"), 0)
+        assert v.observe(_rts(2, 2, b"b"), 100, gap_free=False) is None
+
+    def test_first_frame_never_flagged(self):
+        v = AttemptNumberVerifier()
+        assert v.observe(_rts(0, 3, b"a"), 0) is None
+
+    def test_same_digest_flagged_even_with_gap(self):
+        v = AttemptNumberVerifier()
+        v.observe(_rts(0, 2, b"a"), 0)
+        assert v.observe(_rts(5, 2, b"a"), 100, gap_free=False) is not None
+
+    def test_reset(self):
+        v = AttemptNumberVerifier()
+        v.observe(_rts(0, 1, b"a"), 0)
+        v.reset()
+        assert v.observe(_rts(1, 1, b"a"), 100) is None
+
+
+class TestUnambiguousCountdownVerifier:
+    def test_sufficient_budget_clean(self):
+        v = UnambiguousCountdownVerifier(tolerance_slots=4)
+        assert v.observe(dictated=20, observed_idle_slots=20, slot=0) is None
+        assert v.observe(dictated=20, observed_idle_slots=17, slot=0) is None
+
+    def test_short_budget_flagged(self):
+        v = UnambiguousCountdownVerifier(tolerance_slots=4)
+        violation = v.observe(dictated=20, observed_idle_slots=10, slot=50)
+        assert violation is not None
+        assert violation.kind == "blatant_countdown"
+        assert violation.slot == 50
+
+    def test_boundary(self):
+        v = UnambiguousCountdownVerifier(tolerance_slots=4)
+        assert v.observe(20, 16, 0) is None       # exactly at tolerance
+        assert v.observe(20, 15, 0) is not None   # one below
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            UnambiguousCountdownVerifier(tolerance_slots=-1)

@@ -1,0 +1,90 @@
+"""Tests for the bandwidth-starvation measurement module."""
+
+import pytest
+
+from repro.experiments.fairness import (
+    GoodputTracker,
+    jain_fairness_index,
+    measure_starvation,
+)
+from repro.experiments.scenarios import GridScenario
+from repro.phy.medium import Transmission
+
+
+class TestJainIndex:
+    def test_perfect_fairness(self):
+        assert jain_fairness_index([5, 5, 5, 5]) == pytest.approx(1.0)
+
+    def test_total_unfairness(self):
+        assert jain_fairness_index([10, 0, 0, 0]) == pytest.approx(0.25)
+
+    def test_intermediate(self):
+        idx = jain_fairness_index([4, 2, 2])
+        assert 1 / 3 < idx < 1.0
+
+    def test_scale_invariant(self):
+        assert jain_fairness_index([1, 2, 3]) == pytest.approx(
+            jain_fairness_index([10, 20, 30])
+        )
+
+    def test_all_zero_is_fair(self):
+        assert jain_fairness_index([0, 0, 0]) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            jain_fairness_index([])
+
+
+class TestGoodputTracker:
+    def _tx(self, sender, success=True, start=0, end=100):
+        return Transmission(
+            sender=sender, receiver=99, start_slot=start, end_slot=end,
+            kind="exchange",
+        )
+
+    def test_counts_successes_only(self):
+        tracker = GoodputTracker()
+        tracker.on_transmission_end(100, self._tx(1), True, None)
+        tracker.on_transmission_end(200, self._tx(1, start=100, end=200), False, None)
+        assert tracker.delivered_packets == {1: 1}
+
+    def test_goodput_bps(self):
+        tracker = GoodputTracker(payload_bytes=512)
+        # One 512-byte packet over 50_000 slots (1 s).
+        tracker.on_transmission_end(
+            0, Transmission(sender=1, receiver=2, start_slot=0, end_slot=50_000),
+            True, None,
+        )
+        assert tracker.goodput_bps(1) == pytest.approx(512 * 8)
+
+    def test_goodput_zero_without_traffic(self):
+        assert GoodputTracker().goodput_bps(1) == 0.0
+
+    def test_share_of(self):
+        tracker = GoodputTracker()
+        for sender, count in ((1, 3), (2, 1)):
+            for i in range(count):
+                tracker.on_transmission_end(
+                    i, self._tx(sender, start=i, end=i + 1), True, None
+                )
+        assert tracker.share_of(1, [1, 2]) == pytest.approx(0.75)
+        assert tracker.share_of(3, [1, 2]) == 0.0
+
+    def test_share_of_empty_population(self):
+        assert GoodputTracker().share_of(1, [1, 2]) == 0.0
+
+
+class TestMeasureStarvation:
+    def test_cheater_grabs_share(self):
+        factory = lambda seed: GridScenario(load=0.8, seed=seed)
+        honest = measure_starvation(factory, 0, seed=5, duration_s=4.0)
+        cheat = measure_starvation(factory, 100, seed=5, duration_s=4.0)
+        assert cheat.cheater_share > honest.cheater_share
+        assert cheat.fairness_index < honest.fairness_index
+        assert cheat.cheater_packets > honest.cheater_packets
+        assert cheat.neighbor_packets_mean < honest.neighbor_packets_mean
+
+    def test_fair_share_sane(self):
+        factory = lambda seed: GridScenario(load=0.8, seed=seed)
+        point = measure_starvation(factory, 0, seed=6, duration_s=2.0)
+        assert 0.0 < point.fair_share <= 1.0

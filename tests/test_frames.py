@@ -1,0 +1,89 @@
+"""Unit tests for MAC frames and digests."""
+
+import pytest
+
+from repro.mac.digest import data_digest, digests_match
+from repro.mac.frames import (
+    AckFrame,
+    CtsFrame,
+    DataFrame,
+    RtsFrame,
+    SEQ_OFF_MODULUS,
+)
+
+
+def _rts(**overrides):
+    fields = dict(
+        sender=1, receiver=2, seq_off=5, attempt=1, digest=b"\x00" * 16
+    )
+    fields.update(overrides)
+    return RtsFrame(**fields)
+
+
+class TestRtsFrame:
+    def test_fields(self):
+        rts = _rts()
+        assert rts.sender == 1
+        assert rts.receiver == 2
+        assert rts.seq_off == 5
+
+    def test_seq_off_field_wraps_13_bits(self):
+        rts = _rts(seq_off=SEQ_OFF_MODULUS + 3)
+        assert rts.seq_off_field == 3
+
+    def test_attempt_bounds(self):
+        with pytest.raises(ValueError):
+            _rts(attempt=0)
+        with pytest.raises(ValueError):
+            _rts(attempt=8)  # the field is 3 bits
+
+    def test_digest_must_be_16_bytes(self):
+        with pytest.raises(ValueError):
+            _rts(digest=b"\x00" * 15)
+
+    def test_negative_seq_off_rejected(self):
+        with pytest.raises(ValueError):
+            _rts(seq_off=-1)
+
+    def test_frozen(self):
+        rts = _rts()
+        with pytest.raises(AttributeError):
+            rts.seq_off = 7
+
+
+class TestOtherFrames:
+    def test_cts(self):
+        cts = CtsFrame(sender=2, receiver=1)
+        assert cts.sender == 2
+
+    def test_data(self):
+        d = DataFrame(sender=1, receiver=2, payload=b"xyz", packet_uid=9)
+        assert d.payload == b"xyz"
+
+    def test_ack(self):
+        assert AckFrame(sender=2, receiver=1).receiver == 1
+
+
+class TestDigest:
+    def test_is_md5(self):
+        import hashlib
+
+        payload = b"hello world"
+        assert data_digest(payload) == hashlib.md5(payload).digest()
+
+    def test_16_bytes(self):
+        assert len(data_digest(b"abc")) == 16
+
+    def test_distinct_payloads_distinct_digests(self):
+        assert data_digest(b"a") != data_digest(b"b")
+
+    def test_rejects_str(self):
+        with pytest.raises(TypeError):
+            data_digest("not bytes")
+
+    def test_accepts_bytearray(self):
+        assert data_digest(bytearray(b"abc")) == data_digest(b"abc")
+
+    def test_digests_match(self):
+        assert digests_match(data_digest(b"x"), data_digest(b"x"))
+        assert not digests_match(data_digest(b"x"), data_digest(b"y"))

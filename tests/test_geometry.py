@@ -1,0 +1,198 @@
+"""Unit tests for repro.geometry (vectors, circles, regions)."""
+
+import math
+
+import pytest
+
+from repro.geometry.circles import (
+    circle_area,
+    circle_intersection_area,
+    crescent_area,
+)
+from repro.geometry.regions import RegionModel
+from repro.geometry.vectors import (
+    distance,
+    distance_squared,
+    midpoint,
+    translate,
+    unit_vector,
+)
+
+
+class TestVectors:
+    def test_distance(self):
+        assert distance((0, 0), (3, 4)) == 5.0
+
+    def test_distance_squared(self):
+        assert distance_squared((0, 0), (3, 4)) == 25.0
+
+    def test_midpoint(self):
+        assert midpoint((0, 0), (2, 4)) == (1.0, 2.0)
+
+    def test_translate(self):
+        assert translate((1, 1), 2, -1) == (3, 0)
+
+    def test_unit_vector(self):
+        ux, uy = unit_vector((0, 0), (0, 5))
+        assert (ux, uy) == (0.0, 1.0)
+
+    def test_unit_vector_coincident_rejected(self):
+        with pytest.raises(ValueError):
+            unit_vector((1, 1), (1, 1))
+
+
+class TestCircleArea:
+    def test_unit_circle(self):
+        assert circle_area(1.0) == pytest.approx(math.pi)
+
+    def test_zero_radius(self):
+        assert circle_area(0.0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            circle_area(-1.0)
+
+
+class TestIntersectionArea:
+    def test_disjoint(self):
+        assert circle_intersection_area(1, 1, 3) == 0.0
+
+    def test_touching_externally(self):
+        assert circle_intersection_area(1, 1, 2) == 0.0
+
+    def test_concentric(self):
+        assert circle_intersection_area(2, 1, 0) == pytest.approx(math.pi)
+
+    def test_contained(self):
+        assert circle_intersection_area(5, 1, 2) == pytest.approx(math.pi)
+
+    def test_full_overlap_equal_circles(self):
+        assert circle_intersection_area(2, 2, 0) == pytest.approx(4 * math.pi)
+
+    def test_symmetric_in_radii(self):
+        a = circle_intersection_area(2, 3, 2.5)
+        b = circle_intersection_area(3, 2, 2.5)
+        assert a == pytest.approx(b)
+
+    def test_known_value_half_radius_separation(self):
+        # Equal unit circles at distance 1: lens area has the closed form
+        # 2*acos(1/2) - (1/2)*sqrt(3).
+        expected = 2 * math.acos(0.5) - math.sqrt(3) / 2
+        assert circle_intersection_area(1, 1, 1) == pytest.approx(expected)
+
+    def test_subnormal_distance_degenerates_to_containment(self):
+        # Regression: 2*d*r underflows to zero for subnormal d; the
+        # formula must fall back to the containment case, not divide
+        # by zero.
+        assert circle_intersection_area(0.25, 0.25, 5e-324) == pytest.approx(
+            circle_area(0.25)
+        )
+
+    def test_monotone_decreasing_in_distance(self):
+        areas = [circle_intersection_area(1, 1, d) for d in (0.0, 0.5, 1.0, 1.5, 2.0)]
+        assert areas == sorted(areas, reverse=True)
+
+    def test_matches_monte_carlo(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        r1, r2, d = 2.0, 1.5, 1.2
+        pts = rng.uniform(-2, 3.5, size=(200_000, 2))
+        inside = (
+            (pts[:, 0] ** 2 + pts[:, 1] ** 2 <= r1**2)
+            & ((pts[:, 0] - d) ** 2 + pts[:, 1] ** 2 <= r2**2)
+        ).mean() * (5.5 * 5.5)
+        assert circle_intersection_area(r1, r2, d) == pytest.approx(
+            inside, rel=0.05
+        )
+
+
+class TestCrescentArea:
+    def test_disjoint_is_full_circle(self):
+        assert crescent_area(1, 1, 5) == pytest.approx(math.pi)
+
+    def test_coincident_is_zero(self):
+        assert crescent_area(1, 1, 0) == pytest.approx(0.0)
+
+    def test_partial(self):
+        full = circle_area(1)
+        lens = circle_intersection_area(1, 1, 1)
+        assert crescent_area(1, 1, 1) == pytest.approx(full - lens)
+
+
+class TestRegionModel:
+    def test_areas_positive(self):
+        model = RegionModel()
+        regions = model.regions
+        for label, area in regions.as_dict().items():
+            assert area > 0, label
+
+    def test_a2_equals_a4(self):
+        # Both are the S/R exclusive crescents of equal disks.
+        regions = RegionModel().regions
+        assert regions.a2 == pytest.approx(regions.a4)
+
+    def test_fraction_identities(self):
+        regions = RegionModel().regions
+        assert regions.left_exclusive_fraction + regions.left_hidden_fraction == (
+            pytest.approx(1.0)
+        )
+        assert 0 < regions.right_exclusive_fraction < 1
+
+    def test_union_a5_larger_than_crescent_a5(self):
+        union = RegionModel().regions.a5
+        crescent = RegionModel(far_interferer_offset=250.0).regions.a5
+        assert union > crescent
+
+    def test_classify_partitions(self):
+        model = RegionModel(separation=240.0)
+        sender = (0.0, 0.0)
+        monitor = (240.0, 0.0)
+        # Points chosen in each region.
+        assert model.classify((120.0, 0.0), sender, monitor) == "A3"
+        assert model.classify((-400.0, 0.0), sender, monitor) == "A2"
+        assert model.classify((640.0, 0.0), sender, monitor) == "A4"
+        assert model.classify((-700.0, 0.0), sender, monitor) == "A1"
+        assert model.classify((1000.0, 0.0), sender, monitor) == "A5"
+        assert model.classify((240.0, 5000.0), sender, monitor) is None
+
+    def test_classify_rejects_coincident_pair(self):
+        model = RegionModel()
+        with pytest.raises(ValueError):
+            model.classify((-700.0, 0.0), (0.0, 0.0), (0.0, 0.0))
+
+    def test_count_nodes(self):
+        model = RegionModel(separation=240.0)
+        counts = model.count_nodes(
+            [(120.0, 0.0), (121.0, 0.0), (-700.0, 0.0), (9999.0, 9999.0)]
+        )
+        assert counts["A3"] == 2
+        assert counts["A1"] == 1
+        assert counts["A5"] == 0
+
+    def test_expected_counts_scale_with_density(self):
+        model = RegionModel()
+        low = model.expected_counts(1e-5)
+        high = model.expected_counts(2e-5)
+        for label in low:
+            assert high[label] == pytest.approx(2 * low[label])
+
+    def test_expected_counts_rejects_zero_density(self):
+        with pytest.raises(ValueError):
+            RegionModel().expected_counts(0.0)
+
+    def test_classification_matches_areas_by_monte_carlo(self):
+        """Region areas and the classifier must agree (A2/A3/A4 only —
+        A1/A5 classification uses the representative/union constructions
+        whose analytic areas are definitionally consistent)."""
+        import numpy as np
+
+        model = RegionModel(separation=240.0)
+        rng = np.random.default_rng(1)
+        box = 1300.0
+        n = 150_000
+        pts = rng.uniform(-box, box, size=(n, 2)) + np.array([120.0, 0.0])
+        labels = [model.classify(tuple(p)) for p in pts[:20_000]]
+        area_box = (2 * box) ** 2
+        frac_a3 = labels.count("A3") / 20_000
+        assert frac_a3 * area_box == pytest.approx(model.regions.a3, rel=0.1)

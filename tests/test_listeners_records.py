@@ -1,0 +1,89 @@
+"""Tests for simulation listeners and the detection record types."""
+
+import pytest
+
+from repro.core.records import BackoffObservation, Diagnosis, Verdict
+from repro.phy.medium import Transmission
+from repro.sim.listeners import SimulationListener, StatsCollector
+
+
+class TestStatsCollector:
+    def _tx(self, sender=0, duration=10):
+        return Transmission(
+            sender=sender, receiver=1, start_slot=0, end_slot=duration
+        )
+
+    def test_counts_starts(self):
+        stats = StatsCollector()
+        stats.on_transmission_start(0, self._tx(), None)
+        stats.on_transmission_start(5, self._tx(sender=2), None)
+        assert stats.transmissions == 2
+        assert stats.per_sender[0].sent == 1
+
+    def test_counts_outcomes(self):
+        stats = StatsCollector()
+        tx = self._tx()
+        stats.on_transmission_start(0, tx, None)
+        stats.on_transmission_end(10, tx, True, None)
+        stats.on_transmission_end(20, self._tx(sender=2), False, None)
+        assert stats.successes == 1
+        assert stats.failures == 1
+        assert stats.per_sender[0].delivered == 1
+        assert stats.busy_slots_total == 20
+
+    def test_success_ratio(self):
+        stats = StatsCollector()
+        assert stats.success_ratio == 0.0
+        tx = self._tx()
+        stats.on_transmission_end(10, tx, True, None)
+        assert stats.success_ratio == 1.0
+
+    def test_base_listener_is_noop(self):
+        listener = SimulationListener()
+        listener.on_transmission_start(0, None, None)
+        listener.on_transmission_end(0, None, True, None)
+        listener.on_positions_updated(0, {}, None)
+
+
+class TestVerdict:
+    def test_is_malicious(self):
+        v = Verdict(diagnosis=Diagnosis.MALICIOUS, slot=5)
+        assert v.is_malicious
+        assert not Verdict(diagnosis=Diagnosis.WELL_BEHAVED).is_malicious
+
+    def test_insufficient_data(self):
+        v = Verdict(diagnosis=Diagnosis.INSUFFICIENT_DATA)
+        assert not v.is_malicious
+
+    def test_frozen(self):
+        v = Verdict(diagnosis=Diagnosis.MALICIOUS)
+        with pytest.raises(AttributeError):
+            v.diagnosis = Diagnosis.WELL_BEHAVED
+
+
+class TestBackoffObservation:
+    def test_fields(self):
+        o = BackoffObservation(
+            slot=100,
+            seq_off=3,
+            attempt=2,
+            dictated=40,
+            estimated=35.5,
+            idle_slots=30,
+            busy_slots=20,
+            interval_slots=50,
+            rho=0.6,
+            unambiguous=False,
+        )
+        assert o.dictated == 40
+        assert o.estimated == 35.5
+        assert not o.unambiguous
+
+    def test_frozen(self):
+        o = BackoffObservation(
+            slot=0, seq_off=0, attempt=1, dictated=1, estimated=1.0,
+            idle_slots=1, busy_slots=0, interval_slots=1, rho=0.0,
+            unambiguous=True,
+        )
+        with pytest.raises(AttributeError):
+            o.dictated = 2

@@ -1,0 +1,103 @@
+"""Unit tests for the misbehavior (back-off policy) strategies."""
+
+import pytest
+
+from repro.mac.misbehavior import (
+    AlienDistributionBackoff,
+    FixedBackoff,
+    HonestBackoff,
+    NoExponentialBackoff,
+    PercentageMisbehavior,
+)
+from repro.mac.prng import VerifiableBackoffPrng
+from repro.util.rng import RngStream
+
+
+@pytest.fixture
+def prng():
+    return VerifiableBackoffPrng(11)
+
+
+class TestHonest:
+    def test_matches_dictated(self, prng):
+        policy = HonestBackoff()
+        for offset in range(50):
+            assert policy.actual_backoff(prng, offset, 1) == (
+                prng.dictated_backoff(offset, 1)
+            )
+
+    def test_is_honest_flag(self):
+        assert HonestBackoff().is_honest
+
+
+class TestPercentageMisbehavior:
+    def test_pm_zero_is_honest(self, prng):
+        policy = PercentageMisbehavior(0)
+        assert policy.is_honest
+        for offset in range(20):
+            assert policy.actual_backoff(prng, offset, 1) == (
+                prng.dictated_backoff(offset, 1)
+            )
+
+    def test_pm_hundred_is_zero_backoff(self, prng):
+        policy = PercentageMisbehavior(100)
+        assert all(policy.actual_backoff(prng, o, 1) == 0 for o in range(20))
+
+    def test_pm_fifty_halves(self, prng):
+        policy = PercentageMisbehavior(50)
+        for offset in range(50):
+            dictated = prng.dictated_backoff(offset, 1)
+            assert policy.actual_backoff(prng, offset, 1) == round(dictated / 2)
+
+    def test_not_honest_flag(self):
+        assert not PercentageMisbehavior(10).is_honest
+
+    def test_pm_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            PercentageMisbehavior(101)
+        with pytest.raises(ValueError):
+            PercentageMisbehavior(-1)
+
+    def test_describe_mentions_pm(self):
+        assert "65" in PercentageMisbehavior(65).describe()
+
+
+class TestFixedBackoff:
+    def test_constant(self, prng):
+        policy = FixedBackoff(3)
+        assert {policy.actual_backoff(prng, o, a) for o in range(30) for a in (1, 2)} == {3}
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            FixedBackoff(-1)
+
+
+class TestNoExponentialBackoff:
+    def test_first_attempt_honest(self, prng):
+        policy = NoExponentialBackoff()
+        for offset in range(30):
+            assert policy.actual_backoff(prng, offset, 1) == (
+                prng.dictated_backoff(offset, 1)
+            )
+
+    def test_retries_stay_in_cw_min(self, prng):
+        policy = NoExponentialBackoff()
+        for offset in range(100):
+            assert policy.actual_backoff(prng, offset, 5) <= 31
+
+
+class TestAlienDistribution:
+    def test_bounded_by_cw(self, prng):
+        policy = AlienDistributionBackoff(RngStream(1, "alien"), cw=7)
+        values = [policy.actual_backoff(prng, o, 1) for o in range(200)]
+        assert all(0 <= v <= 7 for v in values)
+
+    def test_ignores_prs(self, prng):
+        policy = AlienDistributionBackoff(RngStream(1, "alien"), cw=7)
+        dictated = prng.dictated_sequence(0, 100)
+        actual = [policy.actual_backoff(prng, o, 1) for o in range(100)]
+        assert dictated != actual
+
+    def test_requires_rng(self):
+        with pytest.raises(ValueError):
+            AlienDistributionBackoff(None)

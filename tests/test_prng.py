@@ -1,0 +1,108 @@
+"""Unit tests for the verifiable back-off PRNG."""
+
+import pytest
+
+from repro.mac.prng import (
+    VerifiableBackoffPrng,
+    contention_window_for_attempt,
+    mac_address_seed,
+    splitmix64,
+)
+
+
+class TestSplitmix:
+    def test_deterministic(self):
+        assert splitmix64(12345) == splitmix64(12345)
+
+    def test_64_bit_output(self):
+        for state in (0, 1, 2**63, 2**64 - 1):
+            assert 0 <= splitmix64(state) < 2**64
+
+    def test_avalanche(self):
+        # Nearby states produce very different outputs.
+        a = splitmix64(1)
+        b = splitmix64(2)
+        assert bin(a ^ b).count("1") > 16
+
+
+class TestMacAddressSeed:
+    def test_int_address(self):
+        assert mac_address_seed(42) == mac_address_seed(42)
+
+    def test_string_address(self):
+        assert mac_address_seed("00:11:22:33:44:55") == mac_address_seed(
+            "001122334455"
+        )
+
+    def test_bytes_address(self):
+        assert mac_address_seed(b"\x00\x11\x22") == mac_address_seed(0x001122)
+
+    def test_distinct_addresses_distinct_seeds(self):
+        assert mac_address_seed(1) != mac_address_seed(2)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            mac_address_seed(1.5)
+
+
+class TestContentionWindow:
+    def test_first_attempt_is_cw_min(self):
+        assert contention_window_for_attempt(1, 31, 1023) == 31
+
+    def test_doubling(self):
+        assert contention_window_for_attempt(2, 31, 1023) == 63
+        assert contention_window_for_attempt(3, 31, 1023) == 127
+
+    def test_capped_at_cw_max(self):
+        assert contention_window_for_attempt(7, 31, 1023) == 1023
+        assert contention_window_for_attempt(20, 31, 1023) == 1023
+
+    def test_rejects_zero_attempt(self):
+        with pytest.raises(ValueError):
+            contention_window_for_attempt(0, 31, 1023)
+
+
+class TestVerifiableBackoffPrng:
+    def test_monitor_reproduces_sender_sequence(self):
+        """The core property of the scheme: anyone with the MAC address
+        computes the identical dictated sequence."""
+        sender = VerifiableBackoffPrng(7)
+        monitor = VerifiableBackoffPrng(7)
+        for offset in range(100):
+            for attempt in (1, 2, 3):
+                assert sender.dictated_backoff(offset, attempt) == (
+                    monitor.dictated_backoff(offset, attempt)
+                )
+
+    def test_distinct_nodes_distinct_sequences(self):
+        a = VerifiableBackoffPrng(1).dictated_sequence(0, 50)
+        b = VerifiableBackoffPrng(2).dictated_sequence(0, 50)
+        assert a != b
+
+    def test_backoff_within_window(self):
+        prng = VerifiableBackoffPrng(5)
+        for offset in range(200):
+            assert 0 <= prng.dictated_backoff(offset, 1) <= 31
+            assert 0 <= prng.dictated_backoff(offset, 3) <= 127
+
+    def test_backoff_roughly_uniform(self):
+        prng = VerifiableBackoffPrng(9)
+        values = prng.dictated_sequence(0, 4000)
+        mean = sum(values) / len(values)
+        assert mean == pytest.approx(15.5, rel=0.1)
+        assert set(values) == set(range(32))
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError):
+            VerifiableBackoffPrng(1).raw_draw(-1)
+
+    def test_dictated_sequence_matches_point_queries(self):
+        prng = VerifiableBackoffPrng(3)
+        seq = prng.dictated_sequence(10, 5, attempt=2)
+        assert seq == [prng.dictated_backoff(10 + i, 2) for i in range(5)]
+
+    def test_invalid_cw_rejected(self):
+        with pytest.raises(ValueError):
+            VerifiableBackoffPrng(1, cw_min=0)
+        with pytest.raises(ValueError):
+            VerifiableBackoffPrng(1, cw_min=31, cw_max=15)

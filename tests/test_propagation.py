@@ -1,0 +1,79 @@
+"""Unit tests for repro.phy.propagation."""
+
+import pytest
+
+from repro.phy.propagation import (
+    FreeSpacePropagation,
+    LogNormalShadowing,
+    range_to_threshold_margin_db,
+)
+from repro.util.rng import RngStream
+
+
+class TestMarginScaling:
+    def test_zero_margin_is_unity(self):
+        assert range_to_threshold_margin_db(0.0, 2.0) == 1.0
+
+    def test_positive_margin_extends_range(self):
+        assert range_to_threshold_margin_db(6.0, 2.0) > 1.0
+
+    def test_negative_margin_shrinks_range(self):
+        assert range_to_threshold_margin_db(-6.0, 2.0) < 1.0
+
+    def test_known_value(self):
+        # +20 dB at beta=2 doubles ... 10^(20/20) = 10x range.
+        assert range_to_threshold_margin_db(20.0, 2.0) == pytest.approx(10.0)
+
+    def test_higher_exponent_compresses(self):
+        assert range_to_threshold_margin_db(10.0, 4.0) < (
+            range_to_threshold_margin_db(10.0, 2.0)
+        )
+
+
+class TestFreeSpace:
+    def test_margin_always_zero(self):
+        model = FreeSpacePropagation()
+        assert model.link_margin_db((1, 2)) == 0.0
+
+    def test_effective_range_is_nominal(self):
+        model = FreeSpacePropagation()
+        assert model.effective_range(250.0, (0, 1)) == 250.0
+
+    def test_refresh_is_noop(self):
+        model = FreeSpacePropagation()
+        model.refresh()
+        assert model.effective_range(250.0, (0, 1)) == 250.0
+
+
+class TestLogNormalShadowing:
+    def test_zero_sigma_degenerates_to_free_space(self):
+        model = LogNormalShadowing(0.0, rng=RngStream(1, "s"))
+        assert model.link_margin_db((0, 1)) == 0.0
+
+    def test_margin_stable_per_pair(self):
+        model = LogNormalShadowing(6.0, rng=RngStream(1, "s"))
+        first = model.link_margin_db((0, 1))
+        assert model.link_margin_db((0, 1)) == first
+
+    def test_margin_symmetric(self):
+        model = LogNormalShadowing(6.0, rng=RngStream(1, "s"))
+        assert model.link_margin_db((0, 1)) == model.link_margin_db((1, 0))
+
+    def test_refresh_redraws(self):
+        model = LogNormalShadowing(6.0, rng=RngStream(1, "s"))
+        before = model.link_margin_db((0, 1))
+        model.refresh()
+        after = model.link_margin_db((0, 1))
+        assert before != after  # astronomically unlikely to collide
+
+    def test_margins_have_roughly_right_spread(self):
+        model = LogNormalShadowing(8.0, rng=RngStream(2, "s"))
+        margins = [model.link_margin_db((i, i + 1)) for i in range(0, 4000, 2)]
+        mean = sum(margins) / len(margins)
+        var = sum((m - mean) ** 2 for m in margins) / len(margins)
+        assert mean == pytest.approx(0.0, abs=0.5)
+        assert var**0.5 == pytest.approx(8.0, rel=0.1)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            LogNormalShadowing(-1.0, rng=RngStream(1, "s"))

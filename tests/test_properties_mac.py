@@ -1,0 +1,164 @@
+"""Stateful property tests: the DCF MAC entity under arbitrary outcome
+sequences, and engine-level invariants under random small scenarios."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mac.dcf import DcfMac, MacState
+from repro.traffic.queue import Packet
+
+
+def _drive(mac, outcomes):
+    """Run the MAC through a success/failure outcome sequence, returning
+    the announced (offset, attempt) trail."""
+    trail = []
+    for success in outcomes:
+        if not mac.has_traffic:
+            mac.enqueue(Packet(source=mac.node_id, destination=2))
+        if mac.needs_backoff_draw():
+            mac.draw_backoff()
+        rts = mac.build_rts()
+        trail.append((rts.seq_off, rts.attempt))
+        mac.begin_transmission()
+        mac.complete_transmission(success)
+    return trail
+
+
+class TestMacStateProperties:
+    @given(st.lists(st.booleans(), min_size=1, max_size=200))
+    @settings(max_examples=60)
+    def test_offsets_strictly_increase(self, outcomes):
+        mac = DcfMac(1)
+        trail = _drive(mac, outcomes)
+        offsets = [o for o, _a in trail]
+        assert offsets == sorted(set(offsets))
+        assert offsets == list(range(len(offsets)))
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=200))
+    @settings(max_examples=60)
+    def test_attempts_bounded_by_retry_limit(self, outcomes):
+        mac = DcfMac(1)
+        trail = _drive(mac, outcomes)
+        assert all(1 <= a <= mac.timing.retry_limit for _o, a in trail)
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=200))
+    @settings(max_examples=60)
+    def test_attempt_resets_after_success_or_drop(self, outcomes):
+        mac = DcfMac(1)
+        trail = _drive(mac, outcomes)
+        for (_, attempt_prev), (_, attempt_next), success in zip(
+            trail, trail[1:], outcomes
+        ):
+            if success:
+                assert attempt_next == 1
+            elif attempt_prev == mac.timing.retry_limit:
+                assert attempt_next == 1  # packet dropped, fresh packet
+            else:
+                assert attempt_next == attempt_prev + 1
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=200))
+    @settings(max_examples=60)
+    def test_stats_accounting_consistent(self, outcomes):
+        mac = DcfMac(1)
+        _drive(mac, outcomes)
+        stats = mac.stats
+        assert stats.attempts == len(outcomes)
+        assert stats.successes == sum(outcomes)
+        assert stats.failures == len(outcomes) - sum(outcomes)
+        assert stats.drops <= stats.failures // mac.timing.retry_limit + 1
+        assert mac.state in (MacState.IDLE, MacState.CONTENDING)
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=120))
+    @settings(max_examples=40)
+    def test_honest_draws_always_match_prs(self, outcomes):
+        mac = DcfMac(1)
+        for success in outcomes:
+            if not mac.has_traffic:
+                mac.enqueue(Packet(source=1, destination=2))
+            if mac.needs_backoff_draw():
+                mac.draw_backoff()
+                draw = mac.current_draw
+                assert draw.actual == draw.dictated
+                assert draw.dictated == mac.prng.dictated_backoff(
+                    draw.offset, draw.attempt
+                )
+            mac.begin_transmission()
+            mac.complete_transmission(success)
+
+
+class TestEngineFuzz:
+    @given(
+        seed=st.integers(0, 10_000),
+        n_nodes=st.integers(2, 8),
+        n_flows=st.integers(1, 4),
+        load=st.floats(min_value=0.05, max_value=2.0),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_random_scenarios_preserve_invariants(self, seed, n_nodes,
+                                                  n_flows, load):
+        """Any small random scenario must satisfy the global MAC
+        invariants: no partial transmission overlap within a sensing
+        domain, bounded queues, consistent counters."""
+        from repro.sim.listeners import SimulationListener
+        from repro.sim.network import Flow, Simulation, SimulationConfig
+        from repro.topology.placement import random_positions
+        from repro.util.rng import RngStream
+
+        positions = random_positions(
+            n_nodes, width=800, height=800, rng=RngStream(seed, "fuzz-pos")
+        )
+
+        class Invariants(SimulationListener):
+            def __init__(self):
+                self.active = {}
+                self.violations = []
+                self.starts = 0
+                self.ends = 0
+
+            def on_transmission_start(self, slot, tx, medium):
+                self.starts += 1
+                for other in self.active.values():
+                    if (
+                        medium.senses(tx.sender, other.sender)
+                        and other.start_slot != tx.start_slot
+                    ):
+                        self.violations.append((slot, tx.sender, other.sender))
+                self.active[id(tx)] = tx
+
+            def on_transmission_end(self, slot, tx, success, medium):
+                self.ends += 1
+                self.active.pop(id(tx), None)
+
+        flows = [
+            Flow(source=i % n_nodes, load=load)
+            for i in range(n_flows)
+            if i % n_nodes == i or i >= n_nodes  # distinct sources only
+        ]
+        # Deduplicate sources.
+        seen = set()
+        unique_flows = []
+        for f in flows:
+            if f.source not in seen:
+                seen.add(f.source)
+                unique_flows.append(f)
+
+        sim = Simulation(
+            positions,
+            flows=unique_flows,
+            config=SimulationConfig(seed=seed),
+        )
+        checker = Invariants()
+        sim.add_listener(checker)
+        sim.run(1.0)
+
+        assert checker.violations == [], checker.violations
+        # Transmissions still on the air when the horizon hits are fine;
+        # everything else must have completed.
+        assert checker.starts - checker.ends == len(checker.active)
+        assert len(checker.active) <= n_nodes
+        for mac in sim.macs.values():
+            assert len(mac.queue) <= mac.queue.capacity
+            # One attempt may still be in flight at the horizon.
+            pending = mac.stats.attempts - (
+                mac.stats.successes + mac.stats.failures
+            )
+            assert pending in (0, 1)

@@ -1,0 +1,150 @@
+"""Unit tests for the from-scratch Wilcoxon rank-sum test.
+
+Cross-validated against scipy.stats (available in the environment) on
+both the normal-approximation and exact paths.
+"""
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.core.ranksum import (
+    EXACT_LIMIT,
+    RankSumResult,
+    rank_sum_test,
+    wilcoxon_ranks,
+)
+
+
+class TestRanks:
+    def test_simple_ranks(self):
+        assert wilcoxon_ranks([30, 10, 20]) == [3.0, 1.0, 2.0]
+
+    def test_tie_average(self):
+        assert wilcoxon_ranks([5, 5, 1]) == [2.5, 2.5, 1.0]
+
+    def test_all_tied(self):
+        assert wilcoxon_ranks([7, 7, 7, 7]) == [2.5] * 4
+
+    def test_rank_sum_invariant(self):
+        values = [3, 1, 4, 1, 5, 9, 2, 6]
+        n = len(values)
+        assert sum(wilcoxon_ranks(values)) == pytest.approx(n * (n + 1) / 2)
+
+    def test_empty(self):
+        assert wilcoxon_ranks([]) == []
+
+
+class TestBasicProperties:
+    def test_identical_populations_high_p(self):
+        x = list(range(20))
+        y = list(range(20))
+        result = rank_sum_test(x, y, "two-sided")
+        assert result.p_value > 0.5
+
+    def test_shifted_population_detected(self):
+        x = list(range(100, 130))
+        y = list(range(0, 30))
+        result = rank_sum_test(x, y, "less")
+        assert result.p_value < 1e-6
+
+    def test_wrong_direction_not_detected(self):
+        x = list(range(0, 30))
+        y = list(range(100, 130))
+        assert rank_sum_test(x, y, "less").p_value > 0.99
+        assert rank_sum_test(x, y, "greater").p_value < 1e-6
+
+    def test_two_sided_catches_both_directions(self):
+        x = list(range(0, 30))
+        y = list(range(100, 130))
+        assert rank_sum_test(x, y, "two-sided").p_value < 1e-6
+        assert rank_sum_test(y, x, "two-sided").p_value < 1e-6
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            rank_sum_test([], [1, 2])
+
+    def test_bad_alternative_rejected(self):
+        with pytest.raises(ValueError):
+            rank_sum_test([1], [2], "sideways")
+
+    def test_p_value_in_unit_interval(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            x = rng.normal(size=8).tolist()
+            y = rng.normal(size=6).tolist()
+            for alt in ("less", "greater", "two-sided"):
+                assert 0.0 <= rank_sum_test(x, y, alt).p_value <= 1.0
+
+    def test_statistic_is_y_rank_sum(self):
+        x = [10, 20]
+        y = [1, 2]
+        result = rank_sum_test(x, y)
+        assert result.statistic == 3.0  # y holds ranks 1 and 2
+        assert result.u_statistic == 0.0
+
+    def test_method_selection(self):
+        small_x = list(range(0, 10))
+        small_y = [v + 0.5 for v in range(10, 20)]
+        assert rank_sum_test(small_x, small_y).method == "exact"
+        big = list(range(40))
+        big_y = [v + 0.5 for v in range(40)]
+        assert rank_sum_test(big, big_y).method == "normal"
+
+    def test_ties_force_normal_method(self):
+        x = [1, 2, 3]
+        y = [3, 4, 5]
+        assert rank_sum_test(x, y).method == "normal"
+
+
+class TestAgainstScipy:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("alternative", ["less", "greater", "two-sided"])
+    def test_large_sample_matches_mannwhitneyu(self, seed, alternative):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(0, 1, size=40)
+        y = rng.normal(0.3, 1, size=35)
+        ours = rank_sum_test(x.tolist(), y.tolist(), alternative)
+        theirs = scipy_stats.mannwhitneyu(
+            y, x, alternative=alternative, method="asymptotic"
+        )
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=1e-3, abs=1e-6)
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("alternative", ["less", "greater", "two-sided"])
+    def test_exact_matches_mannwhitneyu_exact(self, seed, alternative):
+        rng = np.random.default_rng(100 + seed)
+        # Continuous draws: no ties, small samples -> exact path.
+        x = rng.normal(0, 1, size=9)
+        y = rng.normal(0.5, 1, size=8)
+        ours = rank_sum_test(x.tolist(), y.tolist(), alternative)
+        assert ours.method == "exact"
+        theirs = scipy_stats.mannwhitneyu(
+            y, x, alternative=alternative, method="exact"
+        )
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=1e-9)
+
+    def test_u_statistic_matches_scipy(self):
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=12)
+        y = rng.normal(size=15)
+        ours = rank_sum_test(x.tolist(), y.tolist())
+        theirs = scipy_stats.mannwhitneyu(y, x, alternative="two-sided")
+        assert ours.u_statistic == pytest.approx(theirs.statistic)
+
+
+class TestFalseAlarmCalibration:
+    def test_type_i_error_near_alpha(self):
+        """Under H0 the rejection rate must track the significance level."""
+        rng = np.random.default_rng(42)
+        alpha = 0.05
+        trials = 400
+        rejections = 0
+        for _ in range(trials):
+            x = rng.uniform(0, 32, size=20).tolist()
+            y = rng.uniform(0, 32, size=20).tolist()
+            if rank_sum_test(x, y, "less").p_value < alpha:
+                rejections += 1
+        rate = rejections / trials
+        assert rate < 2.5 * alpha
+        assert rate > 0.0  # sanity: the test does reject sometimes

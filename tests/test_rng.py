@@ -1,0 +1,72 @@
+"""Unit tests for repro.util.rng."""
+
+import pytest
+
+from repro.util.rng import RngStream, derive_seed, spawn_streams
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a") == derive_seed(1, "a")
+
+    def test_distinct_names_distinct_seeds(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_distinct_roots_distinct_seeds(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_path_components_matter(self):
+        assert derive_seed(1, "a", "b") != derive_seed(1, "ab")
+
+
+class TestRngStream:
+    def test_reproducible(self):
+        a = RngStream(42, "traffic")
+        b = RngStream(42, "traffic")
+        assert [a.uniform() for _ in range(5)] == [b.uniform() for _ in range(5)]
+
+    def test_named_streams_independent(self):
+        a = RngStream(42, "x")
+        b = RngStream(42, "y")
+        assert [a.uniform() for _ in range(5)] != [b.uniform() for _ in range(5)]
+
+    def test_integers_in_range(self):
+        s = RngStream(1, "ints")
+        values = [s.integers(0, 10) for _ in range(200)]
+        assert all(0 <= v < 10 for v in values)
+        assert len(set(values)) > 5
+
+    def test_exponential_positive(self):
+        s = RngStream(1, "exp")
+        assert all(s.exponential(10.0) > 0 for _ in range(100))
+
+    def test_exponential_rejects_bad_mean(self):
+        with pytest.raises(ValueError):
+            RngStream(1).exponential(0)
+
+    def test_choice(self):
+        s = RngStream(3, "choice")
+        seq = ["a", "b", "c"]
+        assert all(s.choice(seq) in seq for _ in range(20))
+
+    def test_choice_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RngStream(1).choice([])
+
+    def test_random_point_in_bounds(self):
+        s = RngStream(9, "pt")
+        for _ in range(50):
+            x, y = s.random_point(100.0, 200.0)
+            assert 0 <= x <= 100 and 0 <= y <= 200
+
+    def test_exponential_mean_approximately_correct(self):
+        s = RngStream(5, "mean")
+        n = 4000
+        mean = sum(s.exponential(50.0) for _ in range(n)) / n
+        assert mean == pytest.approx(50.0, rel=0.1)
+
+
+def test_spawn_streams():
+    streams = spawn_streams(7, "a", "b")
+    assert set(streams) == {"a", "b"}
+    assert streams["a"].seed != streams["b"].seed

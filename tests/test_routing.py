@@ -1,0 +1,194 @@
+"""Unit tests for the routing substrate (neighbors, AODV, relay)."""
+
+import pytest
+
+from repro.mac.dcf import DcfMac
+from repro.phy.channel import Channel
+from repro.phy.medium import Medium, Transmission
+from repro.routing.aodv import AodvRouter
+from repro.routing.neighbors import NeighborTable, build_neighbor_tables
+from repro.routing.relay import MultiHopService
+from repro.traffic.queue import Packet
+
+
+class _Graph:
+    """Minimal link provider for router tests."""
+
+    def __init__(self, edges):
+        self._adj = {}
+        for a, b in edges:
+            self._adj.setdefault(a, set()).add(b)
+            self._adj.setdefault(b, set()).add(a)
+
+    def neighbors(self, node):
+        return self._adj.get(node, set())
+
+
+class TestNeighborTable:
+    def test_refresh_and_query(self):
+        t = NeighborTable(0)
+        t.refresh([1, 2], slot=10)
+        assert t.neighbors() == {1, 2}
+        assert 1 in t
+
+    def test_self_excluded(self):
+        t = NeighborTable(0)
+        t.refresh([0, 1], slot=0)
+        assert t.neighbors() == {1}
+
+    def test_expiry(self):
+        t = NeighborTable(0, expiry_slots=100)
+        t.refresh([1], slot=0)
+        t.refresh([2], slot=150)
+        assert t.neighbors(slot=180) == {2}
+
+    def test_forget(self):
+        t = NeighborTable(0)
+        t.refresh([1, 2])
+        t.forget(1)
+        assert t.neighbors() == {2}
+
+    def test_build_from_medium(self):
+        m = Medium(Channel())
+        m.update_positions({0: (0, 0), 1: (200, 0), 2: (5000, 0)})
+        tables = build_neighbor_tables(m)
+        assert tables[0].neighbors() == {1}
+        assert tables[2].neighbors() == frozenset()
+
+
+class TestAodvRouter:
+    def test_direct_route(self):
+        router = AodvRouter(_Graph([(0, 1)]))
+        entry = router.route(0, 1)
+        assert entry.next_hop == 1
+        assert entry.hop_count == 1
+
+    def test_multi_hop_route(self):
+        router = AodvRouter(_Graph([(0, 1), (1, 2), (2, 3)]))
+        entry = router.route(0, 3)
+        assert entry.next_hop == 1
+        assert entry.hop_count == 3
+
+    def test_shortest_path_chosen(self):
+        router = AodvRouter(
+            _Graph([(0, 1), (1, 3), (0, 2), (2, 4), (4, 3)])
+        )
+        assert router.route(0, 3).hop_count == 2
+
+    def test_intermediate_routes_installed(self):
+        router = AodvRouter(_Graph([(0, 1), (1, 2)]))
+        router.route(0, 2)
+        # The RREP pass installs the forward route at node 1 too.
+        assert router.tables[1][2].next_hop == 2
+        # And reverse routes toward the source.
+        assert router.tables[2][0].next_hop == 1
+
+    def test_unreachable_returns_none(self):
+        router = AodvRouter(_Graph([(0, 1), (2, 3)]))
+        assert router.route(0, 3) is None
+        assert router.failed_discoveries == 1
+
+    def test_route_to_self_rejected(self):
+        router = AodvRouter(_Graph([(0, 1)]))
+        with pytest.raises(ValueError):
+            router.route(0, 0)
+
+    def test_control_overhead_counted(self):
+        router = AodvRouter(_Graph([(0, 1), (1, 2)]))
+        router.route(0, 2)
+        assert router.control_messages > 0
+        assert router.rreq_floods == 1
+
+    def test_cached_route_no_new_flood(self):
+        router = AodvRouter(_Graph([(0, 1)]))
+        router.route(0, 1)
+        router.route(0, 1)
+        assert router.rreq_floods == 1
+
+    def test_invalidate_all(self):
+        router = AodvRouter(_Graph([(0, 1)]))
+        router.route(0, 1)
+        router.invalidate_all()
+        router.route(0, 1)
+        assert router.rreq_floods == 2
+
+    def test_invalidate_link(self):
+        router = AodvRouter(_Graph([(0, 1), (1, 2)]))
+        router.route(0, 2)
+        router.invalidate_link(0, 1)
+        assert 2 not in router.tables.get(0, {})
+
+    def test_sequence_numbers_increase(self):
+        router = AodvRouter(_Graph([(0, 1)]))
+        first = router.route(0, 1).dest_seq
+        router.invalidate_all()
+        second = router.route(0, 1).dest_seq
+        assert second > first
+
+
+class TestMultiHopService:
+    def _setup(self):
+        medium = Medium(Channel())
+        medium.update_positions({0: (0, 0), 1: (240, 0), 2: (480, 0)})
+        macs = {i: DcfMac(i) for i in range(3)}
+        service = MultiHopService(macs, link_provider=medium)
+        return medium, macs, service
+
+    def test_first_hop(self):
+        _medium, _macs, service = self._setup()
+        assert service.first_hop(0, 2) == 1
+
+    def test_forwarding_enqueues_at_relay(self):
+        medium, macs, service = self._setup()
+        packet = Packet(source=0, destination=1, final_destination=2)
+        tx = Transmission(
+            sender=0, receiver=1, start_slot=0, end_slot=10,
+            kind="exchange", packet=packet,
+        )
+        service.on_transmission_end(10, tx, True, medium)
+        assert macs[1].has_traffic
+        relayed = macs[1].head_packet
+        assert relayed.destination == 2
+        assert relayed.final_destination == 2
+        assert service.forwarded == 1
+
+    def test_final_delivery_counted(self):
+        medium, macs, service = self._setup()
+        packet = Packet(source=1, destination=2, final_destination=2)
+        tx = Transmission(
+            sender=1, receiver=2, start_slot=0, end_slot=10,
+            kind="exchange", packet=packet,
+        )
+        service.on_transmission_end(10, tx, True, medium)
+        assert service.delivered_end_to_end == 1
+        assert not macs[2].has_traffic
+
+    def test_failed_tx_not_forwarded(self):
+        medium, macs, service = self._setup()
+        packet = Packet(source=0, destination=1, final_destination=2)
+        tx = Transmission(
+            sender=0, receiver=1, start_slot=0, end_slot=10, packet=packet
+        )
+        service.on_transmission_end(10, tx, False, medium)
+        assert not macs[1].has_traffic
+
+    def test_single_hop_packets_ignored(self):
+        medium, macs, service = self._setup()
+        packet = Packet(source=0, destination=1)  # no final_destination
+        tx = Transmission(
+            sender=0, receiver=1, start_slot=0, end_slot=10,
+            kind="exchange", packet=packet,
+        )
+        service.on_transmission_end(10, tx, True, medium)
+        assert not macs[1].has_traffic
+        assert service.delivered_end_to_end == 0
+
+    def test_epoch_invalidates_routes(self):
+        medium, _macs, service = self._setup()
+        service.router.route(0, 2)
+        service.on_positions_updated(0, medium.positions, medium)
+        assert service.router.tables == {}
+
+    def test_requires_router_or_links(self):
+        with pytest.raises(ValueError):
+            MultiHopService({})

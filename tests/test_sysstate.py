@@ -1,0 +1,151 @@
+"""Unit tests for the system-state estimator (paper eqs. 1-5)."""
+
+import pytest
+
+from repro.core.density import NodeDensityEstimator
+from repro.core.sysstate import SystemStateEstimator
+from repro.geometry.regions import RegionModel
+
+
+@pytest.fixture
+def estimator():
+    return SystemStateEstimator(RegionModel())
+
+
+class TestProbabilities:
+    def test_eq5_complement(self, estimator):
+        probs = estimator.probabilities(0.5, 5, 5)
+        assert probs.p_idle_given_idle == pytest.approx(
+            1.0 - probs.p_busy_given_idle
+        )
+
+    def test_eq3_formula(self, estimator):
+        rho, n, k = 0.3, 5, 5
+        regions = estimator.region_model.regions
+        expected = regions.left_exclusive_fraction * (1 - (1 - rho) ** (n + k))
+        assert estimator.probabilities(rho, n, k).p_busy_given_idle == (
+            pytest.approx(expected)
+        )
+
+    def test_eq4_formula(self, estimator):
+        rho, n, k = 0.3, 5, 5
+        regions = estimator.region_model.regions
+        busy_term = 1 - (1 - rho) ** (n + k)
+        empty_term = (1 - rho) ** (n + k)
+        expected = regions.right_exclusive_fraction * (
+            regions.left_hidden_fraction * busy_term + empty_term
+        )
+        assert estimator.probabilities(rho, n, k).p_idle_given_busy == (
+            pytest.approx(expected)
+        )
+
+    def test_p_busy_given_idle_increases_with_rho(self, estimator):
+        values = [
+            estimator.probabilities(rho, 5, 5).p_busy_given_idle
+            for rho in (0.1, 0.3, 0.5, 0.7, 0.9)
+        ]
+        assert values == sorted(values)
+
+    def test_p_idle_given_busy_decreases_with_rho(self, estimator):
+        values = [
+            estimator.probabilities(rho, 5, 5).p_idle_given_busy
+            for rho in (0.1, 0.3, 0.5, 0.7, 0.9)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_zero_traffic_limits(self, estimator):
+        probs = estimator.probabilities(0.0, 5, 5)
+        # Nobody transmits: S is never busy while R idle...
+        assert probs.p_busy_given_idle == 0.0
+        assert probs.p_idle_given_idle == 1.0
+
+    def test_saturated_limits(self, estimator):
+        probs = estimator.probabilities(1.0, 5, 5)
+        regions = estimator.region_model.regions
+        assert probs.p_busy_given_idle == pytest.approx(
+            regions.left_exclusive_fraction
+        )
+        assert probs.p_idle_given_busy == pytest.approx(
+            regions.right_exclusive_fraction * regions.left_hidden_fraction
+        )
+
+    def test_all_probabilities_valid(self, estimator):
+        for rho in (0.0, 0.25, 0.5, 0.75, 1.0):
+            for nk in ((1, 1), (5, 5), (20, 20), (0, 0)):
+                probs = estimator.probabilities(rho, *nk)
+                for p in (
+                    probs.p_busy_given_idle,
+                    probs.p_idle_given_busy,
+                    probs.p_idle_given_idle,
+                ):
+                    assert 0.0 <= p <= 1.0
+
+    def test_paper_insensitivity_to_n_k(self, estimator):
+        """The paper found n and k 'do not play a significant role' at
+        moderate+ intensity — the exponent saturates."""
+        at_5 = estimator.probabilities(0.6, 5, 5)
+        at_10 = estimator.probabilities(0.6, 10, 10)
+        assert at_5.p_busy_given_idle == pytest.approx(
+            at_10.p_busy_given_idle, abs=0.01
+        )
+
+    def test_invalid_inputs_rejected(self, estimator):
+        with pytest.raises(ValueError):
+            estimator.probabilities(1.5, 5, 5)
+        with pytest.raises(ValueError):
+            estimator.probabilities(0.5, -1, 5)
+
+
+class TestSlotEstimates:
+    def test_eq1_eq2_sum(self, estimator):
+        i_est, b_est = estimator.estimate_sender_slots(100, 200, 0.5, 5, 5)
+        assert i_est + b_est == pytest.approx(300)
+
+    def test_all_idle_low_traffic(self, estimator):
+        i_est, _ = estimator.estimate_sender_slots(100, 0, 0.0, 5, 5)
+        assert i_est == pytest.approx(100)
+
+    def test_busy_slots_contribute_via_p_ib(self, estimator):
+        probs = estimator.probabilities(0.5, 5, 5)
+        i_est, _ = estimator.estimate_sender_slots(0, 100, 0.5, 5, 5)
+        assert i_est == pytest.approx(100 * probs.p_idle_given_busy)
+
+    def test_clamped_to_interval(self, estimator):
+        i_est, b_est = estimator.estimate_sender_slots(10, 10, 0.9, 5, 5)
+        assert 0 <= i_est <= 20
+        assert 0 <= b_est <= 20
+
+    def test_negative_counts_rejected(self, estimator):
+        with pytest.raises(ValueError):
+            estimator.estimate_sender_slots(-1, 10, 0.5, 5, 5)
+
+
+class TestDensityEstimator:
+    def test_density_from_terminals(self):
+        import math
+
+        est = NodeDensityEstimator(transmission_range=250.0)
+        density = est.density_from_terminals(10)
+        assert density == pytest.approx(10 / (math.pi * 250**2))
+
+    def test_region_counts_scale(self):
+        est = NodeDensityEstimator()
+        low = est.region_counts(5)
+        high = est.region_counts(10)
+        for label in low:
+            assert high[label] == pytest.approx(2 * low[label])
+
+    def test_zero_terminals(self):
+        est = NodeDensityEstimator()
+        assert all(v == 0.0 for v in est.region_counts(0).values())
+
+    def test_contention_exponent(self):
+        est = NodeDensityEstimator()
+        counts = est.region_counts(8)
+        assert est.contention_exponent(8) == pytest.approx(
+            counts["A1"] + counts["A2"]
+        )
+
+    def test_negative_terminals_rejected(self):
+        with pytest.raises(ValueError):
+            NodeDensityEstimator().density_from_terminals(-1)

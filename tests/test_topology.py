@@ -1,0 +1,149 @@
+"""Unit tests for repro.topology (placement and mobility)."""
+
+import pytest
+
+from repro.geometry.vectors import distance
+from repro.topology.mobility import RandomWaypoint, StaticMobility
+from repro.topology.placement import (
+    center_pair_indices,
+    grid_positions,
+    random_positions,
+)
+from repro.util.rng import RngStream
+
+
+class TestGridPositions:
+    def test_paper_grid_size(self):
+        assert len(grid_positions()) == 56  # 7 x 8
+
+    def test_spacing(self):
+        pts = grid_positions(rows=2, cols=2, spacing=100.0)
+        assert pts == [(0, 0), (100, 0), (0, 100), (100, 100)]
+
+    def test_origin_offset(self):
+        pts = grid_positions(rows=1, cols=2, spacing=10.0, origin=(5.0, 7.0))
+        assert pts == [(5, 7), (15, 7)]
+
+    def test_row_major_order(self):
+        pts = grid_positions(rows=2, cols=3, spacing=1.0)
+        assert pts[4] == (1.0, 1.0)  # row 1, col 1
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ValueError):
+            grid_positions(rows=0)
+
+
+class TestCenterPair:
+    def test_paper_grid_center(self):
+        sender, monitor = center_pair_indices()
+        pts = grid_positions()
+        assert distance(pts[sender], pts[monitor]) == pytest.approx(240.0)
+        # Both near the grid centroid.
+        cx = sum(p[0] for p in pts) / len(pts)
+        cy = sum(p[1] for p in pts) / len(pts)
+        assert distance(pts[sender], (cx, cy)) < 300
+
+    def test_adjacent(self):
+        sender, monitor = center_pair_indices(3, 3)
+        assert monitor == sender + 1
+
+
+class TestRandomPositions:
+    def test_count_and_bounds(self):
+        pts = random_positions(112, rng=RngStream(1, "place"))
+        assert len(pts) == 112
+        assert all(0 <= x <= 3000 and 0 <= y <= 3000 for x, y in pts)
+
+    def test_requires_rng(self):
+        with pytest.raises(ValueError):
+            random_positions(10)
+
+    def test_reproducible(self):
+        a = random_positions(10, rng=RngStream(5, "p"))
+        b = random_positions(10, rng=RngStream(5, "p"))
+        assert a == b
+
+
+class TestStaticMobility:
+    def test_positions_constant(self):
+        m = StaticMobility([(0, 0), (1, 1)])
+        assert m.positions_at(0.0) == m.positions_at(100.0)
+
+    def test_is_static(self):
+        assert StaticMobility([(0, 0)]).is_static
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            StaticMobility([(0, 0)]).positions_at(-1.0)
+
+
+class TestRandomWaypoint:
+    def _model(self, pause=0.0, seed=1):
+        initial = [(100.0 * i, 100.0 * i) for i in range(5)]
+        return RandomWaypoint(
+            initial,
+            width=1000.0,
+            height=1000.0,
+            max_speed=20.0,
+            pause_time=pause,
+            rng=RngStream(seed, "wp"),
+        )
+
+    def test_initial_positions(self):
+        m = self._model()
+        pos = m.positions_at(0.0)
+        assert pos[0] == (0.0, 0.0)
+        assert pos[2] == (200.0, 200.0)
+
+    def test_not_static(self):
+        assert not self._model().is_static
+
+    def test_nodes_move(self):
+        m = self._model()
+        p0 = m.positions_at(0.0)
+        p1 = m.positions_at(10.0)
+        moved = sum(1 for i in p0 if distance(p0[i], p1[i]) > 1.0)
+        assert moved >= 4  # speed floor makes a stuck node near-impossible
+
+    def test_positions_stay_in_field(self):
+        m = self._model()
+        for t in range(0, 300, 10):
+            for x, y in m.positions_at(float(t)).values():
+                assert 0 <= x <= 1000 and 0 <= y <= 1000
+
+    def test_speed_bounded(self):
+        m = self._model()
+        prev = m.positions_at(0.0)
+        for t in range(1, 50):
+            cur = m.positions_at(float(t))
+            for i in prev:
+                assert distance(prev[i], cur[i]) <= 20.0 + 1e-6
+            prev = cur
+
+    def test_pause_time_holds_position(self):
+        m = self._model(pause=1000.0, seed=3)
+        # After reaching the first waypoint each node pauses for a long
+        # time; sample late enough that all nodes have arrived (max
+        # travel ~ 1400 m at >= 0.01 m/s is unbounded, so instead check
+        # that between two late close samples movement can be zero for
+        # paused nodes without violating bounds).
+        p1 = m.positions_at(200.0)
+        p2 = m.positions_at(200.5)
+        # No node may exceed the speed bound; paused nodes move zero.
+        for i in p1:
+            assert distance(p1[i], p2[i]) <= 10.0 + 1e-6
+
+    def test_requires_rng(self):
+        with pytest.raises(ValueError):
+            RandomWaypoint([(0, 0)], rng=None)
+
+    def test_speed_order_validated(self):
+        with pytest.raises(ValueError):
+            RandomWaypoint(
+                [(0, 0)], min_speed=10, max_speed=5, rng=RngStream(1, "x")
+            )
+
+    def test_reproducible(self):
+        a = self._model(seed=9).positions_at(50.0)
+        b = self._model(seed=9).positions_at(50.0)
+        assert a == b

@@ -1,0 +1,108 @@
+"""Tests for the packet-level trace recorder."""
+
+import pytest
+
+from repro.phy.medium import Transmission
+from repro.sim.trace import TraceRecord, TraceRecorder
+
+
+def _tx(sender=0, receiver=1, start=0, end=10, frame=None):
+    return Transmission(
+        sender=sender, receiver=receiver, start_slot=start, end_slot=end,
+        frame=frame,
+    )
+
+
+class TestTraceRecord:
+    def test_render_success(self):
+        rec = TraceRecord(slot=50, kind="success", sender=1, receiver=2)
+        line = rec.render()
+        assert line.startswith("r 0.001000")
+        assert "_1_ -> _2_" in line
+
+    def test_render_kinds(self):
+        assert TraceRecord(0, "start").render().startswith("s ")
+        assert TraceRecord(0, "failure").render().startswith("d ")
+        assert TraceRecord(0, "epoch").render().startswith("M ")
+
+
+class TestTraceRecorder:
+    def test_records_lifecycle(self):
+        recorder = TraceRecorder()
+        tx = _tx()
+        recorder.on_transmission_start(0, tx, None)
+        recorder.on_transmission_end(10, tx, True, None)
+        assert [r.kind for r in recorder.records] == ["start", "success"]
+
+    def test_failure_recorded(self):
+        recorder = TraceRecorder()
+        recorder.on_transmission_end(10, _tx(), False, None)
+        assert recorder.records[0].kind == "failure"
+        assert "dur=10" in recorder.records[0].detail
+
+    def test_rts_detail(self):
+        from repro.mac.digest import data_digest
+        from repro.mac.frames import RtsFrame
+
+        rts = RtsFrame(
+            sender=0, receiver=1, seq_off=7, attempt=2,
+            digest=data_digest(b"x"),
+        )
+        recorder = TraceRecorder()
+        recorder.on_transmission_start(0, _tx(frame=rts), None)
+        assert "seq=7" in recorder.records[0].detail
+        assert "attempt=2" in recorder.records[0].detail
+
+    def test_sender_filter(self):
+        recorder = TraceRecorder(senders={5})
+        recorder.on_transmission_start(0, _tx(sender=0), None)
+        recorder.on_transmission_start(0, _tx(sender=5), None)
+        assert len(recorder.records) == 1
+        assert recorder.records[0].sender == 5
+
+    def test_memory_bound(self):
+        recorder = TraceRecorder(max_records=2)
+        for i in range(5):
+            recorder.on_transmission_start(i, _tx(), None)
+        assert len(recorder.records) == 2
+        assert recorder.dropped == 3
+
+    def test_epoch_recorded(self):
+        recorder = TraceRecorder()
+        recorder.on_positions_updated(100, {0: (0, 0)}, None)
+        assert recorder.records[0].kind == "epoch"
+        assert "nodes=1" in recorder.records[0].detail
+
+    def test_write(self, tmp_path):
+        recorder = TraceRecorder()
+        recorder.on_transmission_start(0, _tx(), None)
+        path = tmp_path / "trace.tr"
+        recorder.write(path)
+        assert path.read_text().startswith("s 0.000000")
+
+    def test_events_of(self):
+        recorder = TraceRecorder()
+        recorder.on_transmission_start(0, _tx(sender=3), None)
+        recorder.on_transmission_start(0, _tx(sender=4), None)
+        assert len(recorder.events_of(3)) == 1
+
+    def test_end_to_end_trace(self):
+        """Tracing a real simulation produces a consistent event stream:
+        every start has a matching outcome and slots are monotone."""
+        from repro.sim.network import Flow, Simulation
+        from repro.topology.placement import grid_positions
+
+        sim = Simulation(
+            grid_positions(rows=1, cols=2),
+            flows=[Flow(source=0, destination=1, load=0.3)],
+        )
+        recorder = TraceRecorder()
+        sim.add_listener(recorder)
+        sim.run(0.5)
+        starts = sum(1 for r in recorder.records if r.kind == "start")
+        outcomes = sum(
+            1 for r in recorder.records if r.kind in ("success", "failure")
+        )
+        assert starts == outcomes > 0
+        slots = [r.slot for r in recorder.records]
+        assert slots == sorted(slots)

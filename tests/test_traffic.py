@@ -1,0 +1,145 @@
+"""Unit tests for repro.traffic (generators and queue)."""
+
+import pytest
+
+from repro.traffic.generators import CbrTrafficGenerator, PoissonTrafficGenerator
+from repro.traffic.queue import DropTailQueue, Packet
+from repro.util.rng import RngStream
+
+
+class TestPacket:
+    def test_unique_uids(self):
+        a = Packet(source=0, destination=1)
+        b = Packet(source=0, destination=1)
+        assert a.uid != b.uid
+
+    def test_payload_unique_per_packet(self):
+        a = Packet(source=0, destination=1)
+        b = Packet(source=0, destination=1)
+        assert a.payload != b.payload
+
+    def test_default_size_matches_table1(self):
+        assert Packet(source=0, destination=1).size_bytes == 512
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            Packet(source=0, destination=1, size_bytes=0)
+
+
+class TestDropTailQueue:
+    def test_fifo_order(self):
+        q = DropTailQueue(capacity=3)
+        p1 = Packet(source=0, destination=1)
+        p2 = Packet(source=0, destination=1)
+        q.offer(p1)
+        q.offer(p2)
+        assert q.pop() is p1
+        assert q.pop() is p2
+
+    def test_capacity_drop(self):
+        q = DropTailQueue(capacity=2)
+        packets = [Packet(source=0, destination=1) for _ in range(3)]
+        assert q.offer(packets[0])
+        assert q.offer(packets[1])
+        assert not q.offer(packets[2])
+        assert q.drops == 1
+        assert q.arrivals == 3
+
+    def test_peek_does_not_remove(self):
+        q = DropTailQueue()
+        p = Packet(source=0, destination=1)
+        q.offer(p)
+        assert q.peek() is p
+        assert len(q) == 1
+
+    def test_peek_empty(self):
+        assert DropTailQueue().peek() is None
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            DropTailQueue().pop()
+
+    def test_departures_counted(self):
+        q = DropTailQueue()
+        q.offer(Packet(source=0, destination=1))
+        q.pop()
+        assert q.departures == 1
+
+    def test_default_capacity_matches_table1(self):
+        assert DropTailQueue().capacity == 50
+
+
+class TestPoissonGenerator:
+    def _gen(self, load=0.5, service=200, seed=1):
+        return PoissonTrafficGenerator(
+            load, service, rng=RngStream(seed, "arr")
+        )
+
+    def test_arrivals_strictly_increase(self):
+        gen = self._gen()
+        slot = -1
+        for _ in range(200):
+            nxt = gen.next_arrival_after(slot)
+            assert nxt > slot
+            slot = nxt
+
+    def test_rate_approximately_correct(self):
+        gen = self._gen(load=0.5, service=200)
+        slot = -1
+        arrivals = []
+        for _ in range(3000):
+            slot = gen.next_arrival_after(slot)
+            arrivals.append(slot)
+        mean_gap = (arrivals[-1] - arrivals[0]) / (len(arrivals) - 1)
+        assert mean_gap == pytest.approx(400.0, rel=0.1)
+
+    def test_end_slot_terminates(self):
+        gen = PoissonTrafficGenerator(
+            0.5, 100, rng=RngStream(2, "arr"), end_slot=1000
+        )
+        slot = -1
+        while True:
+            nxt = gen.next_arrival_after(slot)
+            if nxt is None:
+                break
+            assert nxt <= 1000
+            slot = nxt
+
+    def test_invalid_load_rejected(self):
+        with pytest.raises(ValueError):
+            self._gen(load=0.0)
+
+
+class TestCbrGenerator:
+    def test_fixed_interval(self):
+        gen = CbrTrafficGenerator(0.5, 100)  # interval = 200
+        slots = []
+        slot = -1
+        for _ in range(5):
+            slot = gen.next_arrival_after(slot)
+            slots.append(slot)
+        gaps = {b - a for a, b in zip(slots, slots[1:])}
+        assert gaps == {200}
+
+    def test_phase_offsets_streams(self):
+        a = CbrTrafficGenerator(0.5, 100, phase=0)
+        b = CbrTrafficGenerator(0.5, 100, phase=37)
+        assert a.next_arrival_after(0) != b.next_arrival_after(0)
+
+    def test_arrivals_strictly_increase(self):
+        gen = CbrTrafficGenerator(1.0, 100, phase=13)
+        slot = -1
+        for _ in range(100):
+            nxt = gen.next_arrival_after(slot)
+            assert nxt > slot
+            slot = nxt
+
+    def test_end_slot(self):
+        gen = CbrTrafficGenerator(0.5, 100, end_slot=500)
+        slot = 450
+        nxt = gen.next_arrival_after(slot)
+        assert nxt is None or nxt <= 500
+
+    def test_same_load_as_poisson(self):
+        cbr = CbrTrafficGenerator(0.5, 200)
+        assert cbr.interval == 400

@@ -1,0 +1,72 @@
+"""Unit tests for repro.util.units."""
+
+import pytest
+
+from repro.util.units import (
+    Duration,
+    microseconds_to_slots,
+    seconds_to_slots,
+    slots_to_microseconds,
+    slots_to_seconds,
+)
+
+
+class TestMicrosecondsToSlots:
+    def test_exact_multiple(self):
+        assert microseconds_to_slots(40, 20) == 2
+
+    def test_rounds_up(self):
+        assert microseconds_to_slots(41, 20) == 3
+
+    def test_zero(self):
+        assert microseconds_to_slots(0) == 0
+
+    def test_difs_is_three_slots(self):
+        # 50 us DIFS over 20 us slots rounds up to 3.
+        assert microseconds_to_slots(50) == 3
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            microseconds_to_slots(-1)
+
+    def test_non_positive_slot_time_rejected(self):
+        with pytest.raises(ValueError):
+            microseconds_to_slots(10, 0)
+
+
+class TestRoundTrips:
+    def test_slots_to_microseconds(self):
+        assert slots_to_microseconds(3) == 60.0
+
+    def test_slots_to_microseconds_rejects_negative(self):
+        with pytest.raises(ValueError):
+            slots_to_microseconds(-1)
+
+    def test_seconds_round_trip(self):
+        slots = seconds_to_slots(1.0)
+        assert slots == 50_000
+        assert slots_to_seconds(slots) == pytest.approx(1.0)
+
+
+class TestDuration:
+    def test_from_seconds(self):
+        d = Duration.from_seconds(0.001)
+        assert d.slots == 50
+        assert d.microseconds == 1000.0
+
+    def test_from_microseconds(self):
+        assert Duration.from_microseconds(45).slots == 3
+
+    def test_addition(self):
+        assert (Duration(2) + Duration(3)).slots == 5
+
+    def test_addition_mismatched_slot_times_rejected(self):
+        with pytest.raises(ValueError):
+            Duration(1, 20.0) + Duration(1, 10.0)
+
+    def test_int_conversion(self):
+        assert int(Duration(7)) == 7
+
+    def test_negative_slots_rejected(self):
+        with pytest.raises(ValueError):
+            Duration(-1)

@@ -1,0 +1,63 @@
+"""Unit tests for repro.util.validation."""
+
+import math
+
+import pytest
+
+from repro.util.validation import (
+    check_finite,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(1.5, "x") == 1.5
+
+    @pytest.mark.parametrize("value", [0, -1, -0.001])
+    def test_rejects_non_positive(self, value):
+        with pytest.raises(ValueError, match="x"):
+            check_positive(value, "x")
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative(0, "x") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative(-0.1, "x")
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, value):
+        assert check_probability(value, "p") == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01])
+    def test_rejects_outside(self, value):
+        with pytest.raises(ValueError):
+            check_probability(value, "p")
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range(1, 1, 5, "x") == 1
+        assert check_in_range(5, 1, 5, "x") == 5
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            check_in_range(6, 1, 5, "x")
+
+
+class TestCheckFinite:
+    def test_accepts_finite(self):
+        assert check_finite(3.0, "x") == 3.0
+
+    @pytest.mark.parametrize("value", [math.inf, -math.inf, math.nan])
+    def test_rejects_non_finite(self, value):
+        with pytest.raises(ValueError):
+            check_finite(value, "x")
