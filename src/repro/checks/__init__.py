@@ -1,0 +1,32 @@
+"""Repo-native correctness tooling.
+
+Two halves:
+
+* :mod:`repro.checks.lint` — an AST-based static pass enforcing the
+  repo's determinism and slot-exactness contracts (run it with
+  ``python -m repro.checks src/``).
+* :mod:`repro.checks.invariants` — a simulation listener that verifies,
+  while a run executes, the event-ordering and back-off invariants the
+  engine documents (install it with the CLI ``--check`` flag or the
+  ``REPRO_CHECK=1`` environment variable).
+"""
+
+from __future__ import annotations
+
+from repro.checks.lint import Finding, LintRule, RULES, lint_paths, lint_source
+from repro.checks.runtime import (
+    disable_runtime_checks,
+    enable_runtime_checks,
+    runtime_checks_enabled,
+)
+
+__all__ = [
+    "Finding",
+    "LintRule",
+    "RULES",
+    "lint_paths",
+    "lint_source",
+    "enable_runtime_checks",
+    "disable_runtime_checks",
+    "runtime_checks_enabled",
+]

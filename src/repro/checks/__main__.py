@@ -1,0 +1,76 @@
+"""CLI entry point: ``python -m repro.checks [paths...]``.
+
+Lints the given files/directories (default: ``src``) against the repo's
+static rules and exits nonzero if any finding is reported, so the pass
+can gate CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.checks.lint import RULES, lint_paths
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.checks",
+        description="Repo-native static analysis for the slot-exact simulator",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--select",
+        nargs="*",
+        metavar="CODE",
+        help="only report these rule codes (e.g. RPR001 RPR101)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in RULES:
+            print(f"{rule.code}  {rule.summary}")
+        return 0
+    if args.select:
+        known = {rule.code for rule in RULES} | {"RPR000"}
+        unknown = sorted(set(args.select) - known)
+        if unknown:
+            print(
+                f"repro.checks: unknown rule code(s): {', '.join(unknown)} "
+                "(see --list-rules)",
+                file=sys.stderr,
+            )
+            return 2
+    missing = [path for path in args.paths if not Path(path).exists()]
+    if missing:
+        for path in missing:
+            print(
+                f"repro.checks: no such file or directory: {path}",
+                file=sys.stderr,
+            )
+        return 2
+    findings = lint_paths(args.paths, select=args.select)
+    for finding in findings:
+        print(finding.render())
+    noun = "finding" if len(findings) == 1 else "findings"
+    print(f"repro.checks: {len(findings)} {noun}", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""Process-wide switch for the runtime invariant checker.
+
+The simulation engine consults this module at construction time; when
+enabled it installs a :class:`repro.checks.invariants.InvariantChecker`
+on itself.  Enable it either programmatically (the CLI ``--check`` flag
+calls :func:`enable_runtime_checks`) or via the ``REPRO_CHECK``
+environment variable, which makes any entry point — the examples, the
+benchmarks, ad-hoc scripts — checkable without code changes.
+
+Kept free of imports from the rest of the package so the engine can
+depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import os
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+_enabled = False
+
+
+def enable_runtime_checks() -> None:
+    """Install an invariant checker on every engine built from now on."""
+    global _enabled
+    _enabled = True
+
+
+def disable_runtime_checks() -> None:
+    """Stop auto-installing invariant checkers (env var still wins)."""
+    global _enabled
+    _enabled = False
+
+
+def runtime_checks_enabled() -> bool:
+    """True if new engines should self-install an invariant checker."""
+    if _enabled:
+        return True
+    return os.environ.get("REPRO_CHECK", "").strip().lower() in _TRUTHY

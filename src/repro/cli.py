@@ -9,6 +9,10 @@ Usage::
     python -m repro.cli fig6 [--loads 0.6] [--windows N]
     python -m repro.cli demo [--pm 60] [--load 0.6] [--seconds 6]
 
+The global ``--check`` flag (before the subcommand) installs the runtime
+invariant checker from :mod:`repro.checks.invariants` on every engine the
+run builds; any broken engine contract aborts with a precise diagnostic.
+
 Everything prints the same plain-text tables the benchmarks emit.
 """
 
@@ -16,16 +20,17 @@ from __future__ import annotations
 
 import argparse
 import sys
+from typing import List, Optional
 
 
-def _cmd_table1(args):
+def _cmd_table1(args: argparse.Namespace) -> int:
     from repro.experiments.config import TABLE1
 
     print(TABLE1.render())
     return 0
 
 
-def _cmd_fig3(args):
+def _cmd_fig3(args: argparse.Namespace) -> int:
     from repro.experiments.fig3 import (
         DEFAULT_LOAD_SWEEP,
         render_points,
@@ -41,7 +46,7 @@ def _cmd_fig3(args):
     return 0
 
 
-def _cmd_fig4(args):
+def _cmd_fig4(args: argparse.Namespace) -> int:
     from repro.experiments.fig3 import DEFAULT_LOAD_SWEEP, render_points
     from repro.experiments.fig4 import run_fig4
 
@@ -54,7 +59,7 @@ def _cmd_fig4(args):
     return 0
 
 
-def _cmd_fig5(args):
+def _cmd_fig5(args: argparse.Namespace) -> int:
     from repro.experiments.fig5 import (
         DEFAULT_LOADS,
         DEFAULT_PM_SWEEP,
@@ -78,7 +83,7 @@ def _cmd_fig5(args):
     return 0
 
 
-def _cmd_fig6(args):
+def _cmd_fig6(args: argparse.Namespace) -> int:
     from repro.experiments.fig6 import (
         DEFAULT_LOADS,
         render_curves,
@@ -98,7 +103,7 @@ def _cmd_fig6(args):
     return 0
 
 
-def _cmd_demo(args):
+def _cmd_demo(args: argparse.Namespace) -> int:
     from repro.analysis.latency import detection_latency
     from repro.analysis.summary import summarize_estimation
     from repro.core.detector import BackoffMisbehaviorDetector, DetectorConfig
@@ -134,14 +139,23 @@ def _cmd_demo(args):
         )
     else:
         print("never flagged (as expected for an honest sender)")
+    checker = sim.engine.invariant_checker
+    if checker is not None:
+        print(checker.summary())
     return 0
 
 
-def build_parser():
+def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Detecting MAC Layer Back-off Timer "
         "Violations in Mobile Ad Hoc Networks' (ICDCS 2006)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="install the runtime invariant checker on every simulation "
+        "engine (see repro.checks)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -175,9 +189,13 @@ def build_parser():
     return parser
 
 
-def main(argv=None):
+def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.check:
+        from repro.checks import enable_runtime_checks
+
+        enable_runtime_checks()
     return args.func(args)
 
 

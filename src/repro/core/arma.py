@@ -10,6 +10,8 @@ the results are insensitive to alpha as long as it is close to 1).
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.util.validation import check_in_range, check_positive
 
 
@@ -23,18 +25,20 @@ class ArmaTrafficEstimator:
     running raw mean, so early reads are sensible rather than zero.
     """
 
-    def __init__(self, alpha=0.995, sample_interval_slots=500):
+    def __init__(
+        self, alpha: float = 0.995, sample_interval_slots: int = 500
+    ) -> None:
         self.alpha = check_in_range(alpha, 0.0, 1.0, "alpha")
         self.sample_interval_slots = int(
             check_positive(sample_interval_slots, "sample_interval_slots")
         )
-        self._estimate = None
-        self._pending_busy = 0
-        self._pending_total = 0
+        self._estimate: Optional[float] = None
+        self._pending_busy = 0.0
+        self._pending_total = 0.0
         self.intervals_consumed = 0
 
     @property
-    def estimate(self):
+    def estimate(self) -> float:
         """Current rho estimate in [0, 1] (0.0 before any data)."""
         if self._estimate is not None:
             return self._estimate
@@ -43,11 +47,11 @@ class ArmaTrafficEstimator:
         return 0.0
 
     @property
-    def warmed_up(self):
+    def warmed_up(self) -> bool:
         """True once at least one full sample interval was absorbed."""
         return self._estimate is not None
 
-    def update(self, busy_fraction):
+    def update(self, busy_fraction: float) -> float:
         """Absorb one sample interval's mean busy fraction."""
         check_in_range(busy_fraction, 0.0, 1.0, "busy_fraction")
         if self._estimate is None:
@@ -59,7 +63,7 @@ class ArmaTrafficEstimator:
         self.intervals_consumed += 1
         return self._estimate
 
-    def ingest(self, busy_slots, total_slots):
+    def ingest(self, busy_slots: int, total_slots: int) -> None:
         """Absorb raw slot counts, applying eq. 6 per full interval."""
         if busy_slots < 0 or total_slots < 0 or busy_slots > total_slots:
             raise ValueError(

@@ -22,6 +22,7 @@ inversion (for the monitor).
 from __future__ import annotations
 
 import math
+from typing import Optional, Tuple
 
 from repro.util.validation import check_in_range, check_positive
 
@@ -34,11 +35,11 @@ class BianchiModel:
     CWmax = 2^m (CWmin+1) - 1.
     """
 
-    def __init__(self, cw_min=31, stages=5):
+    def __init__(self, cw_min: int = 31, stages: int = 5) -> None:
         self.w = int(check_positive(cw_min, "cw_min")) + 1
         self.stages = int(check_positive(stages, "stages"))
 
-    def tau_of_p(self, p):
+    def tau_of_p(self, p: float) -> float:
         """Per-slot transmission probability given collision prob ``p``.
 
         Uses the series form ``tau = 2 / (1 + W + p W sum_{i<m} (2p)^i)``,
@@ -50,13 +51,18 @@ class BianchiModel:
         series = sum((2.0 * p) ** i for i in range(m))
         return 2.0 / (1.0 + w + p * w * series)
 
-    def p_of_tau(self, tau, n):
+    def p_of_tau(self, tau: float, n: float) -> float:
         """Collision probability seen by one of ``n`` stations."""
         check_in_range(tau, 0.0, 1.0, "tau")
         check_positive(n, "n")
         return 1.0 - (1.0 - tau) ** (n - 1)
 
-    def solve(self, n, tolerance=1e-10, max_iterations=10_000):
+    def solve(
+        self,
+        n: float,
+        tolerance: float = 1e-10,
+        max_iterations: int = 10_000,
+    ) -> Tuple[float, float]:
         """Fixed point (tau, p) for ``n`` saturated stations.
 
         Solved by damped iteration; the map is a contraction for the
@@ -82,13 +88,15 @@ class CompetingTerminalEstimator:
     traffic estimator.
     """
 
-    def __init__(self, model=None, alpha=0.995):
+    def __init__(
+        self, model: Optional[BianchiModel] = None, alpha: float = 0.995
+    ) -> None:
         self.model = model if model is not None else BianchiModel()
         self.alpha = check_in_range(alpha, 0.0, 1.0, "alpha")
-        self._p_hat = None
+        self._p_hat: Optional[float] = None
         self.samples = 0
 
-    def record_attempt(self, collided):
+    def record_attempt(self, collided: bool) -> None:
         """Record one observed transmission attempt and its outcome."""
         value = 1.0 if collided else 0.0
         if self._p_hat is None:
@@ -98,10 +106,10 @@ class CompetingTerminalEstimator:
         self.samples += 1
 
     @property
-    def collision_probability(self):
+    def collision_probability(self) -> float:
         return self._p_hat if self._p_hat is not None else 0.0
 
-    def terminals_for(self, p):
+    def terminals_for(self, p: float) -> float:
         """Closed-form n-hat for a given collision probability.
 
         ``p`` is clamped just below 1: a transient all-collisions
@@ -118,6 +126,6 @@ class CompetingTerminalEstimator:
         return 1.0 + math.log(1.0 - p) / math.log(1.0 - tau)
 
     @property
-    def estimate(self):
+    def estimate(self) -> float:
         """Current n-hat (1.0 before any data)."""
         return self.terminals_for(self.collision_probability)

@@ -15,6 +15,7 @@ would need explicit degree reports (out of scope there and here).
 from __future__ import annotations
 
 import math
+from typing import Dict, Optional
 
 from repro.geometry.regions import RegionModel
 from repro.util.validation import check_positive
@@ -23,7 +24,11 @@ from repro.util.validation import check_positive
 class NodeDensityEstimator:
     """Turns a competing-terminal count into per-region node counts."""
 
-    def __init__(self, transmission_range=250.0, region_model=None):
+    def __init__(
+        self,
+        transmission_range: float = 250.0,
+        region_model: Optional[RegionModel] = None,
+    ) -> None:
         self.transmission_range = check_positive(
             transmission_range, "transmission_range"
         )
@@ -31,14 +36,14 @@ class NodeDensityEstimator:
             region_model if region_model is not None else RegionModel()
         )
 
-    def density_from_terminals(self, n_terminals):
+    def density_from_terminals(self, n_terminals: float) -> float:
         """Nodes per square meter implied by ``n_terminals`` in range R."""
         if n_terminals < 0:
             raise ValueError(f"n_terminals must be >= 0, got {n_terminals}")
         area = math.pi * self.transmission_range**2
         return n_terminals / area
 
-    def region_counts(self, n_terminals):
+    def region_counts(self, n_terminals: float) -> Dict[str, float]:
         """Expected node counts for A1..A5 given ``n_terminals``.
 
         Returns the dict of real-valued expected counts; eqs. 3-4 use
@@ -50,7 +55,7 @@ class NodeDensityEstimator:
             return {label: 0.0 for label in ("A1", "A2", "A3", "A4", "A5")}
         return self.region_model.expected_counts(density)
 
-    def contention_exponent(self, n_terminals):
+    def contention_exponent(self, n_terminals: float) -> float:
         """The n + k of eqs. 3-4 (nodes in A1 plus nodes in A2)."""
         counts = self.region_counts(n_terminals)
         return counts["A1"] + counts["A2"]

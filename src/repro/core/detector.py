@@ -29,7 +29,8 @@ its timers).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.core.arma import ArmaTrafficEstimator
 from repro.core.bianchi import CompetingTerminalEstimator
@@ -49,6 +50,12 @@ from repro.mac.constants import DEFAULT_TIMING
 from repro.mac.frames import SEQ_OFF_MODULUS
 from repro.mac.prng import VerifiableBackoffPrng
 from repro.sim.listeners import SimulationListener
+
+if TYPE_CHECKING:  # pragma: no cover - import-time only
+    from repro.core.deterministic import DeterministicViolation
+    from repro.core.observation import ObservedTransmission
+    from repro.mac.constants import MacTiming
+    from repro.phy.medium import Medium, Transmission
 
 
 @dataclass
@@ -76,10 +83,10 @@ class DetectorConfig:
     arma_interval_slots: int = 500
     #: Known node counts in regions A2 / A1 (the paper's grid experiments
     #: fix n = k = 5); None -> estimate from the Bianchi inversion.
-    known_n: float = None
-    known_k: float = None
+    known_n: Optional[float] = None
+    known_k: Optional[float] = None
     #: Representative-interferer geometry; None -> RegionModel defaults.
-    region_model: RegionModel = None
+    region_model: Optional[RegionModel] = None
     #: Discard samples whose estimate exceeds slack * (CW + 1) slots.
     plausibility_slack: float = 2.0
     #: Discard samples whose *busy* slot count exceeds
@@ -117,8 +124,14 @@ class DetectorConfig:
 class BackoffMisbehaviorDetector(SimulationListener):
     """Monitors one tagged neighbor for back-off timer violations."""
 
-    def __init__(self, monitor_id, tagged_id, config=None, timing=None,
-                 separation=None):
+    def __init__(
+        self,
+        monitor_id: int,
+        tagged_id: int,
+        config: Optional[DetectorConfig] = None,
+        timing: "Optional[MacTiming]" = None,
+        separation: Optional[float] = None,
+    ) -> None:
         self.config = config if config is not None else DetectorConfig()
         self.timing = timing if timing is not None else DEFAULT_TIMING
         self.monitor_id = monitor_id
@@ -150,27 +163,40 @@ class BackoffMisbehaviorDetector(SimulationListener):
             cfg.countdown_tolerance
         )
 
-        self.observations = []       # accepted BackoffObservation samples
+        #: accepted BackoffObservation samples
+        self.observations: List[BackoffObservation] = []
         self.skipped_samples = 0
-        self.verdicts = []
-        self.violations = []         # DeterministicViolation records
+        self.verdicts: List[Verdict] = []
+        #: DeterministicViolation records
+        self.violations: List["DeterministicViolation"] = []
         self._arma_cursor = 0
         self._processed = 0          # observer.observed entries consumed
         self._samples_since_test = 0
-        self._birth_slot = None      # first slot this detector saw
-        self._invisible_ewma = None  # P(sender invisible to tagged | sensed)
+        #: first slot this detector saw
+        self._birth_slot: Optional[int] = None
+        #: P(sender invisible to tagged | sensed)
+        self._invisible_ewma: Optional[float] = None
         self._occupancy_samples = 0
 
     # -- listener plumbing -------------------------------------------------
 
-    def on_transmission_start(self, slot, transmission, medium):
+    def on_transmission_start(
+        self, slot: int, transmission: "Transmission", medium: "Medium"
+    ) -> None:
         self.observer.on_transmission_start(slot, transmission, medium)
 
-    def on_positions_updated(self, slot, positions, medium):
+    def on_positions_updated(
+        self,
+        slot: int,
+        positions: Dict[int, Tuple[float, float]],
+        medium: "Medium",
+    ) -> None:
         self.observer.on_positions_updated(slot, positions, medium)
         self._refresh_geometry(positions)
 
-    def _refresh_geometry(self, positions):
+    def _refresh_geometry(
+        self, positions: Dict[int, Tuple[float, float]]
+    ) -> None:
         """Track the monitor-sender separation under mobility.
 
         The region areas of eqs. 3-4 depend on the S-R distance; a
@@ -199,7 +225,13 @@ class BackoffMisbehaviorDetector(SimulationListener):
         self.state_estimator = SystemStateEstimator(model)
         self.density_estimator = NodeDensityEstimator(region_model=model)
 
-    def on_transmission_end(self, slot, transmission, success, medium):
+    def on_transmission_end(
+        self,
+        slot: int,
+        transmission: "Transmission",
+        success: bool,
+        medium: "Medium",
+    ) -> None:
         if self._birth_slot is None:
             self._birth_slot = transmission.start_slot
             self._arma_cursor = transmission.start_slot
@@ -219,7 +251,7 @@ class BackoffMisbehaviorDetector(SimulationListener):
 
     # -- online state ------------------------------------------------------
 
-    def _advance_arma(self, slot):
+    def _advance_arma(self, slot: int) -> None:
         # Busy intervals are recorded when transmissions *end*, so slots
         # closer than one full exchange to the present may still gain
         # busy mass from in-flight transmissions.  Only slots older than
@@ -232,11 +264,11 @@ class BackoffMisbehaviorDetector(SimulationListener):
         self._arma_cursor = target
 
     @property
-    def rho(self):
+    def rho(self) -> float:
         """Current ARMA traffic-intensity estimate."""
         return self.arma.estimate
 
-    def _record_occupancy(self, invisible):
+    def _record_occupancy(self, invisible: bool) -> None:
         value = 1.0 if invisible else 0.0
         if self._invisible_ewma is None:
             self._invisible_ewma = value
@@ -246,7 +278,7 @@ class BackoffMisbehaviorDetector(SimulationListener):
         self._occupancy_samples += 1
 
     @property
-    def p_ib_scale(self):
+    def p_ib_scale(self) -> float:
         """Measured-over-uniform invisible-transmitter ratio (eq.-4 scale)."""
         if (
             not self.config.occupancy_correction
@@ -259,7 +291,7 @@ class BackoffMisbehaviorDetector(SimulationListener):
             return 1.0
         return self._invisible_ewma / baseline
 
-    def _region_counts(self):
+    def _region_counts(self) -> Tuple[float, float]:
         cfg = self.config
         if cfg.known_n is not None and cfg.known_k is not None:
             return cfg.known_n, cfg.known_k
@@ -272,7 +304,7 @@ class BackoffMisbehaviorDetector(SimulationListener):
 
     # -- the main sample pipeline -------------------------------------------
 
-    def _process_new_observations(self, medium):
+    def _process_new_observations(self, medium: "Medium") -> None:
         observed = self.observer.observed
         while self._processed < len(observed):
             index = self._processed
@@ -286,7 +318,9 @@ class BackoffMisbehaviorDetector(SimulationListener):
             previous = observed[index - 1]
             self._form_sample(previous, current)
 
-    def _run_deterministic_frame_checks(self, current):
+    def _run_deterministic_frame_checks(
+        self, current: "ObservedTransmission"
+    ) -> None:
         rts = current.rts
         last_field = self.seq_verifier.last_field
         gap_free = (
@@ -302,7 +336,11 @@ class BackoffMisbehaviorDetector(SimulationListener):
         if violation is not None:
             self._record_violation(violation)
 
-    def _form_sample(self, previous, current):
+    def _form_sample(
+        self,
+        previous: "ObservedTransmission",
+        current: "ObservedTransmission",
+    ) -> None:
         rts = current.rts
         start = previous.end_slot
         end = current.start_slot
@@ -403,7 +441,7 @@ class BackoffMisbehaviorDetector(SimulationListener):
 
     # -- verdicts ------------------------------------------------------------
 
-    def _record_violation(self, violation):
+    def _record_violation(self, violation: "DeterministicViolation") -> None:
         self.violations.append(violation)
         self.verdicts.append(
             Verdict(
@@ -415,7 +453,7 @@ class BackoffMisbehaviorDetector(SimulationListener):
             )
         )
 
-    def _evaluate(self, slot):
+    def _evaluate(self, slot: int) -> None:
         decision, result = self.test.evaluate()
         if decision is TestDecision.NOT_ENOUGH_SAMPLES:
             return
@@ -438,20 +476,20 @@ class BackoffMisbehaviorDetector(SimulationListener):
     # -- conveniences -----------------------------------------------------------
 
     @property
-    def observation_count(self):
+    def observation_count(self) -> int:
         """Number of accepted samples (for stop conditions)."""
         return len(self.observations)
 
     @property
-    def latest_verdict(self):
+    def latest_verdict(self) -> Optional[Verdict]:
         return self.verdicts[-1] if self.verdicts else None
 
     @property
-    def flagged_malicious(self):
+    def flagged_malicious(self) -> bool:
         """True if any verdict so far deems the tagged node malicious."""
         return any(v.is_malicious for v in self.verdicts)
 
-    def reset_window(self):
+    def reset_window(self) -> None:
         """Clear the statistical window (e.g., after a monitor hand-off)."""
         self.test.reset()
         self._samples_since_test = 0

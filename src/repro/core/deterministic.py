@@ -23,8 +23,9 @@ Three violations are detectable with certainty, no statistics needed:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
-from repro.mac.frames import SEQ_OFF_MODULUS
+from repro.mac.frames import SEQ_OFF_MODULUS, RtsFrame
 
 
 @dataclass(frozen=True)
@@ -44,13 +45,15 @@ class SequenceOffsetVerifier:
     ``max_gap`` (missed-frame allowance) is flagged.
     """
 
-    def __init__(self, max_gap=64):
+    def __init__(self, max_gap: int = 64) -> None:
         if max_gap < 1 or max_gap >= SEQ_OFF_MODULUS // 2:
             raise ValueError(f"max_gap must be in [1, {SEQ_OFF_MODULUS // 2}), got {max_gap}")
         self.max_gap = max_gap
-        self._last_field = None
+        self._last_field: Optional[int] = None
 
-    def observe(self, rts, slot):
+    def observe(
+        self, rts: RtsFrame, slot: int
+    ) -> Optional[DeterministicViolation]:
         """Returns a :class:`DeterministicViolation` or None."""
         field = rts.seq_off_field
         violation = None
@@ -69,22 +72,24 @@ class SequenceOffsetVerifier:
         return violation
 
     @property
-    def last_field(self):
+    def last_field(self) -> Optional[int]:
         """The last observed (wrapped) SeqOff# field, or None."""
         return self._last_field
 
-    def reset(self):
+    def reset(self) -> None:
         self._last_field = None
 
 
 class AttemptNumberVerifier:
     """Checks Attempt# consistency against the DATA digest."""
 
-    def __init__(self):
-        self._last_digest = None
-        self._last_attempt = None
+    def __init__(self) -> None:
+        self._last_digest: Optional[bytes] = None
+        self._last_attempt: Optional[int] = None
 
-    def observe(self, rts, slot, gap_free=True):
+    def observe(
+        self, rts: RtsFrame, slot: int, gap_free: bool = True
+    ) -> Optional[DeterministicViolation]:
         """Returns a :class:`DeterministicViolation` or None.
 
         ``gap_free`` tells the verifier whether the previous RTS of this
@@ -117,7 +122,7 @@ class AttemptNumberVerifier:
         self._last_attempt = rts.attempt
         return violation
 
-    def reset(self):
+    def reset(self) -> None:
         self._last_digest = None
         self._last_attempt = None
 
@@ -125,12 +130,14 @@ class AttemptNumberVerifier:
 class UnambiguousCountdownVerifier:
     """Checks dictated-vs-observed countdown when there is no uncertainty."""
 
-    def __init__(self, tolerance_slots=4):
+    def __init__(self, tolerance_slots: int = 4) -> None:
         if tolerance_slots < 0:
             raise ValueError("tolerance_slots must be >= 0")
         self.tolerance_slots = tolerance_slots
 
-    def observe(self, dictated, observed_idle_slots, slot):
+    def observe(
+        self, dictated: int, observed_idle_slots: float, slot: int
+    ) -> Optional[DeterministicViolation]:
         """Evaluate one unambiguous interval.
 
         ``observed_idle_slots`` is the countdown budget the monitor

@@ -15,16 +15,32 @@ so experiment harnesses see one continuous stream.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
 from repro.core.detector import BackoffMisbehaviorDetector, DetectorConfig
+from repro.core.deterministic import DeterministicViolation
+from repro.core.records import BackoffObservation, Verdict
 from repro.geometry.vectors import distance
 from repro.sim.listeners import SimulationListener
+
+if TYPE_CHECKING:  # pragma: no cover - import-time only
+    from repro.mac.constants import MacTiming
+    from repro.phy.medium import Medium, Transmission
+    from repro.util.rng import RngStream
 
 
 class MonitorHandoff(SimulationListener):
     """Keeps *some* neighbor monitoring the tagged node at all times."""
 
-    def __init__(self, tagged_id, initial_monitor, config=None, timing=None,
-                 rng=None, separation=None):
+    def __init__(
+        self,
+        tagged_id: int,
+        initial_monitor: int,
+        config: Optional[DetectorConfig] = None,
+        timing: "Optional[MacTiming]" = None,
+        rng: "Optional[RngStream]" = None,
+        separation: Optional[float] = None,
+    ) -> None:
         if rng is None:
             raise ValueError("MonitorHandoff requires an RngStream")
         self.tagged_id = tagged_id
@@ -39,59 +55,72 @@ class MonitorHandoff(SimulationListener):
             separation=separation,
         )
         self.handoffs = 0
-        self.retired_detectors = []
+        self.retired_detectors: List[BackoffMisbehaviorDetector] = []
 
     # -- aggregated views ----------------------------------------------------
 
     @property
-    def monitor_id(self):
+    def monitor_id(self) -> int:
         return self.detector.monitor_id
 
     @property
-    def observations(self):
+    def observations(self) -> List[BackoffObservation]:
         """Samples across all monitors, in order."""
-        out = []
+        out: List[BackoffObservation] = []
         for det in self.retired_detectors:
             out.extend(det.observations)
         out.extend(self.detector.observations)
         return out
 
     @property
-    def observation_count(self):
+    def observation_count(self) -> int:
         """Cheap total sample count (for stop conditions)."""
         return len(self.detector.observations) + sum(
             len(det.observations) for det in self.retired_detectors
         )
 
     @property
-    def verdicts(self):
-        out = []
+    def verdicts(self) -> List[Verdict]:
+        out: List[Verdict] = []
         for det in self.retired_detectors:
             out.extend(det.verdicts)
         out.extend(self.detector.verdicts)
         return out
 
     @property
-    def violations(self):
-        out = []
+    def violations(self) -> List[DeterministicViolation]:
+        out: List[DeterministicViolation] = []
         for det in self.retired_detectors:
             out.extend(det.violations)
         out.extend(self.detector.violations)
         return out
 
     @property
-    def flagged_malicious(self):
+    def flagged_malicious(self) -> bool:
         return any(v.is_malicious for v in self.verdicts)
 
     # -- listener plumbing ------------------------------------------------------
 
-    def on_transmission_start(self, slot, transmission, medium):
+    def on_transmission_start(
+        self, slot: int, transmission: "Transmission", medium: "Medium"
+    ) -> None:
         self.detector.on_transmission_start(slot, transmission, medium)
 
-    def on_transmission_end(self, slot, transmission, success, medium):
+    def on_transmission_end(
+        self,
+        slot: int,
+        transmission: "Transmission",
+        success: bool,
+        medium: "Medium",
+    ) -> None:
         self.detector.on_transmission_end(slot, transmission, success, medium)
 
-    def on_positions_updated(self, slot, positions, medium):
+    def on_positions_updated(
+        self,
+        slot: int,
+        positions: Dict[int, Tuple[float, float]],
+        medium: "Medium",
+    ) -> None:
         if self.tagged_id in medium.neighbors(self.monitor_id):
             self.detector.on_positions_updated(slot, positions, medium)
             return
@@ -103,13 +132,19 @@ class MonitorHandoff(SimulationListener):
             return
         self._handoff(replacement, positions, medium, slot)
 
-    def _pick_replacement(self, medium):
+    def _pick_replacement(self, medium: "Medium") -> Optional[int]:
         candidates = sorted(
             n for n in medium.neighbors(self.tagged_id) if n != self.tagged_id
         )
         return self._rng.choice(candidates) if candidates else None
 
-    def _handoff(self, new_monitor, positions, medium, slot):
+    def _handoff(
+        self,
+        new_monitor: int,
+        positions: Dict[int, Tuple[float, float]],
+        medium: "Medium",
+        slot: int,
+    ) -> None:
         self.retired_detectors.append(self.detector)
         self.handoffs += 1
         separation = None

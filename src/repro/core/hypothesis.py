@@ -15,8 +15,9 @@ from __future__ import annotations
 
 import enum
 from collections import deque
+from typing import Deque, Optional, Tuple
 
-from repro.core.ranksum import rank_sum_test
+from repro.core.ranksum import RankSumResult, rank_sum_test
 from repro.util.validation import check_positive, check_probability
 
 
@@ -43,31 +44,36 @@ class BackoffHypothesisTest:
         ``"two-sided"`` also catches anomalously long back-offs.
     """
 
-    def __init__(self, sample_size=50, alpha=0.01, alternative="less"):
+    def __init__(
+        self,
+        sample_size: int = 50,
+        alpha: float = 0.01,
+        alternative: str = "less",
+    ) -> None:
         self.sample_size = int(check_positive(sample_size, "sample_size"))
         self.alpha = check_probability(alpha, "alpha")
         self.alternative = alternative
-        self._x = deque(maxlen=self.sample_size)
-        self._y = deque(maxlen=self.sample_size)
+        self._x: Deque[float] = deque(maxlen=self.sample_size)
+        self._y: Deque[float] = deque(maxlen=self.sample_size)
 
-    def add_sample(self, dictated, estimated):
+    def add_sample(self, dictated: float, estimated: float) -> None:
         """Append one (x, y) pair to the window."""
         self._x.append(float(dictated))
         self._y.append(float(estimated))
 
     @property
-    def n_samples(self):
+    def n_samples(self) -> int:
         return len(self._x)
 
     @property
-    def window_full(self):
+    def window_full(self) -> bool:
         return len(self._x) >= self.sample_size
 
-    def reset(self):
+    def reset(self) -> None:
         self._x.clear()
         self._y.clear()
 
-    def evaluate(self):
+    def evaluate(self) -> Tuple[TestDecision, Optional[RankSumResult]]:
         """Run the test on the current window.
 
         Returns ``(decision, result)`` where ``result`` is the

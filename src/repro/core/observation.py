@@ -12,8 +12,13 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.sim.listeners import SimulationListener
+
+if TYPE_CHECKING:  # pragma: no cover - import-time only
+    from repro.mac.frames import RtsFrame
+    from repro.phy.medium import Medium, Transmission
 
 
 @dataclass
@@ -22,12 +27,17 @@ class ObservedTransmission:
 
     start_slot: int
     end_slot: int
-    rts: object          # the decoded RtsFrame, or None if not decodable
+    rts: "Optional[RtsFrame]"    # the decoded RtsFrame, or None if not decodable
     success: bool
     receiver: int
 
 
-def joint_state_counts(observer_r, observer_s, start, end):
+def joint_state_counts(
+    observer_r: "ChannelObserver",
+    observer_s: "ChannelObserver",
+    start: int,
+    end: int,
+) -> Dict[str, int]:
     """Slot counts of the joint (R state, S state) channel view.
 
     Returns a dict with keys ``"II"``, ``"IB"``, ``"BI"``, ``"BB"`` —
@@ -38,7 +48,7 @@ def joint_state_counts(observer_r, observer_s, start, end):
     if end <= start:
         return {"II": 0, "IB": 0, "BI": 0, "BB": 0}
 
-    def edges(observer):
+    def edges(observer: "ChannelObserver") -> List[Tuple[int, int]]:
         points = []
         for lo, hi in zip(observer._busy_starts, observer._busy_ends):
             lo, hi = max(lo, start), min(hi, end)
@@ -54,7 +64,7 @@ def joint_state_counts(observer_r, observer_s, start, end):
         | {p for lo, hi in s_busy for p in (lo, hi)}
     )
 
-    def busy_at(intervals, t):
+    def busy_at(intervals: List[Tuple[int, int]], t: int) -> bool:
         # Intervals are sorted and disjoint; binary search the candidate.
         import bisect as _bisect
 
@@ -85,24 +95,28 @@ class ChannelObserver(SimulationListener):
         the monitor hands off).
     """
 
-    def __init__(self, monitor_id, tagged_id):
+    def __init__(self, monitor_id: int, tagged_id: int) -> None:
         self.monitor_id = monitor_id
         self.tagged_id = tagged_id
         # Busy intervals [start, end) at the monitor, kept sorted by
         # start and non-overlapping (merged on insert).
-        self._busy_starts = []
-        self._busy_ends = []
+        self._busy_starts: List[int] = []
+        self._busy_ends: List[int] = []
         # In-flight transmissions we flagged as sensed at their start.
-        self._sensed_active = {}
-        self._decodable_active = {}
-        self.observed = []           # ObservedTransmission of the tagged node
+        self._sensed_active: Dict[int, bool] = {}
+        self._decodable_active: Dict[int, bool] = {}
+        #: ObservedTransmission of the tagged node
+        self.observed: List[ObservedTransmission] = []
         self.monitor_tx_slots = 0    # air time of the monitor's own frames
-        self._own_intervals = []     # the monitor's own (start, end) tx periods
+        #: the monitor's own (start, end) tx periods
+        self._own_intervals: List[Tuple[int, int]] = []
         self.last_slot = 0
 
     # -- listener callbacks ----------------------------------------------------
 
-    def on_transmission_start(self, slot, transmission, medium):
+    def on_transmission_start(
+        self, slot: int, transmission: "Transmission", medium: "Medium"
+    ) -> None:
         key = id(transmission)
         sender = transmission.sender
         if sender == self.monitor_id:
@@ -119,7 +133,13 @@ class ChannelObserver(SimulationListener):
             )
             self._decodable_active[key] = decodable
 
-    def on_transmission_end(self, slot, transmission, success, medium):
+    def on_transmission_end(
+        self,
+        slot: int,
+        transmission: "Transmission",
+        success: bool,
+        medium: "Medium",
+    ) -> None:
         key = id(transmission)
         self.last_slot = max(self.last_slot, transmission.end_slot)
         if self._sensed_active.pop(key, False):
@@ -141,7 +161,7 @@ class ChannelObserver(SimulationListener):
                 )
             )
 
-    def retag(self, new_tagged_id, drop_history=True):
+    def retag(self, new_tagged_id: int, drop_history: bool = True) -> None:
         """Switch the tagged node (monitor hand-off under mobility)."""
         self.tagged_id = new_tagged_id
         if drop_history:
@@ -150,7 +170,7 @@ class ChannelObserver(SimulationListener):
 
     # -- busy/idle accounting ----------------------------------------------------
 
-    def _add_busy_interval(self, start, end):
+    def _add_busy_interval(self, start: int, end: int) -> None:
         """Insert [start, end) and merge with overlapping neighbors."""
         if end <= start:
             return
@@ -168,7 +188,7 @@ class ChannelObserver(SimulationListener):
         self._busy_starts.insert(i, start)
         self._busy_ends.insert(i, end)
 
-    def busy_slots_in(self, start, end):
+    def busy_slots_in(self, start: int, end: int) -> int:
         """Number of busy slots the monitor saw in [start, end)."""
         if end <= start:
             return 0
@@ -183,12 +203,12 @@ class ChannelObserver(SimulationListener):
             i += 1
         return total
 
-    def idle_busy_counts(self, start, end):
+    def idle_busy_counts(self, start: int, end: int) -> Tuple[int, int]:
         """(idle, busy) slot counts at the monitor over [start, end)."""
         busy = self.busy_slots_in(start, end)
         return (end - start) - busy, busy
 
-    def idle_stretches_in(self, start, end):
+    def idle_stretches_in(self, start: int, end: int) -> int:
         """Number of maximal idle stretches within [start, end).
 
         Each stretch costs the sender a DIFS before it may resume its
@@ -198,7 +218,7 @@ class ChannelObserver(SimulationListener):
         if end <= start:
             return 0
         # Collect busy sub-intervals clipped to [start, end).
-        clipped = []
+        clipped: List[Tuple[int, int]] = []
         i = bisect.bisect_right(self._busy_starts, start) - 1
         i = max(i, 0)
         while i < len(self._busy_starts) and self._busy_starts[i] < end:
@@ -217,7 +237,7 @@ class ChannelObserver(SimulationListener):
             stretches += 1
         return stretches
 
-    def own_tx_slots_in(self, start, end):
+    def own_tx_slots_in(self, start: int, end: int) -> int:
         """Slots in [start, end) spent transmitting by the monitor itself.
 
         The tagged neighbor certainly freezes during these (it senses
@@ -232,7 +252,7 @@ class ChannelObserver(SimulationListener):
                 total += hi - lo
         return total
 
-    def traffic_intensity(self, start, end):
+    def traffic_intensity(self, start: int, end: int) -> float:
         """Fraction of busy slots over [start, end) (the paper's rho)."""
         if end <= start:
             return 0.0

@@ -23,6 +23,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from functools import lru_cache
+from typing import Iterable, List, Sequence, Tuple
 
 ALTERNATIVES = ("two-sided", "less", "greater")
 
@@ -30,7 +31,7 @@ ALTERNATIVES = ("two-sided", "less", "greater")
 EXACT_LIMIT = 25
 
 
-def wilcoxon_ranks(values):
+def wilcoxon_ranks(values: Sequence[float]) -> List[float]:
     """Average ranks (1-based) of ``values``, ties sharing their mean rank."""
     order = sorted(range(len(values)), key=lambda i: values[i])
     ranks = [0.0] * len(values)
@@ -60,7 +61,7 @@ class RankSumResult:
 
 
 @lru_cache(maxsize=4096)
-def _exact_cdf_table(n_y, n_total):
+def _exact_cdf_table(n_y: int, n_total: int) -> Tuple[int, ...]:
     """Counts of rank subsets: ways[s] = #(size-n_y subsets of 1..n_total
     with rank sum s).  Cached per (n_y, n_total)."""
     max_sum = n_total * (n_total + 1) // 2
@@ -76,7 +77,7 @@ def _exact_cdf_table(n_y, n_total):
     return tuple(ways[n_y])
 
 
-def _exact_p(w_y, n_y, n_total, alternative):
+def _exact_p(w_y: float, n_y: int, n_total: int, alternative: str) -> float:
     counts = _exact_cdf_table(n_y, n_total)
     total = math.comb(n_total, n_y)
     w = int(round(w_y))
@@ -89,7 +90,13 @@ def _exact_p(w_y, n_y, n_total, alternative):
     return min(1.0, 2.0 * min(cdf_le, sf_ge))
 
 
-def _normal_p(w_y, n_x, n_y, tie_sizes, alternative):
+def _normal_p(
+    w_y: float,
+    n_x: int,
+    n_y: int,
+    tie_sizes: List[int],
+    alternative: str,
+) -> float:
     n_total = n_x + n_y
     mean = n_y * (n_total + 1) / 2.0
     variance = n_x * n_y * (n_total + 1) / 12.0
@@ -101,7 +108,7 @@ def _normal_p(w_y, n_x, n_y, tie_sizes, alternative):
         return 1.0
     sd = math.sqrt(variance)
 
-    def phi(z):
+    def phi(z: float) -> float:
         return 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))
 
     if alternative == "less":
@@ -112,7 +119,11 @@ def _normal_p(w_y, n_x, n_y, tie_sizes, alternative):
     return min(1.0, 2.0 * (1.0 - phi(abs(z) - 0.5 / sd)))
 
 
-def rank_sum_test(x, y, alternative="two-sided"):
+def rank_sum_test(
+    x: Iterable[float],
+    y: Iterable[float],
+    alternative: str = "two-sided",
+) -> RankSumResult:
     """Wilcoxon rank-sum test of sample ``y`` against sample ``x``.
 
     ``alternative`` describes ``y`` relative to ``x``:

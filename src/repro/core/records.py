@@ -3,7 +3,8 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Optional
 
 
 class Diagnosis(enum.Enum):
@@ -41,13 +42,13 @@ class Verdict:
     """One diagnosis of the tagged node."""
 
     diagnosis: Diagnosis
-    p_value: float = None
-    statistic: float = None
+    p_value: Optional[float] = None
+    statistic: Optional[float] = None
     sample_size: int = 0
     slot: int = 0
     reason: str = ""
     deterministic: bool = False   # True if a deterministic check fired
 
     @property
-    def is_malicious(self):
+    def is_malicious(self) -> bool:
         return self.diagnosis is Diagnosis.MALICIOUS

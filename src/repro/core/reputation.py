@@ -15,8 +15,10 @@ beyond digest collisions).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.core.records import Verdict
 from repro.util.validation import check_in_range, check_probability
 
 
@@ -30,7 +32,7 @@ class ReputationConfig:
     quarantine_threshold: float = 0.2
     rehabilitate_threshold: float = 0.6
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         check_in_range(self.statistical_penalty, 0.0, 1.0, "statistical_penalty")
         check_in_range(self.deterministic_penalty, 0.0, 1.0, "deterministic_penalty")
         check_probability(self.recovery, "recovery")
@@ -55,14 +57,14 @@ class _NodeRecord:
 class ReputationTracker:
     """Per-neighbor reputation from the detector's verdict stream."""
 
-    def __init__(self, config=None):
+    def __init__(self, config: Optional[ReputationConfig] = None) -> None:
         self.config = config if config is not None else ReputationConfig()
-        self._records = {}
+        self._records: Dict[int, _NodeRecord] = {}
 
-    def _record(self, node_id):
+    def _record(self, node_id: int) -> _NodeRecord:
         return self._records.setdefault(node_id, _NodeRecord())
 
-    def ingest(self, node_id, verdict):
+    def ingest(self, node_id: int, verdict: Verdict) -> float:
         """Fold one :class:`~repro.core.records.Verdict` into the score."""
         record = self._record(node_id)
         record.last_update_slot = verdict.slot
@@ -80,12 +82,12 @@ class ReputationTracker:
         self._update_quarantine(record)
         return record.score
 
-    def ingest_all(self, node_id, verdicts):
+    def ingest_all(self, node_id: int, verdicts: Iterable[Verdict]) -> float:
         for verdict in verdicts:
             self.ingest(node_id, verdict)
         return self.score(node_id)
 
-    def _update_quarantine(self, record):
+    def _update_quarantine(self, record: _NodeRecord) -> None:
         if record.quarantined:
             if record.score >= self.config.rehabilitate_threshold:
                 record.quarantined = False
@@ -94,23 +96,23 @@ class ReputationTracker:
 
     # -- queries ---------------------------------------------------------
 
-    def score(self, node_id):
+    def score(self, node_id: int) -> float:
         """Current score (1.0 for nodes never evaluated)."""
         record = self._records.get(node_id)
         return record.score if record is not None else 1.0
 
-    def is_quarantined(self, node_id):
+    def is_quarantined(self, node_id: int) -> bool:
         record = self._records.get(node_id)
         return record.quarantined if record is not None else False
 
-    def quarantined_nodes(self):
+    def quarantined_nodes(self) -> List[int]:
         return sorted(
             node_id
             for node_id, record in self._records.items()
             if record.quarantined
         )
 
-    def stats(self, node_id):
+    def stats(self, node_id: int) -> Tuple[int, int]:
         """(malicious, clean) verdict counts for a node."""
         record = self._records.get(node_id)
         if record is None:

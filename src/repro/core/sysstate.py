@@ -24,6 +24,7 @@ simulation in Figures 3-4.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, Tuple
 
 from repro.geometry.regions import RegionModel
 from repro.util.validation import check_non_negative, check_probability
@@ -37,7 +38,7 @@ class SystemStateProbabilities:
     p_idle_given_busy: float    # p(S idle | R busy)   — eq. 4
     p_idle_given_idle: float    # p(S idle | R idle)   — eq. 5
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         check_probability(self.p_busy_given_idle, "p_busy_given_idle")
         check_probability(self.p_idle_given_busy, "p_idle_given_busy")
         check_probability(self.p_idle_given_idle, "p_idle_given_idle")
@@ -46,12 +47,14 @@ class SystemStateProbabilities:
 class SystemStateEstimator:
     """Evaluates eqs. 1-5 for a given region geometry."""
 
-    def __init__(self, region_model=None):
+    def __init__(self, region_model: Optional[RegionModel] = None) -> None:
         self.region_model = (
             region_model if region_model is not None else RegionModel()
         )
 
-    def probabilities(self, rho, n, k, p_ib_scale=1.0):
+    def probabilities(
+        self, rho: float, n: float, k: float, p_ib_scale: float = 1.0
+    ) -> SystemStateProbabilities:
         """The :class:`SystemStateProbabilities` for traffic intensity
         ``rho`` with ``n`` nodes in A2 and ``k`` nodes in A1.
 
@@ -80,7 +83,15 @@ class SystemStateEstimator:
             p_idle_given_idle=min(max(1.0 - p_b_i, 0.0), 1.0),
         )
 
-    def estimate_sender_slots(self, idle, busy, rho, n, k, p_ib_scale=1.0):
+    def estimate_sender_slots(
+        self,
+        idle: int,
+        busy: int,
+        rho: float,
+        n: float,
+        k: float,
+        p_ib_scale: float = 1.0,
+    ) -> Tuple[float, float]:
         """Eqs. 1-2: (Iest, Best) for observed (I, B) at the monitor."""
         check_non_negative(idle, "idle")
         check_non_negative(busy, "busy")

@@ -15,10 +15,12 @@ was frozen or restarted in between).
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.mac.prng import contention_window_for_attempt
 
 
-def contention_window(attempt, cw_min, cw_max):
+def contention_window(attempt: int, cw_min: int, cw_max: int) -> int:
     """CW for a 1-based attempt (alias of the PRS module's rule)."""
     return contention_window_for_attempt(attempt, cw_min, cw_max)
 
@@ -26,27 +28,29 @@ def contention_window(attempt, cw_min, cw_max):
 class BackoffScheduler:
     """Freeze/resume countdown state for one node."""
 
-    def __init__(self):
-        self.remaining = None   # slots still to count; None = inactive
-        self.anchor = None      # slot at which counting (re)started; None = frozen
+    def __init__(self) -> None:
+        #: slots still to count; None = inactive
+        self.remaining: Optional[int] = None
+        #: slot at which counting (re)started; None = frozen
+        self.anchor: Optional[int] = None
         self.generation = 0
         #: dictated back-off drawn for the current attempt (for tracing)
-        self.initial = None
+        self.initial: Optional[int] = None
 
     # -- state predicates ----------------------------------------------------
 
     @property
-    def active(self):
+    def active(self) -> bool:
         """A back-off is pending (counting or frozen)."""
         return self.remaining is not None
 
     @property
-    def counting(self):
+    def counting(self) -> bool:
         return self.remaining is not None and self.anchor is not None
 
     # -- transitions -----------------------------------------------------------
 
-    def start(self, slots):
+    def start(self, slots: int) -> None:
         """Begin a fresh back-off of ``slots`` (frozen until resumed)."""
         if slots < 0:
             raise ValueError(f"back-off must be non-negative, got {slots}")
@@ -55,7 +59,7 @@ class BackoffScheduler:
         self.anchor = None
         self.generation += 1
 
-    def resume(self, anchor_slot):
+    def resume(self, anchor_slot: int) -> int:
         """Medium usable from ``anchor_slot`` (a DIFS after it went idle);
         counting restarts there.  Returns the completion slot."""
         if self.remaining is None:
@@ -64,7 +68,7 @@ class BackoffScheduler:
         self.generation += 1
         return self.completion_slot
 
-    def freeze(self, now_slot):
+    def freeze(self, now_slot: int) -> None:
         """Medium turned busy at ``now_slot``; bank the slots counted.
 
         Freezing an already-frozen (or inactive) countdown is a no-op,
@@ -77,7 +81,7 @@ class BackoffScheduler:
         self.anchor = None
         self.generation += 1
 
-    def finish(self):
+    def finish(self) -> None:
         """Countdown reached zero; clear state."""
         self.remaining = None
         self.anchor = None
@@ -85,7 +89,7 @@ class BackoffScheduler:
         self.generation += 1
 
     @property
-    def completion_slot(self):
+    def completion_slot(self) -> int:
         """Slot at which the countdown reaches zero, if counting."""
         if not self.counting:
             raise RuntimeError("completion_slot on a non-counting back-off")

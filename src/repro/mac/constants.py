@@ -43,7 +43,7 @@ class MacTiming:
     cw_max: int = 1023
     retry_limit: int = 7
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         check_positive(self.slot_time_us, "slot_time_us")
         check_non_negative(self.sifs_us, "sifs_us")
         check_positive(self.difs_us, "difs_us")
@@ -57,34 +57,34 @@ class MacTiming:
 
     # -- frame air times ----------------------------------------------------
 
-    def _frame_us(self, size_bytes, rate_bps):
+    def _frame_us(self, size_bytes: int, rate_bps: float) -> float:
         return self.phy_overhead_us + size_bytes * 8 * 1e6 / rate_bps
 
-    def _to_slots(self, us):
+    def _to_slots(self, us: float) -> int:
         return microseconds_to_slots(us, self.slot_time_us)
 
     @property
-    def sifs_slots(self):
+    def sifs_slots(self) -> int:
         return self._to_slots(self.sifs_us)
 
     @property
-    def difs_slots(self):
+    def difs_slots(self) -> int:
         return self._to_slots(self.difs_us)
 
     @property
-    def rts_slots(self):
+    def rts_slots(self) -> int:
         return self._to_slots(self._frame_us(self.rts_bytes, self.basic_rate_bps))
 
     @property
-    def cts_slots(self):
+    def cts_slots(self) -> int:
         return self._to_slots(self._frame_us(self.cts_bytes, self.basic_rate_bps))
 
     @property
-    def ack_slots(self):
+    def ack_slots(self) -> int:
         return self._to_slots(self._frame_us(self.ack_bytes, self.basic_rate_bps))
 
     @property
-    def data_slots(self):
+    def data_slots(self) -> int:
         return self._to_slots(
             self._frame_us(
                 self.payload_bytes + self.mac_data_header_bytes, self.data_rate_bps
@@ -94,7 +94,7 @@ class MacTiming:
     # -- exchange phases -----------------------------------------------------
 
     @property
-    def handshake_slots(self):
+    def handshake_slots(self) -> int:
         """Phase 1 of an exchange: RTS + SIFS + CTS.
 
         This is also the busy period a *failed* attempt occupies (the RTS
@@ -103,17 +103,17 @@ class MacTiming:
         return self.rts_slots + self.sifs_slots + self.cts_slots
 
     @property
-    def payload_phase_slots(self):
+    def payload_phase_slots(self) -> int:
         """Phase 2 of a successful exchange: SIFS + DATA + SIFS + ACK."""
         return self.sifs_slots + self.data_slots + self.sifs_slots + self.ack_slots
 
     @property
-    def exchange_slots(self):
+    def exchange_slots(self) -> int:
         """Total busy period of a successful RTS/CTS/DATA/ACK exchange."""
         return self.handshake_slots + self.payload_phase_slots
 
     @property
-    def mean_service_slots(self):
+    def mean_service_slots(self) -> int:
         """Approximate MAC service time: one successful exchange plus the
         mean initial back-off and a DIFS.  Used to normalize offered load
         to the paper's traffic intensity rho."""

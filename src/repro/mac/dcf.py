@@ -16,15 +16,17 @@ offset is exposed by the offset-monotonicity check.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Optional
 
 from repro.mac.backoff import BackoffScheduler
 from repro.mac.constants import DEFAULT_TIMING
 from repro.mac.digest import data_digest
 from repro.mac.frames import MAX_ATTEMPT_FIELD, RtsFrame
-from repro.mac.misbehavior import HonestBackoff
+from repro.mac.misbehavior import BackoffPolicy, HonestBackoff
 from repro.mac.prng import VerifiableBackoffPrng
-from repro.traffic.queue import DropTailQueue
+from repro.mac.constants import MacTiming
+from repro.traffic.queue import DropTailQueue, Packet
 
 
 class MacState(enum.Enum):
@@ -63,13 +65,13 @@ class DcfMac:
 
     def __init__(
         self,
-        node_id,
-        timing=None,
-        policy=None,
-        queue_capacity=50,
-        announce_attempt_always_one=False,
-        announce_stale_offset=False,
-    ):
+        node_id: int,
+        timing: Optional[MacTiming] = None,
+        policy: Optional[BackoffPolicy] = None,
+        queue_capacity: int = 50,
+        announce_attempt_always_one: bool = False,
+        announce_stale_offset: bool = False,
+    ) -> None:
         self.node_id = node_id
         self.timing = timing if timing is not None else DEFAULT_TIMING
         self.policy = policy if policy is not None else HonestBackoff()
@@ -84,13 +86,14 @@ class DcfMac:
 
         self._next_offset = 0       # next unconsumed PRS offset
         self._attempt = 1           # 1-based attempt for the head packet
-        self._current = None        # the in-flight _CurrentAttempt
+        #: the in-flight _CurrentAttempt
+        self._current: Optional[_CurrentAttempt] = None
         self._transmitting = False
 
     # -- state ------------------------------------------------------------
 
     @property
-    def state(self):
+    def state(self) -> MacState:
         if self._transmitting:
             return MacState.TRANSMITTING
         if self.backoff.active:
@@ -98,39 +101,39 @@ class DcfMac:
         return MacState.IDLE
 
     @property
-    def has_traffic(self):
+    def has_traffic(self) -> bool:
         return not self.queue.is_empty
 
     @property
-    def head_packet(self):
+    def head_packet(self) -> Optional[Packet]:
         return self.queue.peek()
 
     @property
-    def attempt(self):
+    def attempt(self) -> int:
         return self._attempt
 
     @property
-    def next_offset(self):
+    def next_offset(self) -> int:
         return self._next_offset
 
     @property
-    def current_draw(self):
+    def current_draw(self) -> Optional["_CurrentAttempt"]:
         """The (offset, attempt, dictated, actual) of the pending draw."""
         return self._current
 
     # -- engine-driven transitions -----------------------------------------
 
-    def enqueue(self, packet):
+    def enqueue(self, packet: Packet) -> bool:
         """Offer a packet to the interface queue; returns acceptance."""
         return self.queue.offer(packet)
 
-    def needs_backoff_draw(self):
+    def needs_backoff_draw(self) -> bool:
         """True if a head packet awaits a back-off draw."""
         return (
             self.has_traffic and not self.backoff.active and not self._transmitting
         )
 
-    def draw_backoff(self):
+    def draw_backoff(self) -> int:
         """Consume the next PRS offset and start the back-off countdown.
 
         Returns the actual back-off (slots) the node will count.  The
@@ -152,7 +155,7 @@ class DcfMac:
         self.stats.total_actual_backoff += actual
         return actual
 
-    def build_rts(self):
+    def build_rts(self) -> RtsFrame:
         """The modified RTS announcing this attempt (Figure 2 fields)."""
         if self._current is None:
             raise RuntimeError("build_rts() before draw_backoff()")
@@ -177,7 +180,7 @@ class DcfMac:
             digest=data_digest(packet.payload),
         )
 
-    def begin_transmission(self):
+    def begin_transmission(self) -> None:
         """Countdown hit zero; the node occupies the air."""
         if self._current is None:
             raise RuntimeError("begin_transmission() before draw_backoff()")
@@ -185,7 +188,7 @@ class DcfMac:
         self.backoff.finish()
         self.stats.attempts += 1
 
-    def complete_transmission(self, success):
+    def complete_transmission(self, success: bool) -> None:
         """Exchange finished.  Applies the retransmission rules.
 
         On success the head packet departs and the attempt counter

@@ -11,15 +11,18 @@ the scheme only needs collision resistance against nodes that want two
 from __future__ import annotations
 
 import hashlib
+from typing import Union
+
+Digestible = Union[bytes, bytearray]
 
 
-def data_digest(payload):
+def data_digest(payload: Digestible) -> bytes:
     """128-bit MD5 digest of a DATA payload, as bytes."""
     if not isinstance(payload, (bytes, bytearray)):
         raise TypeError(f"payload must be bytes, got {type(payload).__name__}")
     return hashlib.md5(bytes(payload)).digest()
 
 
-def digests_match(a, b):
+def digests_match(a: Digestible, b: Digestible) -> bool:
     """Constant-type comparison helper for two digests."""
     return bytes(a) == bytes(b)

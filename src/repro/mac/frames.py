@@ -33,7 +33,7 @@ class RtsFrame:
     attempt: int
     digest: bytes
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.seq_off < 0:
             raise ValueError(f"seq_off must be non-negative, got {self.seq_off}")
         if not 1 <= self.attempt <= MAX_ATTEMPT_FIELD:
@@ -44,7 +44,7 @@ class RtsFrame:
             raise ValueError(f"digest must be 16 bytes, got {len(self.digest)}")
 
     @property
-    def seq_off_field(self):
+    def seq_off_field(self) -> int:
         """The wrapped 13-bit sequence offset as transmitted on air."""
         return self.seq_off % SEQ_OFF_MODULUS
 

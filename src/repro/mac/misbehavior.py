@@ -17,8 +17,13 @@ what monitors will check against.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Callable
 
 from repro.util.validation import check_in_range, check_non_negative
+
+if TYPE_CHECKING:  # pragma: no cover - import-time only
+    from repro.mac.prng import VerifiableBackoffPrng
+    from repro.util.rng import RngStream
 
 
 class BackoffPolicy(ABC):
@@ -28,10 +33,12 @@ class BackoffPolicy(ABC):
     is_honest = False
 
     @abstractmethod
-    def actual_backoff(self, prng, offset, attempt):
+    def actual_backoff(
+        self, prng: "VerifiableBackoffPrng", offset: int, attempt: int
+    ) -> int:
         """Slots the node will really count down at (offset, attempt)."""
 
-    def describe(self):
+    def describe(self) -> str:
         """Short human-readable label for experiment reports."""
         return type(self).__name__
 
@@ -41,7 +48,9 @@ class HonestBackoff(BackoffPolicy):
 
     is_honest = True
 
-    def actual_backoff(self, prng, offset, attempt):
+    def actual_backoff(
+        self, prng: "VerifiableBackoffPrng", offset: int, attempt: int
+    ) -> int:
         return prng.dictated_backoff(offset, attempt)
 
 
@@ -52,31 +61,35 @@ class PercentageMisbehavior(BackoffPolicy):
     with zero back-off every time.
     """
 
-    def __init__(self, pm):
+    def __init__(self, pm: float) -> None:
         self.pm = check_in_range(pm, 0, 100, "pm")
 
     @property
-    def is_honest(self):
+    def is_honest(self) -> bool:
         return self.pm == 0
 
-    def actual_backoff(self, prng, offset, attempt):
+    def actual_backoff(
+        self, prng: "VerifiableBackoffPrng", offset: int, attempt: int
+    ) -> int:
         dictated = prng.dictated_backoff(offset, attempt)
         return int(round(dictated * (100 - self.pm) / 100.0))
 
-    def describe(self):
+    def describe(self) -> str:
         return f"PercentageMisbehavior(pm={self.pm})"
 
 
 class FixedBackoff(BackoffPolicy):
     """Always use the same (typically small) constant back-off."""
 
-    def __init__(self, value):
+    def __init__(self, value: int) -> None:
         self.value = int(check_non_negative(value, "value"))
 
-    def actual_backoff(self, prng, offset, attempt):
+    def actual_backoff(
+        self, prng: "VerifiableBackoffPrng", offset: int, attempt: int
+    ) -> int:
         return self.value
 
-    def describe(self):
+    def describe(self) -> str:
         return f"FixedBackoff(value={self.value})"
 
 
@@ -88,7 +101,9 @@ class NoExponentialBackoff(BackoffPolicy):
     instead of the doubled window.
     """
 
-    def actual_backoff(self, prng, offset, attempt):
+    def actual_backoff(
+        self, prng: "VerifiableBackoffPrng", offset: int, attempt: int
+    ) -> int:
         return prng.dictated_backoff(offset, 1)
 
 
@@ -102,7 +117,12 @@ class IntermittentMisbehavior(BackoffPolicy):
     integrating over a window.
     """
 
-    def __init__(self, inner, cheat_probability, rng):
+    def __init__(
+        self,
+        inner: BackoffPolicy,
+        cheat_probability: float,
+        rng: "RngStream",
+    ) -> None:
         from repro.util.validation import check_probability
 
         if rng is None:
@@ -115,14 +135,16 @@ class IntermittentMisbehavior(BackoffPolicy):
         self.cheated_draws = 0
         self.honest_draws = 0
 
-    def actual_backoff(self, prng, offset, attempt):
+    def actual_backoff(
+        self, prng: "VerifiableBackoffPrng", offset: int, attempt: int
+    ) -> int:
         if self._rng.uniform() < self.cheat_probability:
             self.cheated_draws += 1
             return self.inner.actual_backoff(prng, offset, attempt)
         self.honest_draws += 1
         return prng.dictated_backoff(offset, attempt)
 
-    def describe(self):
+    def describe(self) -> str:
         return (
             f"IntermittentMisbehavior(p={self.cheat_probability}, "
             f"inner={self.inner.describe()})"
@@ -139,7 +161,12 @@ class AdaptiveLoadCheat(BackoffPolicy):
     ARMA estimate or a supplied probe.
     """
 
-    def __init__(self, inner, load_probe, threshold=0.5):
+    def __init__(
+        self,
+        inner: BackoffPolicy,
+        load_probe: Callable[[], float],
+        threshold: float = 0.5,
+    ) -> None:
         from repro.util.validation import check_probability
 
         if not callable(load_probe):
@@ -150,14 +177,16 @@ class AdaptiveLoadCheat(BackoffPolicy):
         self.cheated_draws = 0
         self.honest_draws = 0
 
-    def actual_backoff(self, prng, offset, attempt):
+    def actual_backoff(
+        self, prng: "VerifiableBackoffPrng", offset: int, attempt: int
+    ) -> int:
         if self.load_probe() >= self.threshold:
             self.cheated_draws += 1
             return self.inner.actual_backoff(prng, offset, attempt)
         self.honest_draws += 1
         return prng.dictated_backoff(offset, attempt)
 
-    def describe(self):
+    def describe(self) -> str:
         return (
             f"AdaptiveLoadCheat(threshold={self.threshold}, "
             f"inner={self.inner.describe()})"
@@ -171,14 +200,16 @@ class AlienDistributionBackoff(BackoffPolicy):
     something far below CWmin.
     """
 
-    def __init__(self, rng, cw=7):
+    def __init__(self, rng: "RngStream", cw: int = 7) -> None:
         if rng is None:
             raise ValueError("AlienDistributionBackoff requires an RngStream")
         self._rng = rng
         self.cw = int(check_non_negative(cw, "cw"))
 
-    def actual_backoff(self, prng, offset, attempt):
+    def actual_backoff(
+        self, prng: "VerifiableBackoffPrng", offset: int, attempt: int
+    ) -> int:
         return self._rng.integers(0, self.cw + 1)
 
-    def describe(self):
+    def describe(self) -> str:
         return f"AlienDistributionBackoff(cw={self.cw})"

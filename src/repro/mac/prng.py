@@ -16,12 +16,16 @@ is what a real deployment of the scheme would need across vendors.
 
 from __future__ import annotations
 
+from typing import List, Optional, Union
+
 from repro.mac.constants import DEFAULT_TIMING
+
+MacAddress = Union[int, str, bytes, bytearray]
 
 _MASK64 = (1 << 64) - 1
 
 
-def splitmix64(state):
+def splitmix64(state: int) -> int:
     """One SplitMix64 output for a 64-bit state; returns a 64-bit int."""
     state = (state + 0x9E3779B97F4A7C15) & _MASK64
     z = state
@@ -30,7 +34,7 @@ def splitmix64(state):
     return z ^ (z >> 31)
 
 
-def mac_address_seed(mac_address):
+def mac_address_seed(mac_address: MacAddress) -> int:
     """Canonical 64-bit seed for a MAC address.
 
     Accepts an int (already a 48-bit address), a ``aa:bb:...`` string, or
@@ -48,7 +52,7 @@ def mac_address_seed(mac_address):
     return splitmix64(raw)
 
 
-def contention_window_for_attempt(attempt, cw_min, cw_max):
+def contention_window_for_attempt(attempt: int, cw_min: int, cw_max: int) -> int:
     """CW for the given 1-based attempt: ``min(2^(a-1)*(CWmin+1)-1, CWmax)``.
 
     Attempt 1 draws from [0, CWmin]; each retransmission doubles the
@@ -70,7 +74,12 @@ class VerifiableBackoffPrng:
     then agrees everywhere.
     """
 
-    def __init__(self, mac_address, cw_min=None, cw_max=None):
+    def __init__(
+        self,
+        mac_address: MacAddress,
+        cw_min: Optional[int] = None,
+        cw_max: Optional[int] = None,
+    ) -> None:
         timing = DEFAULT_TIMING
         self.mac_address = mac_address
         self.seed = mac_address_seed(mac_address)
@@ -81,13 +90,13 @@ class VerifiableBackoffPrng:
         if self.cw_max < self.cw_min:
             raise ValueError("cw_max must be >= cw_min")
 
-    def raw_draw(self, offset):
+    def raw_draw(self, offset: int) -> int:
         """The 64-bit PRS value at ``offset`` (before CW reduction)."""
         if offset < 0:
             raise ValueError(f"offset must be non-negative, got {offset}")
         return splitmix64(self.seed ^ splitmix64(offset))
 
-    def dictated_backoff(self, offset, attempt):
+    def dictated_backoff(self, offset: int, attempt: int) -> int:
         """The back-off (in slots) the standard dictates at this point.
 
         A pure function of (seed, offset, attempt): the raw PRS draw at
@@ -96,7 +105,9 @@ class VerifiableBackoffPrng:
         window = contention_window_for_attempt(attempt, self.cw_min, self.cw_max)
         return self.raw_draw(offset) % (window + 1)
 
-    def dictated_sequence(self, start_offset, count, attempt=1):
+    def dictated_sequence(
+        self, start_offset: int, count: int, attempt: int = 1
+    ) -> List[int]:
         """``count`` consecutive dictated back-offs from ``start_offset``."""
         return [
             self.dictated_backoff(start_offset + i, attempt) for i in range(count)

@@ -26,6 +26,12 @@ extends into the full RTS/CTS/DATA/ACK exchange.  Corruption of the DATA
 phase by late-starting hidden terminals is not modeled: the CTS has, by
 then, silenced the receiver's neighborhood (NAV), which is exactly the
 protection RTS/CTS exists to provide.
+
+*Machine-checked contracts.*  The invariants above are enforceable at
+runtime: when :func:`repro.checks.runtime.runtime_checks_enabled` is
+true (the CLI ``--check`` flag or ``REPRO_CHECK=1``) the engine installs
+a :class:`repro.checks.invariants.InvariantChecker` on itself, and
+``python -m repro.checks`` verifies the static half of the contract.
 """
 
 from __future__ import annotations
@@ -33,10 +39,41 @@ from __future__ import annotations
 import enum
 import heapq
 import itertools
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.phy.medium import Transmission
+from repro.sim.listeners import SimulationListener
 from repro.traffic.queue import Packet
 from repro.util.units import seconds_to_slots
+
+if TYPE_CHECKING:  # pragma: no cover - import-time only
+    from repro.checks.invariants import InvariantChecker
+    from repro.mac.constants import MacTiming
+    from repro.mac.dcf import DcfMac
+    from repro.phy.medium import Medium
+    from repro.topology.mobility import MobilityModel
+
+_Event = Tuple[int, int, int, Any]
+
+
+def _overrides_hook(listener: object, name: str) -> bool:
+    """True if ``listener`` provides its own implementation of ``name``."""
+    method = getattr(listener, name, None)
+    if not callable(method):
+        return False
+    base = getattr(SimulationListener, name, None)
+    return getattr(method, "__func__", method) is not base
 
 
 class EventKind(enum.IntEnum):
@@ -74,39 +111,67 @@ class SimulationEngine:
 
     def __init__(
         self,
-        medium,
-        macs,
-        timing,
-        traffic_sources=None,
-        mobility=None,
-        epoch_interval_s=0.5,
-        listeners=None,
-    ):
+        medium: "Medium",
+        macs: Mapping[int, "DcfMac"],
+        timing: "MacTiming",
+        traffic_sources: Optional[Mapping[int, Any]] = None,
+        mobility: Optional["MobilityModel"] = None,
+        epoch_interval_s: float = 0.5,
+        listeners: Optional[Iterable[SimulationListener]] = None,
+    ) -> None:
         self.medium = medium
-        self.macs = dict(macs)
+        self.macs: Dict[int, "DcfMac"] = dict(macs)
         self.timing = timing
-        self.traffic = dict(traffic_sources or {})
+        self.traffic: Dict[int, Any] = dict(traffic_sources or {})
         self.mobility = mobility
         self.epoch_slots = max(
             seconds_to_slots(epoch_interval_s, timing.slot_time_us), 1
         )
-        self.listeners = list(listeners or [])
+        self.listeners: List[SimulationListener] = list(listeners or [])
         self.now = 0
-        self._heap = []
+        self._heap: List[_Event] = []
         self._seq = itertools.count()
         self._primed = False
+        self._event_hooks: List[Callable[..., None]] = []
+        self._slot_end_hooks: List[Callable[..., None]] = []
+        self.invariant_checker: Optional["InvariantChecker"] = None
+        from repro.checks.runtime import runtime_checks_enabled
+
+        if runtime_checks_enabled():
+            from repro.checks.invariants import InvariantChecker
+
+            self.invariant_checker = InvariantChecker()
+            self.listeners.append(self.invariant_checker)
+        self._refresh_hooks()
 
     # -- public API ------------------------------------------------------
 
-    def add_listener(self, listener):
+    def add_listener(self, listener: SimulationListener) -> None:
         self.listeners.append(listener)
+        self._refresh_hooks()
 
-    def schedule(self, slot, kind, data=None):
+    def _refresh_hooks(self) -> None:
+        self._event_hooks = [
+            getattr(listener, "on_event")
+            for listener in self.listeners
+            if _overrides_hook(listener, "on_event")
+        ]
+        self._slot_end_hooks = [
+            getattr(listener, "on_slot_end")
+            for listener in self.listeners
+            if _overrides_hook(listener, "on_slot_end")
+        ]
+
+    def schedule(self, slot: int, kind: int, data: Any = None) -> None:
         if slot < self.now:
             raise ValueError(f"cannot schedule in the past ({slot} < {self.now})")
         heapq.heappush(self._heap, (int(slot), int(kind), next(self._seq), data))
 
-    def run_until(self, end_slot, stop_condition=None):
+    def run_until(
+        self,
+        end_slot: int,
+        stop_condition: Optional[Callable[[], bool]] = None,
+    ) -> int:
         """Process events up to and including ``end_slot``.
 
         ``stop_condition`` (a nullary callable) is polled after each slot
@@ -117,13 +182,15 @@ class SimulationEngine:
             self._prime()
         while self._heap and self._heap[0][0] <= end_slot:
             slot = self._heap[0][0]
-            batch = []
+            batch: List[_Event] = []
             while self._heap and self._heap[0][0] == slot:
                 batch.append(heapq.heappop(self._heap))
             affected = self._process_batch(slot, batch)
             if affected:
                 self._reconcile(slot, affected)
             self.now = slot
+            for hook in self._slot_end_hooks:
+                hook(slot, self)
             if stop_condition is not None and stop_condition():
                 return self.now
         self.now = max(self.now, end_slot)
@@ -131,7 +198,7 @@ class SimulationEngine:
 
     # -- setup -----------------------------------------------------------
 
-    def _prime(self):
+    def _prime(self) -> None:
         self._primed = True
         if self.mobility is not None and not self.mobility.is_static:
             self.schedule(self.epoch_slots, EventKind.MOBILITY_EPOCH)
@@ -143,10 +210,12 @@ class SimulationEngine:
 
     # -- event processing --------------------------------------------------
 
-    def _process_batch(self, slot, batch):
+    def _process_batch(self, slot: int, batch: List[_Event]) -> Set[int]:
         """Handle one slot's events; returns the set of affected nodes."""
-        affected = set()
+        affected: Set[int] = set()
         for _slot, kind, _seq, data in batch:
+            for hook in self._event_hooks:
+                hook(slot, kind, data, self)
             if kind == EventKind.TRANSMISSION_PHASE:
                 affected |= self._handle_phase(slot, data)
             elif kind == EventKind.MOBILITY_EPOCH:
@@ -159,7 +228,7 @@ class SimulationEngine:
                 affected |= self._handle_countdown(slot, data)
         return affected
 
-    def _handle_phase(self, slot, tx_id):
+    def _handle_phase(self, slot: int, tx_id: int) -> Set[int]:
         tx = self.medium.active_item(tx_id)
         if tx.kind == "handshake" and not tx.corrupted:
             # CTS received: extend the busy period through DATA + ACK.
@@ -174,7 +243,7 @@ class SimulationEngine:
             listener.on_transmission_end(slot, tx, success, self.medium)
         return self._neighborhood_of(tx.sender) | {tx.sender}
 
-    def _handle_epoch(self, slot):
+    def _handle_epoch(self, slot: int) -> None:
         time_s = slot * self.timing.slot_time_us / 1e6
         positions = self.mobility.positions_at(time_s)
         self.medium.update_positions(positions)
@@ -182,7 +251,7 @@ class SimulationEngine:
             listener.on_positions_updated(slot, positions, self.medium)
         self.schedule(slot + self.epoch_slots, EventKind.MOBILITY_EPOCH)
 
-    def _handle_arrival(self, slot, node_id):
+    def _handle_arrival(self, slot: int, node_id: int) -> None:
         source = self.traffic[node_id]
         destination = source.pick_destination(self.medium, node_id)
         if destination is not None and destination != node_id:
@@ -197,7 +266,7 @@ class SimulationEngine:
         if nxt is not None:
             self.schedule(nxt, EventKind.ARRIVAL, node_id)
 
-    def _handle_countdown(self, slot, data):
+    def _handle_countdown(self, slot: int, data: Tuple[int, int]) -> Set[int]:
         node_id, generation = data
         mac = self.macs[node_id]
         if mac.backoff.generation != generation or not mac.backoff.counting:
@@ -237,11 +306,11 @@ class SimulationEngine:
 
     # -- back-off reconciliation -------------------------------------------
 
-    def _neighborhood_of(self, node_id):
+    def _neighborhood_of(self, node_id: int) -> Set[int]:
         """Nodes whose channel view a transition at ``node_id`` can change."""
         return set(self.medium.sensors_of(node_id))
 
-    def _reconcile(self, slot, affected):
+    def _reconcile(self, slot: int, affected: Set[int]) -> None:
         for node_id in affected:
             mac = self.macs.get(node_id)
             if mac is None or mac.state.value == "transmitting":

@@ -4,24 +4,56 @@ Monitors (the detection framework) and experiment instrumentation attach
 as listeners; the engine calls them at every transmission start and
 outcome and at every mobility epoch.  Listeners must not mutate
 simulation state.
+
+Two low-level hooks exist for instrumentation that needs to see the raw
+event stream (the invariant checker in :mod:`repro.checks.invariants`):
+``on_event`` fires before each scheduled event is dispatched and
+``on_slot_end`` after a slot's batch and reconcile pass complete.  The
+engine only calls them on listeners that actually override them, so
+ordinary monitors pay nothing.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import-time only
+    from repro.phy.medium import Medium, Transmission
+    from repro.sim.engine import SimulationEngine
+
+Position = Tuple[float, float]
 
 
 class SimulationListener:
     """Base class: override the callbacks you need."""
 
-    def on_transmission_start(self, slot, transmission, medium):
+    def on_transmission_start(
+        self, slot: int, transmission: "Transmission", medium: "Medium"
+    ) -> None:
         """A node occupied the air at ``slot`` (RTS phase begins)."""
 
-    def on_transmission_end(self, slot, transmission, success, medium):
+    def on_transmission_end(
+        self,
+        slot: int,
+        transmission: "Transmission",
+        success: bool,
+        medium: "Medium",
+    ) -> None:
         """The exchange finished (success) or the RTS failed."""
 
-    def on_positions_updated(self, slot, positions, medium):
+    def on_positions_updated(
+        self, slot: int, positions: Dict[int, Position], medium: "Medium"
+    ) -> None:
         """A mobility epoch rebuilt the reachability sets."""
+
+    def on_event(
+        self, slot: int, kind: int, data: Any, engine: "SimulationEngine"
+    ) -> None:
+        """A scheduled event is about to be dispatched (low-level hook)."""
+
+    def on_slot_end(self, slot: int, engine: "SimulationEngine") -> None:
+        """A slot's event batch and reconcile pass completed (low-level)."""
 
 
 @dataclass
@@ -33,19 +65,27 @@ class _FlowStats:
 class StatsCollector(SimulationListener):
     """Network-wide counters used by tests and experiment reports."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.transmissions = 0
         self.successes = 0
         self.failures = 0
         self.busy_slots_total = 0
-        self.per_sender = {}
+        self.per_sender: Dict[int, _FlowStats] = {}
 
-    def on_transmission_start(self, slot, transmission, medium):
+    def on_transmission_start(
+        self, slot: int, transmission: "Transmission", medium: "Medium"
+    ) -> None:
         self.transmissions += 1
         stats = self.per_sender.setdefault(transmission.sender, _FlowStats())
         stats.sent += 1
 
-    def on_transmission_end(self, slot, transmission, success, medium):
+    def on_transmission_end(
+        self,
+        slot: int,
+        transmission: "Transmission",
+        success: bool,
+        medium: "Medium",
+    ) -> None:
         if success:
             self.successes += 1
             stats = self.per_sender.setdefault(transmission.sender, _FlowStats())
@@ -55,6 +95,6 @@ class StatsCollector(SimulationListener):
         self.busy_slots_total += transmission.duration
 
     @property
-    def success_ratio(self):
+    def success_ratio(self) -> float:
         done = self.successes + self.failures
         return self.successes / done if done else 0.0

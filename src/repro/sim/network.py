@@ -9,15 +9,18 @@ duration.  Everything is reproducible from the single ``seed``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
-from repro.mac.constants import DEFAULT_TIMING
+from repro.mac.constants import DEFAULT_TIMING, MacTiming
 from repro.mac.dcf import DcfMac
+from repro.mac.misbehavior import BackoffPolicy
 from repro.phy.channel import Channel
 from repro.phy.medium import Medium
 from repro.phy.propagation import FreeSpacePropagation, LogNormalShadowing
 from repro.sim.engine import SimulationEngine
-from repro.topology.mobility import StaticMobility
-from repro.traffic.generators import CbrTrafficGenerator, PoissonTrafficGenerator
+from repro.topology.mobility import MobilityModel, StaticMobility
+from repro.sim.listeners import SimulationListener
+from repro.traffic.generators import CbrTrafficGenerator, PoissonTrafficGenerator, TrafficGenerator
 from repro.util.rng import RngStream
 from repro.util.units import seconds_to_slots
 from repro.util.validation import check_positive
@@ -33,18 +36,18 @@ class Flow:
     """
 
     source: int
-    destination: int = None
+    destination: Optional[int] = None
     kind: str = "poisson"          # "poisson" | "cbr"
     load: float = 0.5              # traffic intensity rho
-    per_packet_destination: bool = None
+    per_packet_destination: Optional[bool] = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.kind not in ("poisson", "cbr"):
             raise ValueError(f"unknown flow kind {self.kind!r}")
         check_positive(self.load, "load")
 
     @property
-    def picks_per_packet(self):
+    def picks_per_packet(self) -> bool:
         if self.per_packet_destination is not None:
             return self.per_packet_destination
         return self.kind == "poisson"
@@ -53,13 +56,13 @@ class Flow:
 class _TrafficSource:
     """Engine-facing adapter: generator + destination selection."""
 
-    def __init__(self, flow, generator, rng):
+    def __init__(self, flow: Flow, generator: TrafficGenerator, rng: RngStream) -> None:
         self.flow = flow
         self.generator = generator
         self._rng = rng
         self._cached_destination = flow.destination
 
-    def pick_destination(self, medium, node_id):
+    def pick_destination(self, medium: Medium, node_id: int) -> Optional[int]:
         if self._cached_destination is not None and not self.flow.picks_per_packet:
             return self._cached_destination
         neighbors = sorted(medium.neighbors(node_id))
@@ -76,7 +79,7 @@ class SimulationConfig:
     """Everything needed to build a reproducible simulation."""
 
     seed: int = 1
-    timing: object = field(default_factory=lambda: DEFAULT_TIMING)
+    timing: MacTiming = field(default_factory=lambda: DEFAULT_TIMING)
     transmission_range: float = 250.0
     sensing_range: float = 550.0
     shadowing_sigma_db: float = 0.0
@@ -102,8 +105,18 @@ class Simulation:
         A :class:`SimulationConfig`; defaults reproduce Table 1.
     """
 
-    def __init__(self, positions_or_mobility, flows=(), policies=None, config=None,
-                 mac_options=None):
+    def __init__(
+        self,
+        positions_or_mobility: Union[
+            Mapping[int, Tuple[float, float]],
+            Iterable[Tuple[float, float]],
+            MobilityModel,
+        ],
+        flows: Iterable[Flow] = (),
+        policies: Optional[Mapping[int, BackoffPolicy]] = None,
+        config: Optional[SimulationConfig] = None,
+        mac_options: Optional[Mapping[int, Dict[str, Any]]] = None,
+    ) -> None:
         self.config = config if config is not None else SimulationConfig()
         cfg = self.config
         if hasattr(positions_or_mobility, "positions_at"):
@@ -130,7 +143,7 @@ class Simulation:
 
         policies = policies or {}
         mac_options = mac_options or {}
-        self.macs = {}
+        self.macs: Dict[int, DcfMac] = {}
         for node_id in initial_positions:
             options = mac_options.get(node_id, {})
             self.macs[node_id] = DcfMac(
@@ -142,7 +155,7 @@ class Simulation:
             )
 
         self.flows = list(flows)
-        traffic_sources = {}
+        traffic_sources: Dict[int, _TrafficSource] = {}
         for flow in self.flows:
             if flow.source not in self.macs:
                 raise ValueError(f"flow source {flow.source} is not a node")
@@ -159,7 +172,7 @@ class Simulation:
             epoch_interval_s=cfg.epoch_interval_s,
         )
 
-    def _build_source(self, flow):
+    def _build_source(self, flow: Flow) -> _TrafficSource:
         cfg = self.config
         service = cfg.timing.mean_service_slots
         if flow.kind == "poisson":
@@ -180,10 +193,14 @@ class Simulation:
 
     # -- running -----------------------------------------------------------
 
-    def add_listener(self, listener):
+    def add_listener(self, listener: SimulationListener) -> None:
         self.engine.add_listener(listener)
 
-    def run(self, duration_s, stop_condition=None):
+    def run(
+        self,
+        duration_s: float,
+        stop_condition: Optional[Callable[[], bool]] = None,
+    ) -> int:
         """Run for ``duration_s`` simulated seconds (from the current
         engine time); returns the final slot."""
         end = self.engine.now + seconds_to_slots(
@@ -191,7 +208,11 @@ class Simulation:
         )
         return self.engine.run_until(end, stop_condition=stop_condition)
 
-    def run_slots(self, slots, stop_condition=None):
+    def run_slots(
+        self,
+        slots: int,
+        stop_condition: Optional[Callable[[], bool]] = None,
+    ) -> int:
         """Run for an explicit number of slots."""
         return self.engine.run_until(
             self.engine.now + int(slots), stop_condition=stop_condition

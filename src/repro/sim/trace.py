@@ -9,8 +9,12 @@ the engine's event ordering.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 
 from repro.sim.listeners import SimulationListener
+
+if TYPE_CHECKING:  # pragma: no cover - import-time only
+    from repro.phy.medium import Medium, Transmission
 
 
 @dataclass(frozen=True)
@@ -23,7 +27,7 @@ class TraceRecord:
     receiver: int = -1
     detail: str = ""
 
-    def render(self, slot_time_us=20.0):
+    def render(self, slot_time_us: float = 20.0) -> str:
         """ns-2-flavored single-line rendering."""
         time_s = self.slot * slot_time_us / 1e6
         symbol = {"start": "s", "success": "r", "failure": "d", "epoch": "M"}[
@@ -36,22 +40,28 @@ class TraceRecord:
 class TraceRecorder(SimulationListener):
     """Records simulation events, optionally bounded in memory."""
 
-    def __init__(self, max_records=None, senders=None):
+    def __init__(
+        self,
+        max_records: Optional[int] = None,
+        senders: Optional[Iterable[int]] = None,
+    ) -> None:
         self.max_records = max_records
         self.senders = set(senders) if senders is not None else None
-        self.records = []
+        self.records: List[TraceRecord] = []
         self.dropped = 0
 
-    def _append(self, record):
+    def _append(self, record: TraceRecord) -> None:
         if self.max_records is not None and len(self.records) >= self.max_records:
             self.dropped += 1
             return
         self.records.append(record)
 
-    def _wanted(self, sender):
+    def _wanted(self, sender: int) -> bool:
         return self.senders is None or sender in self.senders
 
-    def on_transmission_start(self, slot, transmission, medium):
+    def on_transmission_start(
+        self, slot: int, transmission: "Transmission", medium: "Medium"
+    ) -> None:
         if not self._wanted(transmission.sender):
             return
         rts = transmission.frame
@@ -68,7 +78,13 @@ class TraceRecorder(SimulationListener):
             )
         )
 
-    def on_transmission_end(self, slot, transmission, success, medium):
+    def on_transmission_end(
+        self,
+        slot: int,
+        transmission: "Transmission",
+        success: bool,
+        medium: "Medium",
+    ) -> None:
         if not self._wanted(transmission.sender):
             return
         self._append(
@@ -81,22 +97,27 @@ class TraceRecorder(SimulationListener):
             )
         )
 
-    def on_positions_updated(self, slot, positions, medium):
+    def on_positions_updated(
+        self,
+        slot: int,
+        positions: Dict[int, Tuple[float, float]],
+        medium: "Medium",
+    ) -> None:
         self._append(
             TraceRecord(slot=slot, kind="epoch", detail=f"nodes={len(positions)}")
         )
 
     # -- output ------------------------------------------------------------
 
-    def render(self, slot_time_us=20.0):
+    def render(self, slot_time_us: float = 20.0) -> str:
         """The whole trace as text."""
         return "\n".join(r.render(slot_time_us) for r in self.records)
 
-    def write(self, path, slot_time_us=20.0):
+    def write(self, path: str, slot_time_us: float = 20.0) -> None:
         """Write the trace to a file."""
         with open(path, "w", encoding="ascii") as handle:
             handle.write(self.render(slot_time_us))
             handle.write("\n")
 
-    def events_of(self, sender):
+    def events_of(self, sender: int) -> List[TraceRecord]:
         return [r for r in self.records if r.sender == sender]

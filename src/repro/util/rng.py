@@ -10,11 +10,12 @@ randomness does not perturb existing streams.
 from __future__ import annotations
 
 import hashlib
+from typing import Any, Dict, Sequence, Tuple
 
 import numpy as np
 
 
-def derive_seed(root_seed, *names):
+def derive_seed(root_seed: int, *names: object) -> int:
     """Derive a 64-bit child seed from ``root_seed`` and a name path.
 
     Uses SHA-256 over the root seed and the path components so that
@@ -37,47 +38,47 @@ class RngStream:
     simulator needs.
     """
 
-    def __init__(self, root_seed, *names):
+    def __init__(self, root_seed: int, *names: object) -> None:
         self.name = "/".join(str(n) for n in names) if names else "root"
         self.seed = derive_seed(root_seed, *names)
         self._gen = np.random.Generator(np.random.PCG64(self.seed))
 
     @property
-    def generator(self):
+    def generator(self) -> np.random.Generator:
         """The underlying :class:`numpy.random.Generator`."""
         return self._gen
 
-    def uniform(self, low=0.0, high=1.0):
+    def uniform(self, low: float = 0.0, high: float = 1.0) -> float:
         return float(self._gen.uniform(low, high))
 
-    def integers(self, low, high):
+    def integers(self, low: int, high: int) -> int:
         """Uniform integer in ``[low, high)``."""
         return int(self._gen.integers(low, high))
 
-    def exponential(self, mean):
+    def exponential(self, mean: float) -> float:
         if mean <= 0:
             raise ValueError(f"mean must be positive, got {mean}")
         return float(self._gen.exponential(mean))
 
-    def normal(self, loc=0.0, scale=1.0):
+    def normal(self, loc: float = 0.0, scale: float = 1.0) -> float:
         return float(self._gen.normal(loc, scale))
 
-    def choice(self, seq):
+    def choice(self, seq: Sequence[Any]) -> Any:
         if len(seq) == 0:
             raise ValueError("cannot choose from an empty sequence")
         return seq[int(self._gen.integers(0, len(seq)))]
 
-    def shuffle(self, seq):
+    def shuffle(self, seq: Any) -> None:
         self._gen.shuffle(seq)
 
-    def random_point(self, width, height):
+    def random_point(self, width: float, height: float) -> Tuple[float, float]:
         """Uniform point in the ``[0, width] x [0, height]`` rectangle."""
         return (float(self._gen.uniform(0, width)), float(self._gen.uniform(0, height)))
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"RngStream(name={self.name!r}, seed={self.seed})"
 
 
-def spawn_streams(root_seed, *names):
+def spawn_streams(root_seed: int, *names: str) -> Dict[str, "RngStream"]:
     """Create one :class:`RngStream` per name, all derived from one seed."""
     return {name: RngStream(root_seed, name) for name in names}

@@ -16,7 +16,9 @@ MICROSECONDS_PER_SECOND = 1_000_000
 DEFAULT_SLOT_TIME_US = 20.0
 
 
-def microseconds_to_slots(us, slot_time_us=DEFAULT_SLOT_TIME_US):
+def microseconds_to_slots(
+    us: float, slot_time_us: float = DEFAULT_SLOT_TIME_US
+) -> int:
     """Convert a duration in microseconds to a whole number of slots.
 
     Durations are rounded *up* so that a frame never occupies less air
@@ -30,19 +32,25 @@ def microseconds_to_slots(us, slot_time_us=DEFAULT_SLOT_TIME_US):
     return max(slots, 0)
 
 
-def slots_to_microseconds(slots, slot_time_us=DEFAULT_SLOT_TIME_US):
+def slots_to_microseconds(
+    slots: int, slot_time_us: float = DEFAULT_SLOT_TIME_US
+) -> float:
     """Convert a slot count to microseconds."""
     if slots < 0:
         raise ValueError(f"slot count must be non-negative, got {slots}")
     return slots * slot_time_us
 
 
-def seconds_to_slots(seconds, slot_time_us=DEFAULT_SLOT_TIME_US):
+def seconds_to_slots(
+    seconds: float, slot_time_us: float = DEFAULT_SLOT_TIME_US
+) -> int:
     """Convert seconds to a whole number of slots (rounded up)."""
     return microseconds_to_slots(seconds * MICROSECONDS_PER_SECOND, slot_time_us)
 
 
-def slots_to_seconds(slots, slot_time_us=DEFAULT_SLOT_TIME_US):
+def slots_to_seconds(
+    slots: int, slot_time_us: float = DEFAULT_SLOT_TIME_US
+) -> float:
     """Convert a slot count to seconds."""
     return slots_to_microseconds(slots, slot_time_us) / MICROSECONDS_PER_SECOND
 
@@ -59,7 +67,7 @@ class Duration:
     slots: int
     slot_time_us: float = DEFAULT_SLOT_TIME_US
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.slots < 0:
             raise ValueError(f"slots must be non-negative, got {self.slots}")
         if self.slot_time_us <= 0:
@@ -68,27 +76,31 @@ class Duration:
             )
 
     @classmethod
-    def from_microseconds(cls, us, slot_time_us=DEFAULT_SLOT_TIME_US):
+    def from_microseconds(
+        cls, us: float, slot_time_us: float = DEFAULT_SLOT_TIME_US
+    ) -> "Duration":
         return cls(microseconds_to_slots(us, slot_time_us), slot_time_us)
 
     @classmethod
-    def from_seconds(cls, seconds, slot_time_us=DEFAULT_SLOT_TIME_US):
+    def from_seconds(
+        cls, seconds: float, slot_time_us: float = DEFAULT_SLOT_TIME_US
+    ) -> "Duration":
         return cls(seconds_to_slots(seconds, slot_time_us), slot_time_us)
 
     @property
-    def microseconds(self):
+    def microseconds(self) -> float:
         return slots_to_microseconds(self.slots, self.slot_time_us)
 
     @property
-    def seconds(self):
+    def seconds(self) -> float:
         return slots_to_seconds(self.slots, self.slot_time_us)
 
-    def __add__(self, other):
+    def __add__(self, other: object) -> "Duration":
         if isinstance(other, Duration):
             if other.slot_time_us != self.slot_time_us:
                 raise ValueError("cannot add Durations with different slot times")
             return Duration(self.slots + other.slots, self.slot_time_us)
         return NotImplemented
 
-    def __int__(self):
+    def __int__(self) -> int:
         return self.slots

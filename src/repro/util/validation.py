@@ -9,37 +9,40 @@ error messages.
 from __future__ import annotations
 
 import math
+from typing import TypeVar
+
+_Num = TypeVar("_Num", int, float)
 
 
-def check_positive(value, name):
+def check_positive(value: _Num, name: str) -> _Num:
     """Raise ``ValueError`` unless ``value`` > 0; return the value."""
     if not value > 0:
         raise ValueError(f"{name} must be positive, got {value!r}")
     return value
 
 
-def check_non_negative(value, name):
+def check_non_negative(value: _Num, name: str) -> _Num:
     """Raise ``ValueError`` unless ``value`` >= 0; return the value."""
     if not value >= 0:
         raise ValueError(f"{name} must be non-negative, got {value!r}")
     return value
 
 
-def check_probability(value, name):
+def check_probability(value: float, name: str) -> float:
     """Raise ``ValueError`` unless ``value`` lies in [0, 1]; return it."""
     if not 0.0 <= value <= 1.0:
         raise ValueError(f"{name} must be a probability in [0, 1], got {value!r}")
     return value
 
 
-def check_in_range(value, low, high, name):
+def check_in_range(value: _Num, low: float, high: float, name: str) -> _Num:
     """Raise ``ValueError`` unless ``low <= value <= high``; return it."""
     if not low <= value <= high:
         raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
     return value
 
 
-def check_finite(value, name):
+def check_finite(value: float, name: str) -> float:
     """Raise ``ValueError`` unless ``value`` is a finite number; return it."""
     if not math.isfinite(value):
         raise ValueError(f"{name} must be finite, got {value!r}")
