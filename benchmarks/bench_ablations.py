@@ -28,6 +28,7 @@ from repro.experiments.runner import (
 from repro.experiments.scenarios import GridScenario
 from repro.geometry.regions import RegionModel
 from repro.mac.backoff import contention_window
+from repro.obs.bench import write_bench_manifest
 
 SAMPLE_SIZE = 25
 PM = 50
@@ -69,6 +70,7 @@ def bench_ablation_arma_alpha(benchmark):
     print()
     for alpha, rate in rates.items():
         print(f"ablation ARMA alpha={alpha}: detection rate {rate:.3f}")
+    write_bench_manifest("ablation_arma_alpha", rates, seed=71)
     values = list(rates.values())
     assert max(values) - min(values) < 0.4, "detection should not hinge on alpha"
 
@@ -98,6 +100,7 @@ def bench_ablation_region_geometry(benchmark):
     print()
     for label, rate in rates.items():
         print(f"ablation A5 geometry={label}: detection rate {rate:.3f}")
+    write_bench_manifest("ablation_region_geometry", rates, seed=72)
     assert rates["union"] >= rates["crescent"] - 0.1
 
 
@@ -135,6 +138,11 @@ def bench_ablation_ranksum_vs_ttest(benchmark):
     print()
     print(f"ablation test statistic: rank-sum {ranksum_rate:.3f}, "
           f"Welch t {ttest_rate:.3f}")
+    write_bench_manifest(
+        "ablation_ranksum_vs_ttest",
+        {"rank_sum": ranksum_rate, "welch_t": ttest_rate},
+        seed=73,
+    )
     assert ranksum_rate > 0.3
 
 
@@ -154,6 +162,11 @@ def bench_ablation_alternative(benchmark):
     one, two = benchmark.pedantic(run, rounds=1, iterations=1)
     print()
     print(f"ablation alternative: one-sided {one:.3f}, two-sided {two:.3f}")
+    write_bench_manifest(
+        "ablation_alternative",
+        {"one_sided": one, "two_sided": two},
+        seed=74,
+    )
     assert one >= two - 0.05  # one-sided is at least as powerful here
 
 
@@ -174,6 +187,7 @@ def bench_ablation_nk_sensitivity(benchmark):
     print()
     for nk, rate in rates.items():
         print(f"ablation n=k={nk}: detection rate {rate:.3f}")
+    write_bench_manifest("ablation_nk_sensitivity", rates, seed=75)
     values = list(rates.values())
     assert max(values) - min(values) < 0.4
 
@@ -199,6 +213,15 @@ def bench_ablation_deterministic_layer(benchmark):
     print(
         f"ablation deterministic layer: statistical-only {stat_only:.3f}, "
         f"combined {combined:.3f} ({violations} violations)"
+    )
+    write_bench_manifest(
+        "ablation_deterministic_layer",
+        {
+            "statistical_only": stat_only,
+            "combined": combined,
+            "violations": violations,
+        },
+        seed=76,
     )
     assert combined >= stat_only
     assert not math.isnan(combined)

@@ -10,12 +10,14 @@ records paper-vs-measured.
 from __future__ import annotations
 
 from repro.experiments.fig3 import render_points, run_fig3
+from repro.obs.bench import write_bench_manifest
 
 
 def bench_fig3_probability_curves(benchmark):
     points = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
     print()
     print(render_points("Figure 3: grid topology, Poisson traffic", points))
+    write_bench_manifest("fig3", points)
 
     usable = [p for p in points if p.rho > 0.05]
     assert len(usable) >= 3

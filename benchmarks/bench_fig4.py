@@ -8,12 +8,14 @@ from __future__ import annotations
 
 from repro.experiments.fig3 import render_points
 from repro.experiments.fig4 import run_fig4
+from repro.obs.bench import write_bench_manifest
 
 
 def bench_fig4_probability_curves(benchmark):
     points = benchmark.pedantic(run_fig4, rounds=1, iterations=1)
     print()
     print(render_points("Figure 4: random topology, CBR traffic", points))
+    write_bench_manifest("fig4", points)
 
     usable = [p for p in points if p.rho > 0.05]
     assert len(usable) >= 3

@@ -27,6 +27,7 @@ from repro.experiments.fig5 import (
     run_fig5_mobile,
     run_fig5_static,
 )
+from repro.obs.bench import write_bench_manifest
 
 
 def _lookup(points, pm, size, combined=False):
@@ -48,6 +49,7 @@ def bench_fig5_static_grid(benchmark):
             combined=True,
         ))
         print()
+    write_bench_manifest("fig5_static", results)
 
     mid = results[0.6]
     # Monotone-ish in PM at the largest sample size (allow sampling noise
@@ -69,5 +71,6 @@ def bench_fig5_mobile(benchmark):
     print(render_curve(
         "Figure 5(d): mobile, full framework", points, combined=True
     ))
+    write_bench_manifest("fig5_mobile", points)
     # Mobility degrades but does not break detection at high PM.
     assert _lookup(points, 80, 100, combined=True) > 0.5

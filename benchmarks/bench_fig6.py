@@ -16,12 +16,14 @@ from repro.experiments.fig6 import (
     run_fig6_mobile,
     run_fig6_static,
 )
+from repro.obs.bench import write_bench_manifest
 
 
 def bench_fig6_static_grid(benchmark):
     curves = benchmark.pedantic(run_fig6_static, rounds=1, iterations=1)
     print()
     print(render_curves("Figure 6(a): P(misdiagnosis), static grid", curves))
+    write_bench_manifest("fig6_static", curves)
     for load, points in curves.items():
         for p in points:
             assert p.misdiagnosis_probability <= 0.1, (
@@ -38,5 +40,6 @@ def bench_fig6_mobile(benchmark):
     points = benchmark.pedantic(run_fig6_mobile, rounds=1, iterations=1)
     print()
     print(render_curves("Figure 6(b): P(misdiagnosis), mobile", {0.6: points}))
+    write_bench_manifest("fig6_mobile", points)
     for p in points:
         assert p.misdiagnosis_probability <= 0.1

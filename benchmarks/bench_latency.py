@@ -14,6 +14,7 @@ from repro.analysis.latency import detection_latency
 from repro.core.detector import DetectorConfig
 from repro.experiments.runner import collect_detection_samples, scaled
 from repro.experiments.scenarios import GridScenario
+from repro.obs.bench import write_bench_manifest
 
 
 def _latency_for(pm, seed, sample_size=25):
@@ -51,6 +52,7 @@ def bench_detection_latency(benchmark):
             f"{pm:>4d} {str(latency.flagged):>8s} {seconds} "
             f"{latency.samples_at_flag:>8d} {layer:>14s}"
         )
+    write_bench_manifest("latency", results)
 
     assert all(lat.flagged for lat in results.values())
     # Stronger misbehavior is caught at least as fast (allow slack for

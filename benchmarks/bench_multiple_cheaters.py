@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from repro.core.detector import BackoffMisbehaviorDetector, DetectorConfig
 from repro.mac.misbehavior import PercentageMisbehavior
+from repro.obs.bench import write_bench_manifest
 from repro.sim.network import Flow, Simulation, SimulationConfig
 from repro.topology.placement import grid_positions
 
@@ -46,6 +47,7 @@ def _run(duration_s=15.0, seed=91):
 def bench_multiple_cheaters(benchmark):
     cheaters, detectors = benchmark.pedantic(_run, rounds=1, iterations=1)
     print()
+    records = []
     for sender, det in sorted(detectors.items()):
         pm = cheaters.get(sender, 0)
         stat = [v for v in det.verdicts if not v.deterministic]
@@ -57,6 +59,15 @@ def bench_multiple_cheaters(benchmark):
             f"stat_rate={rate:.2f} violations={len(det.violations)} "
             f"samples={len(det.observations)}"
         )
+        records.append({
+            "sender": sender,
+            "pm": pm,
+            "flagged": det.flagged_malicious,
+            "stat_rate": rate,
+            "violations": len(det.violations),
+            "samples": len(det.observations),
+        })
+    write_bench_manifest("multiple_cheaters", records, seed=91)
     for sender, pm in cheaters.items():
         assert detectors[sender].flagged_malicious, f"cheater {sender} missed"
     honest = detectors[17]

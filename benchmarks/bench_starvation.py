@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from repro.experiments.fairness import run_starvation_sweep
 from repro.experiments.scenarios import GridScenario
+from repro.obs.bench import write_bench_manifest
 
 
 def _factory(seed):
@@ -33,6 +34,7 @@ def bench_starvation_sweep(benchmark):
             f"{p.fairness_index:>11.3f} {p.cheater_packets:>13d} "
             f"{p.neighbor_packets_mean:>14.1f}"
         )
+    write_bench_manifest("starvation", points)
 
     honest = points[0]
     worst = points[-1]

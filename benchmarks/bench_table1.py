@@ -9,7 +9,16 @@ from __future__ import annotations
 
 from repro.experiments.config import TABLE1
 from repro.experiments.scenarios import GridScenario, RandomScenario
+from repro.obs.bench import write_bench_manifest
 from repro.sim.listeners import StatsCollector
+
+
+def _stats_record(stats):
+    return {
+        "transmissions": stats.transmissions,
+        "successes": stats.successes,
+        "failures": stats.failures,
+    }
 
 
 def _run_scenario(scenario, duration_s=1.0):
@@ -30,6 +39,7 @@ def bench_table1_grid(benchmark):
         f"grid sanity: {stats.transmissions} transmissions, "
         f"{stats.successes} successes, {stats.failures} failures"
     )
+    write_bench_manifest("table1_grid", _stats_record(stats), seed=1)
     assert stats.transmissions > 0
     assert stats.successes > 0
 
@@ -45,4 +55,5 @@ def bench_table1_random(benchmark):
         f"random sanity: {stats.transmissions} transmissions, "
         f"{stats.successes} successes, {stats.failures} failures"
     )
+    write_bench_manifest("table1_random", _stats_record(stats), seed=1)
     assert stats.transmissions > 0

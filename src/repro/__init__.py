@@ -55,6 +55,17 @@ from repro.mac import (
     RtsFrame,
     VerifiableBackoffPrng,
 )
+from repro.obs import (
+    AuditRecord,
+    DecisionAuditLog,
+    MetricsListener,
+    MetricsRegistry,
+    RunManifest,
+    disable_metrics,
+    enable_metrics,
+    metrics_enabled,
+    shared_registry,
+)
 from repro.sim import Flow, Simulation, SimulationConfig, StatsCollector
 from repro.topology import (
     RandomWaypoint,
@@ -71,6 +82,7 @@ __all__ = [
     "AdaptiveLoadCheat",
     "AlienDistributionBackoff",
     "ArmaTrafficEstimator",
+    "AuditRecord",
     "BackoffHypothesisTest",
     "BackoffMisbehaviorDetector",
     "BackoffObservation",
@@ -78,6 +90,7 @@ __all__ = [
     "ChannelObserver",
     "CompetingTerminalEstimator",
     "DcfMac",
+    "DecisionAuditLog",
     "DetectorConfig",
     "Diagnosis",
     "FixedBackoff",
@@ -85,6 +98,8 @@ __all__ = [
     "HonestBackoff",
     "IntermittentMisbehavior",
     "MacTiming",
+    "MetricsListener",
+    "MetricsRegistry",
     "MonitorHandoff",
     "NoExponentialBackoff",
     "NodeDensityEstimator",
@@ -93,6 +108,7 @@ __all__ = [
     "RegionModel",
     "RngStream",
     "RtsFrame",
+    "RunManifest",
     "SensingRegions",
     "Simulation",
     "SimulationConfig",
@@ -102,8 +118,12 @@ __all__ = [
     "Verdict",
     "VerifiableBackoffPrng",
     "center_pair_indices",
+    "disable_metrics",
+    "enable_metrics",
     "grid_positions",
+    "metrics_enabled",
     "random_positions",
     "rank_sum_test",
+    "shared_registry",
     "__version__",
 ]

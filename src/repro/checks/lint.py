@@ -17,8 +17,15 @@ bugs the integer clock exists to prevent.
 
 The pass also enforces two general hygiene rules (mutable default
 arguments, bare ``except:``) and requires type annotations on every
-public function in ``core/``, ``mac/`` and ``sim/`` — the modules whose
-interfaces the engine and detector contract on.
+public function in ``core/``, ``mac/``, ``sim/`` and ``obs/`` — the
+modules whose interfaces the engine and detector contract on.
+
+Wall-clock reads have their own allowlist: only ``obs/profile.py`` (the
+throughput profiler) may touch the host clock.  ``util/rng.py`` stays
+exempt from the RNG rules but *not* from RPR003 — seeding from the
+clock would be exactly the determinism bug the rule exists to prevent.
+``tests/test_checks_lint.py`` proves the allowlist exact: every module
+that reads the clock is on it, and every module on it reads the clock.
 
 Rules
 -----
@@ -26,13 +33,14 @@ Rules
 ==========  ============================================================
 ``RPR001``  ``import random`` outside ``util/rng.py``
 ``RPR002``  ``numpy.random`` / ``np.random`` use outside ``util/rng.py``
-``RPR003``  wall-clock read (``time.time`` etc.) outside ``util/rng.py``
+``RPR003``  wall-clock read (``time.time`` etc.) outside the allowlist
+            (``obs/profile.py``)
 ``RPR101``  float literal in slot arithmetic (``+ - // %``)
 ``RPR102``  ``==`` / ``!=`` between a slot value and a float literal
 ``RPR201``  mutable default argument
 ``RPR202``  bare ``except:``
-``RPR301``  public function in ``core/``/``mac/``/``sim/`` missing
-            type annotations
+``RPR301``  public function in ``core/``/``mac/``/``sim/``/``obs/``
+            missing type annotations
 ==========  ============================================================
 """
 
@@ -58,7 +66,10 @@ class LintRule:
 RULES: Tuple[LintRule, ...] = (
     LintRule("RPR001", "import of the stdlib `random` module outside util/rng.py"),
     LintRule("RPR002", "use of numpy.random outside util/rng.py"),
-    LintRule("RPR003", "wall-clock read (time.time & friends) outside util/rng.py"),
+    LintRule(
+        "RPR003",
+        "wall-clock read (time.time & friends) outside the obs/profile.py allowlist",
+    ),
     LintRule("RPR101", "float literal in slot arithmetic (+ - // %)"),
     LintRule("RPR102", "==/!= comparison between a slot value and a float literal"),
     LintRule("RPR201", "mutable default argument"),
@@ -83,11 +94,15 @@ class Finding:
         return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
 
 
-#: Files allowed to touch numpy.random / the random module / the clock.
+#: Files allowed to touch numpy.random / the stdlib random module.
 _DETERMINISM_EXEMPT_SUFFIXES: Tuple[str, ...] = ("util/rng.py",)
 
+#: Files allowed to read the host clock (RPR003).  Exactly the
+#: throughput profiler — a test asserts this list matches reality.
+WALL_CLOCK_ALLOWLIST: Tuple[str, ...] = ("obs/profile.py",)
+
 #: Package subtrees whose public functions must be fully annotated.
-_ANNOTATION_SCOPES: Tuple[str, ...] = ("core", "mac", "sim")
+_ANNOTATION_SCOPES: Tuple[str, ...] = ("core", "mac", "obs", "sim")
 
 #: Identifiers that denote integer slot timestamps or slot counts.
 _SLOT_NAME = re.compile(r"(?:^|_)slots?$")
@@ -126,6 +141,11 @@ def _normalized(path: str) -> str:
 def _determinism_exempt(path: str) -> bool:
     norm = _normalized(path)
     return any(norm.endswith(suffix) for suffix in _DETERMINISM_EXEMPT_SUFFIXES)
+
+
+def _wall_clock_exempt(path: str) -> bool:
+    norm = _normalized(path)
+    return any(norm.endswith(suffix) for suffix in WALL_CLOCK_ALLOWLIST)
 
 
 def _annotation_scope(path: str) -> bool:
@@ -177,6 +197,7 @@ class _LintVisitor(ast.NodeVisitor):
         self.path = path
         self.findings: List[Finding] = []
         self._exempt = _determinism_exempt(path)
+        self._clock_exempt = _wall_clock_exempt(path)
         self._annotations_required = _annotation_scope(path)
         # Stack of "class" / "function" markers for nesting decisions.
         self._scope: List[str] = []
@@ -219,6 +240,21 @@ class _LintVisitor(ast.NodeVisitor):
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if (
+            not self._clock_exempt
+            and node.level == 0
+            and node.module == "time"
+            and any(
+                alias.name in ("time", "time_ns", "monotonic", "perf_counter")
+                for alias in node.names
+            )
+        ):
+            self._add(
+                node,
+                "RPR003",
+                "import of a wall-clock reader: simulation time is the "
+                "integer slot clock",
+            )
         if not self._exempt and node.level == 0 and node.module is not None:
             if node.module == "random" or node.module.startswith("random."):
                 self._add(
@@ -245,16 +281,6 @@ class _LintVisitor(ast.NodeVisitor):
                     "import of numpy.random: only util/rng.py may touch "
                     "numpy's RNG machinery",
                 )
-            if node.module == "time" and any(
-                alias.name in ("time", "time_ns", "monotonic", "perf_counter")
-                for alias in node.names
-            ):
-                self._add(
-                    node,
-                    "RPR003",
-                    "import of a wall-clock reader: simulation time is the "
-                    "integer slot clock",
-                )
         self.generic_visit(node)
 
     def visit_Attribute(self, node: ast.Attribute) -> None:
@@ -273,7 +299,7 @@ class _LintVisitor(ast.NodeVisitor):
         self.generic_visit(node)
 
     def visit_Call(self, node: ast.Call) -> None:
-        if not self._exempt:
+        if not self._clock_exempt:
             dotted = _dotted_name(node.func)
             if dotted is not None and dotted in _WALL_CLOCK_CALLS:
                 self._add(

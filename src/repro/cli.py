@@ -13,7 +13,25 @@ The global ``--check`` flag (before the subcommand) installs the runtime
 invariant checker from :mod:`repro.checks.invariants` on every engine the
 run builds; any broken engine contract aborts with a precise diagnostic.
 
-Everything prints the same plain-text tables the benchmarks emit.
+Observability (``repro.obs``) flags, accepted by every subcommand:
+
+``--metrics``
+    attach a :class:`repro.obs.MetricsListener` to every engine the
+    command builds (the process-wide shared registry accumulates across
+    an experiment sweep's many runs) and print the snapshot at the end;
+``--json OUT``
+    write a :class:`repro.obs.RunManifest` to ``OUT``: seed, config,
+    REPRO_SCALE, package version, wall-clock duration, the metric
+    snapshot (with ``--metrics``) and the result rows;
+``--profile``
+    time the hot loop.  ``demo`` instruments its single engine with the
+    per-phase :class:`repro.obs.profile.EngineProfiler`; sweep commands
+    report overall wall-clock (plus slots/sec when ``--metrics`` is on).
+
+``demo`` additionally accepts ``--audit OUT`` to export the detector's
+decision audit log as JSONL.
+
+Everything still prints the same plain-text tables the benchmarks emit.
 """
 
 from __future__ import annotations
@@ -22,11 +40,28 @@ import argparse
 import sys
 from typing import List, Optional
 
+#: argparse Namespace entries that are plumbing, not run configuration.
+_INTERNAL_ARGS = frozenset(
+    {
+        "func",
+        "command",
+        "check",
+        "metrics",
+        "json_out",
+        "profile",
+        "audit_out",
+        "results",
+        "audit_records",
+        "profile_report",
+    }
+)
+
 
 def _cmd_table1(args: argparse.Namespace) -> int:
     from repro.experiments.config import TABLE1
 
     print(TABLE1.render())
+    args.results = {"table1": TABLE1.render()}
     return 0
 
 
@@ -43,6 +78,7 @@ def _cmd_fig3(args: argparse.Namespace) -> int:
         kwargs["runs"] = args.runs
     points = run_fig3(**kwargs)
     print(render_points("Figure 3: grid topology, Poisson traffic", points))
+    args.results = {"points": points}
     return 0
 
 
@@ -56,6 +92,7 @@ def _cmd_fig4(args: argparse.Namespace) -> int:
         kwargs["runs"] = args.runs
     points = run_fig4(**kwargs)
     print(render_points("Figure 4: random topology, CBR traffic", points))
+    args.results = {"points": points}
     return 0
 
 
@@ -77,9 +114,11 @@ def _cmd_fig5(args: argparse.Namespace) -> int:
     for load, points in results.items():
         print(render_curve(f"Figure 5: P(correct diagnosis), load={load}", points))
         print()
+    args.results = {"static": results}
     if args.mobile:
         points = run_fig5_mobile(**kwargs)
         print(render_curve("Figure 5(d): mobile, load=0.6", points))
+        args.results["mobile"] = points
     return 0
 
 
@@ -97,9 +136,11 @@ def _cmd_fig6(args: argparse.Namespace) -> int:
         kwargs["windows"] = args.windows
     curves = run_fig6_static(loads=loads, **kwargs)
     print(render_curves("Figure 6(a): P(misdiagnosis), static grid", curves))
+    args.results = {"static": curves}
     if args.mobile:
         points = run_fig6_mobile(**kwargs)
         print(render_curves("Figure 6(b): P(misdiagnosis), mobile", {0.6: points}))
+        args.results["mobile"] = points
     return 0
 
 
@@ -109,18 +150,29 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     from repro.core.detector import BackoffMisbehaviorDetector, DetectorConfig
     from repro.experiments.scenarios import GridScenario
     from repro.mac.misbehavior import PercentageMisbehavior
+    from repro.obs.audit import DecisionAuditLog
 
     scenario = GridScenario(load=args.load, seed=args.seed)
     _sim, sender, _monitor = scenario.build()
     policies = {sender: PercentageMisbehavior(args.pm)} if args.pm else None
     sim, sender, monitor = scenario.build(policies=policies)
+    audit = DecisionAuditLog()
     detector = BackoffMisbehaviorDetector(
         monitor,
         sender,
         config=DetectorConfig(sample_size=25, known_n=5, known_k=5),
+        audit=audit,
     )
     sim.add_listener(detector)
+    profiler = None
+    if args.profile:
+        from repro.obs.profile import EngineProfiler
+
+        profiler = EngineProfiler()
+        profiler.instrument(sim.engine)
     sim.run(args.seconds)
+    if profiler is not None:
+        args.profile_report = profiler.finish()
 
     summary = summarize_estimation(detector)
     latency = detection_latency(detector)
@@ -139,9 +191,29 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         )
     else:
         print("never flagged (as expected for an honest sender)")
+    print(
+        f"audit: {len(audit)} decisions "
+        f"({audit.deterministic_count} deterministic, "
+        f"{audit.statistical_count} statistical) "
+        f"by rule {audit.counts_by_rule()}"
+    )
     checker = sim.engine.invariant_checker
     if checker is not None:
         print(checker.summary())
+
+    args.audit_records = [record.to_dict() for record in audit.records]
+    args.results = {
+        "samples": summary.samples,
+        "mean_dictated": summary.mean_dictated,
+        "mean_estimated": summary.mean_estimated,
+        "relative_shift": summary.relative_shift,
+        "violations": len(detector.violations),
+        "flagged": latency.flagged,
+        "verdicts": len(detector.verdicts),
+    }
+    if args.audit_out:
+        path = audit.write_jsonl(args.audit_out)
+        print(f"wrote audit log to {path}", file=sys.stderr)
     return 0
 
 
@@ -157,36 +229,81 @@ def build_parser() -> argparse.ArgumentParser:
         help="install the runtime invariant checker on every simulation "
         "engine (see repro.checks)",
     )
+    # Observability flags, shared by every subcommand (repro.obs).
+    obs = argparse.ArgumentParser(add_help=False)
+    obs.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect engine/detector metrics into the shared registry "
+        "and print the snapshot",
+    )
+    obs.add_argument(
+        "--json",
+        dest="json_out",
+        metavar="OUT",
+        default=None,
+        help="write a machine-readable run manifest (seed, config, "
+        "REPRO_SCALE, metrics, audit, results) to OUT",
+    )
+    obs.add_argument(
+        "--profile",
+        action="store_true",
+        help="measure slot throughput (wall clock; engine phase "
+        "breakdown for `demo`)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("table1", help="print Table 1").set_defaults(func=_cmd_table1)
+    p1 = sub.add_parser("table1", parents=[obs], help="print Table 1")
+    p1.set_defaults(func=_cmd_table1)
 
     for name, func in (("fig3", _cmd_fig3), ("fig4", _cmd_fig4)):
-        p = sub.add_parser(name, help=f"run the {name} probability sweep")
+        p = sub.add_parser(
+            name, parents=[obs], help=f"run the {name} probability sweep"
+        )
         p.add_argument("--loads", nargs="*", type=float)
         p.add_argument("--runs", type=int)
         p.set_defaults(func=func)
 
-    p5 = sub.add_parser("fig5", help="detection probability curves")
+    p5 = sub.add_parser("fig5", parents=[obs], help="detection probability curves")
     p5.add_argument("--loads", nargs="*", type=float)
     p5.add_argument("--pm", nargs="*", type=int)
     p5.add_argument("--windows", type=int)
     p5.add_argument("--mobile", action="store_true")
     p5.set_defaults(func=_cmd_fig5)
 
-    p6 = sub.add_parser("fig6", help="misdiagnosis curves")
+    p6 = sub.add_parser("fig6", parents=[obs], help="misdiagnosis curves")
     p6.add_argument("--loads", nargs="*", type=float)
     p6.add_argument("--windows", type=int)
     p6.add_argument("--mobile", action="store_true")
     p6.set_defaults(func=_cmd_fig6)
 
-    demo = sub.add_parser("demo", help="one detection run with a summary")
+    demo = sub.add_parser(
+        "demo", parents=[obs], help="one detection run with a summary"
+    )
     demo.add_argument("--pm", type=int, default=60)
     demo.add_argument("--load", type=float, default=0.6)
     demo.add_argument("--seconds", type=float, default=6.0)
     demo.add_argument("--seed", type=int, default=42)
+    demo.add_argument(
+        "--audit",
+        dest="audit_out",
+        metavar="OUT",
+        default=None,
+        help="export the detector decision audit log as JSONL to OUT",
+    )
     demo.set_defaults(func=_cmd_demo)
     return parser
+
+
+def _config_of(args: argparse.Namespace) -> dict:
+    """The run's configuration: every non-plumbing parsed argument."""
+    from repro.obs.manifest import to_jsonable
+
+    return {
+        key: to_jsonable(value)
+        for key, value in sorted(vars(args).items())
+        if key not in _INTERNAL_ARGS
+    }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -196,7 +313,70 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.checks import enable_runtime_checks
 
         enable_runtime_checks()
-    return args.func(args)
+
+    registry = None
+    if args.metrics:
+        from repro.obs.runtime import enable_metrics, reset_metrics
+
+        registry = reset_metrics()
+        enable_metrics()
+
+    watch = None
+    if args.json_out or args.profile:
+        from repro.obs.profile import Stopwatch
+
+        watch = Stopwatch()
+
+    try:
+        rc = args.func(args)
+    finally:
+        if args.metrics:
+            from repro.obs.runtime import disable_metrics
+
+            disable_metrics()
+    duration = watch.stop() if watch is not None else None
+
+    snapshot = None
+    if registry is not None:
+        snapshot = registry.snapshot()
+        print()
+        print(registry.render())
+
+    profile_dict = None
+    report = getattr(args, "profile_report", None)
+    if report is not None:
+        print()
+        print(report.render())
+        profile_dict = report.to_dict()
+    elif args.profile and duration is not None:
+        profile_dict = {"wall_seconds": duration}
+        if snapshot is not None:
+            slots = snapshot["counters"].get("engine.slots", 0)
+            events = snapshot["counters"].get("engine.events", 0)
+            if duration > 0:
+                profile_dict["slots_per_second"] = slots / duration
+                profile_dict["events_per_second"] = events / duration
+        print()
+        print(f"profile: wall time {duration:.3f} s")
+
+    if args.json_out:
+        from repro.experiments.runner import fidelity_scale
+        from repro.obs.manifest import RunManifest
+
+        manifest = RunManifest(
+            name=args.command,
+            seed=getattr(args, "seed", None),
+            config=_config_of(args),
+            repro_scale=fidelity_scale(),
+            duration_s=duration,
+            metrics=snapshot,
+            audit=getattr(args, "audit_records", None),
+            profile=profile_dict,
+            results=getattr(args, "results", None),
+        )
+        path = manifest.write(args.json_out)
+        print(f"wrote manifest to {path}", file=sys.stderr)
+    return rc
 
 
 if __name__ == "__main__":

@@ -49,12 +49,15 @@ from repro.mac.backoff import contention_window
 from repro.mac.constants import DEFAULT_TIMING
 from repro.mac.frames import SEQ_OFF_MODULUS
 from repro.mac.prng import VerifiableBackoffPrng
+from repro.obs.audit import AuditRecord, DecisionAuditLog
 from repro.sim.listeners import SimulationListener
 
 if TYPE_CHECKING:  # pragma: no cover - import-time only
     from repro.core.deterministic import DeterministicViolation
     from repro.core.observation import ObservedTransmission
+    from repro.core.records import Verdict as _Verdict
     from repro.mac.constants import MacTiming
+    from repro.obs.registry import MetricsRegistry
     from repro.phy.medium import Medium, Transmission
 
 
@@ -131,11 +134,21 @@ class BackoffMisbehaviorDetector(SimulationListener):
         config: Optional[DetectorConfig] = None,
         timing: "Optional[MacTiming]" = None,
         separation: Optional[float] = None,
+        audit: Optional[DecisionAuditLog] = None,
+        metrics: "Optional[MetricsRegistry]" = None,
     ) -> None:
         self.config = config if config is not None else DetectorConfig()
         self.timing = timing if timing is not None else DEFAULT_TIMING
         self.monitor_id = monitor_id
         self.tagged_id = tagged_id
+        #: structured decision audit log (see repro.obs.audit); optional.
+        self.audit = audit
+        if metrics is None:
+            from repro.obs.runtime import metrics_enabled, shared_registry
+
+            metrics = shared_registry() if metrics_enabled() else None
+        #: metrics registry for verdict/sample counters; optional.
+        self.metrics = metrics
 
         cfg = self.config
         self.observer = ChannelObserver(monitor_id, tagged_id)
@@ -350,7 +363,7 @@ class BackoffMisbehaviorDetector(SimulationListener):
             advance = (rts.seq_off_field - previous.rts.seq_off_field) % SEQ_OFF_MODULUS
             if advance != 1:
                 # Missed frames in between: interval spans >1 back-off.
-                self.skipped_samples += 1
+                self._skip_sample()
                 return
 
         idle, busy = self.observer.idle_busy_counts(start, end)
@@ -377,10 +390,10 @@ class BackoffMisbehaviorDetector(SimulationListener):
 
         warmup_end = (self._birth_slot or 0) + self.config.warmup_slots
         if current.start_slot < warmup_end:
-            self.skipped_samples += 1
+            self._skip_sample()
             return
         if busy > self.config.max_busy_factor * (window + 1):
-            self.skipped_samples += 1
+            self._skip_sample()
             return
 
         n, k = self._region_counts()
@@ -404,7 +417,7 @@ class BackoffMisbehaviorDetector(SimulationListener):
             difs_cost = self.timing.difs_slots * (1.0 + freeze_periods)
             estimated = max(i_est - difs_cost, 0.0)
         if estimated > self.config.plausibility_slack * (window + 1):
-            self.skipped_samples += 1
+            self._skip_sample()
             return
 
         observation = BackoffObservation(
@@ -420,6 +433,8 @@ class BackoffMisbehaviorDetector(SimulationListener):
             unambiguous=busy == 0,
         )
         self.observations.append(observation)
+        if self.metrics is not None:
+            self.metrics.inc("detector.samples")
         if rts.attempt > self.config.max_test_attempt:
             return
         if self.config.normalize_by_cw:
@@ -441,16 +456,55 @@ class BackoffMisbehaviorDetector(SimulationListener):
 
     # -- verdicts ------------------------------------------------------------
 
+    def _skip_sample(self) -> None:
+        self.skipped_samples += 1
+        if self.metrics is not None:
+            self.metrics.inc("detector.samples_skipped")
+
+    def _publish(
+        self,
+        verdict: "_Verdict",
+        rule: str,
+        detail: str,
+        threshold: Optional[float] = None,
+    ) -> None:
+        """Append a verdict plus its audit record and metric counts."""
+        self.verdicts.append(verdict)
+        if self.audit is not None:
+            self.audit.record(
+                AuditRecord(
+                    slot=verdict.slot,
+                    monitor=self.monitor_id,
+                    tagged=self.tagged_id,
+                    rule=rule,
+                    diagnosis=verdict.diagnosis.value,
+                    deterministic=verdict.deterministic,
+                    detail=detail,
+                    p_value=verdict.p_value,
+                    statistic=verdict.statistic,
+                    threshold=threshold,
+                    sample_size=verdict.sample_size,
+                )
+            )
+        if self.metrics is not None:
+            self.metrics.inc("detector.verdicts")
+            self.metrics.inc(f"detector.verdicts.{verdict.diagnosis.value}")
+            self.metrics.inc(f"detector.rule.{rule}")
+            layer = "deterministic" if verdict.deterministic else "statistical"
+            self.metrics.inc(f"detector.verdicts.{layer}")
+
     def _record_violation(self, violation: "DeterministicViolation") -> None:
         self.violations.append(violation)
-        self.verdicts.append(
+        self._publish(
             Verdict(
                 diagnosis=Diagnosis.MALICIOUS,
                 sample_size=self.test.n_samples,
                 slot=violation.slot,
                 reason=f"{violation.kind}: {violation.detail}",
                 deterministic=True,
-            )
+            ),
+            rule=violation.kind,
+            detail=violation.detail,
         )
 
     def _evaluate(self, slot: int) -> None:
@@ -462,7 +516,7 @@ class BackoffMisbehaviorDetector(SimulationListener):
             if decision is TestDecision.REJECT_H0
             else Diagnosis.WELL_BEHAVED
         )
-        self.verdicts.append(
+        self._publish(
             Verdict(
                 diagnosis=diagnosis,
                 p_value=result.p_value,
@@ -470,7 +524,13 @@ class BackoffMisbehaviorDetector(SimulationListener):
                 sample_size=result.n_y,
                 slot=slot,
                 reason="rank-sum window evaluation",
-            )
+            ),
+            rule="rank_sum",
+            detail=(
+                f"one-sided rank-sum over {result.n_y} samples: "
+                f"p={result.p_value:.6g} vs alpha={self.config.alpha}"
+            ),
+            threshold=self.config.alpha,
         )
 
     # -- conveniences -----------------------------------------------------------

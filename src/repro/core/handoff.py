@@ -25,6 +25,7 @@ from repro.sim.listeners import SimulationListener
 
 if TYPE_CHECKING:  # pragma: no cover - import-time only
     from repro.mac.constants import MacTiming
+    from repro.obs.audit import DecisionAuditLog
     from repro.phy.medium import Medium, Transmission
     from repro.util.rng import RngStream
 
@@ -40,6 +41,7 @@ class MonitorHandoff(SimulationListener):
         timing: "Optional[MacTiming]" = None,
         rng: "Optional[RngStream]" = None,
         separation: Optional[float] = None,
+        audit: "Optional[DecisionAuditLog]" = None,
     ) -> None:
         if rng is None:
             raise ValueError("MonitorHandoff requires an RngStream")
@@ -47,12 +49,15 @@ class MonitorHandoff(SimulationListener):
         self.config = config if config is not None else DetectorConfig()
         self.timing = timing
         self._rng = rng
+        #: one audit log spans every monitor of this tagged node
+        self.audit = audit
         self.detector = BackoffMisbehaviorDetector(
             initial_monitor,
             tagged_id,
             config=self.config,
             timing=timing,
             separation=separation,
+            audit=audit,
         )
         self.handoffs = 0
         self.retired_detectors: List[BackoffMisbehaviorDetector] = []
@@ -158,5 +163,6 @@ class MonitorHandoff(SimulationListener):
             config=self.config,
             timing=self.timing,
             separation=separation,
+            audit=self.audit,
         )
         self.detector.on_positions_updated(slot, positions, medium)

@@ -39,6 +39,21 @@ def format_series(title, x_label, x_values, series):
     return format_table(title, headers, rows)
 
 
+def table_records(headers, rows):
+    """The same rows as a list of dicts (for run-manifest ``results``).
+
+    Each row becomes ``{header: cell}`` with the raw (unformatted)
+    values, so manifests carry full precision while the printed table
+    stays rounded.
+    """
+    records = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row has {len(row)} cells, expected {len(headers)}")
+        records.append(dict(zip(headers, row)))
+    return records
+
+
 def _fmt(value):
     if isinstance(value, float):
         return f"{value:.4f}"

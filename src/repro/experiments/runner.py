@@ -33,7 +33,7 @@ def scaled(value, minimum=1):
 
 def collect_detection_samples(scenario, pm, detector_config=None,
                               target_samples=500, max_duration_s=240.0,
-                              policies=None):
+                              policies=None, audit=None):
     """Run one scenario with a (possibly misbehaving) sender and collect
     the detector's raw sample stream.
 
@@ -41,6 +41,10 @@ def collect_detection_samples(scenario, pm, detector_config=None,
     the (dictated, estimated) pairs and ``detector.violations`` the
     deterministic catches.  The simulation stops as soon as
     ``target_samples`` observations exist (or at ``max_duration_s``).
+
+    ``audit`` is an optional :class:`repro.obs.DecisionAuditLog` that
+    receives one structured record per verdict (shared across monitor
+    hand-offs in the mobile case).
     """
     from repro.core.handoff import MonitorHandoff
     from repro.mac.misbehavior import PercentageMisbehavior
@@ -66,6 +70,7 @@ def collect_detection_samples(scenario, pm, detector_config=None,
             config=detector_config,
             rng=RngStream(getattr(scenario, "seed", 0), "monitor-handoff"),
             separation=getattr(scenario, "separation", None),
+            audit=audit,
         )
     else:
         detector = BackoffMisbehaviorDetector(
@@ -73,6 +78,7 @@ def collect_detection_samples(scenario, pm, detector_config=None,
             sender,
             config=detector_config,
             separation=getattr(scenario, "separation", None),
+            audit=audit,
         )
     sim.add_listener(detector)
     sim.run(

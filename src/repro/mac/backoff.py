@@ -36,6 +36,12 @@ class BackoffScheduler:
         self.generation = 0
         #: dictated back-off drawn for the current attempt (for tracing)
         self.initial: Optional[int] = None
+        #: lifetime statistics (read by repro.obs.MetricsListener.harvest)
+        self.draws = 0
+        self.freezes = 0
+        self.slots_frozen = 0
+        #: slot of the last effective freeze; None while counting/idle
+        self._frozen_since: Optional[int] = None
 
     # -- state predicates ----------------------------------------------------
 
@@ -58,12 +64,17 @@ class BackoffScheduler:
         self.initial = int(slots)
         self.anchor = None
         self.generation += 1
+        self.draws += 1
+        self._frozen_since = None
 
     def resume(self, anchor_slot: int) -> int:
         """Medium usable from ``anchor_slot`` (a DIFS after it went idle);
         counting restarts there.  Returns the completion slot."""
         if self.remaining is None:
             raise RuntimeError("resume() with no active back-off")
+        if self._frozen_since is not None:
+            self.slots_frozen += max(int(anchor_slot) - self._frozen_since, 0)
+            self._frozen_since = None
         self.anchor = int(anchor_slot)
         self.generation += 1
         return self.completion_slot
@@ -80,6 +91,8 @@ class BackoffScheduler:
         self.remaining = max(0, self.remaining - elapsed)
         self.anchor = None
         self.generation += 1
+        self.freezes += 1
+        self._frozen_since = int(now_slot)
 
     def finish(self) -> None:
         """Countdown reached zero; clear state."""
@@ -87,6 +100,7 @@ class BackoffScheduler:
         self.anchor = None
         self.initial = None
         self.generation += 1
+        self._frozen_since = None
 
     @property
     def completion_slot(self) -> int:

@@ -1,0 +1,75 @@
+"""repro.obs — zero-dependency observability for the simulator.
+
+Four cooperating pieces:
+
+* :mod:`repro.obs.registry` — :class:`MetricsRegistry` with counters,
+  gauges and fixed-bucket histograms.  Snapshots are plain dicts with
+  deterministically ordered keys, so two runs with the same seed
+  produce byte-identical JSON.
+* :mod:`repro.obs.listener` — :class:`MetricsListener`, a
+  :class:`repro.sim.listeners.SimulationListener` that feeds a registry
+  from the engine's ``on_event``/``on_slot_end`` hooks.  The engine only
+  dispatches those hooks to listeners that override them, so runs
+  without metrics pay nothing.
+* :mod:`repro.obs.audit` — the detector decision audit log: every
+  :class:`repro.core.detector.BackoffMisbehaviorDetector` verdict as a
+  structured :class:`AuditRecord` (which rule fired, deterministic vs.
+  statistical, p-value/statistic/threshold), exportable to JSONL.
+* :mod:`repro.obs.manifest` — :class:`RunManifest`, the machine-readable
+  record written next to experiment/bench output: seed, config,
+  ``REPRO_SCALE``, package version, wall-clock duration and the final
+  metric snapshot.
+
+:mod:`repro.obs.profile` (the only module besides nothing else allowed
+to read the host clock — see the RPR003 allowlist in
+:mod:`repro.checks.lint`) adds a slot-throughput profiler; import it
+explicitly.  :mod:`repro.obs.runtime` holds the process-wide switch the
+CLI ``--metrics`` flag (or ``REPRO_METRICS=1``) flips; every
+:class:`repro.sim.engine.SimulationEngine` built while it is on attaches
+a listener bound to the shared registry.
+"""
+
+from repro.obs.audit import (
+    AUDIT_RULES,
+    AUDIT_SCHEMA,
+    AuditRecord,
+    DecisionAuditLog,
+)
+from repro.obs.listener import MetricsListener
+from repro.obs.manifest import (
+    MANIFEST_REQUIRED_KEYS,
+    MANIFEST_SCHEMA,
+    RunManifest,
+    package_version,
+    to_jsonable,
+)
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.runtime import (
+    disable_metrics,
+    enable_metrics,
+    metrics_enabled,
+    reset_metrics,
+    shared_registry,
+)
+
+__all__ = [
+    "AUDIT_RULES",
+    "AUDIT_SCHEMA",
+    "AuditRecord",
+    "Counter",
+    "DecisionAuditLog",
+    "Gauge",
+    "Histogram",
+    "MANIFEST_REQUIRED_KEYS",
+    "MANIFEST_SCHEMA",
+    "MetricsListener",
+    "MetricsRegistry",
+    "RunManifest",
+    "disable_metrics",
+    "enable_metrics",
+    "metrics_enabled",
+    "package_version",
+    "reset_metrics",
+    "shared_registry",
+    "to_jsonable",
+]

@@ -1,0 +1,49 @@
+"""Benchmark manifest emission.
+
+Every benchmark writes its measured points to ``BENCH_<name>.json`` (in
+``REPRO_BENCH_DIR``, default the current directory) via the shared
+:class:`repro.obs.manifest.RunManifest` writer, so the perf/accuracy
+trajectory of the reproduction accumulates as machine-readable
+artifacts instead of only scrollback text.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.obs.manifest import RunManifest
+
+#: Environment variable selecting where BENCH_*.json files land.
+BENCH_DIR_ENV = "REPRO_BENCH_DIR"
+
+
+def bench_output_dir() -> Path:
+    """The directory benchmark manifests are written to."""
+    return Path(os.environ.get(BENCH_DIR_ENV) or ".")
+
+
+def write_bench_manifest(
+    name: str,
+    results: object,
+    seed: Optional[int] = None,
+    config: Optional[Dict[str, object]] = None,
+    duration_s: Optional[float] = None,
+) -> Path:
+    """Write ``BENCH_<name>.json`` and return its path.
+
+    ``results`` may be dataclasses/lists/dicts — anything
+    :func:`repro.obs.manifest.to_jsonable` handles.
+    """
+    from repro.experiments.runner import fidelity_scale
+
+    manifest = RunManifest(
+        name=f"bench_{name}",
+        seed=seed,
+        config=dict(config or {}),
+        repro_scale=fidelity_scale(),
+        duration_s=duration_s,
+        results=results,
+    )
+    return manifest.write(bench_output_dir() / f"BENCH_{name}.json")

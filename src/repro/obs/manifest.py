@@ -1,0 +1,162 @@
+"""Structured run manifests: what ran, under what knobs, what came out.
+
+A :class:`RunManifest` is the machine-readable sibling of the plain-text
+tables the experiments print: seed, full argument/config record, the
+``REPRO_SCALE`` fidelity multiplier, the package version, the wall-clock
+duration (measured by the caller — this module never reads the clock;
+see :mod:`repro.obs.profile`), the final metric snapshot, the detector
+audit entries, and the experiment's result rows.
+
+Manifests round-trip: ``RunManifest.load(m.write(path)) == m``.  All
+values pass through :func:`to_jsonable` at construction, so equality
+after a JSON round trip is exact (NaN/inf are mapped to None — JSON has
+no spelling for them that every parser accepts).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+MANIFEST_SCHEMA = "repro.obs/manifest/v1"
+
+#: Keys every manifest must carry (CI validates these).
+MANIFEST_REQUIRED_KEYS = (
+    "schema",
+    "name",
+    "seed",
+    "config",
+    "repro_scale",
+    "version",
+    "duration_s",
+    "metrics",
+)
+
+
+def package_version() -> str:
+    """The installed repro version (lazy import: no cycle at load time)."""
+    from repro import __version__
+
+    return __version__
+
+
+def to_jsonable(value: object) -> object:
+    """Recursively convert ``value`` into plain JSON-representable data.
+
+    Handles dataclasses, enums, tuples/sets, Path, and numpy scalars
+    (via their ``item()`` method); non-finite floats become None and
+    mapping keys become strings, deterministically.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, enum.Enum):
+        return to_jsonable(value.value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: to_jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(k): to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(to_jsonable(v) for v in value)
+    if isinstance(value, Path):
+        return str(value)
+    item = getattr(value, "item", None)
+    if callable(item):  # numpy scalar
+        return to_jsonable(item())
+    return repr(value)
+
+
+@dataclass
+class RunManifest:
+    """One run's machine-readable record."""
+
+    name: str
+    seed: Optional[int] = None
+    config: Dict[str, object] = field(default_factory=dict)
+    repro_scale: float = 1.0
+    version: str = ""
+    duration_s: Optional[float] = None
+    metrics: Optional[Dict[str, object]] = None
+    audit: Optional[List[Dict[str, object]]] = None
+    profile: Optional[Dict[str, object]] = None
+    results: Optional[object] = None
+    schema: str = MANIFEST_SCHEMA
+
+    def __post_init__(self) -> None:
+        if not self.version:
+            self.version = package_version()
+        self.config = dict(to_jsonable(self.config))  # type: ignore[arg-type]
+        self.metrics = (
+            None if self.metrics is None else to_jsonable(self.metrics)  # type: ignore[assignment]
+        )
+        self.audit = None if self.audit is None else to_jsonable(self.audit)  # type: ignore[assignment]
+        self.profile = (
+            None if self.profile is None else to_jsonable(self.profile)  # type: ignore[assignment]
+        )
+        self.results = to_jsonable(self.results)
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": self.schema,
+            "name": self.name,
+            "seed": self.seed,
+            "config": self.config,
+            "repro_scale": self.repro_scale,
+            "version": self.version,
+            "duration_s": self.duration_s,
+            "metrics": self.metrics,
+            "audit": self.audit,
+            "profile": self.profile,
+            "results": self.results,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2)
+
+    def write(self, path: Union[str, Path]) -> Path:
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(self.to_json() + "\n", encoding="ascii")
+        return target
+
+    # -- deserialization ----------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunManifest":
+        missing = [k for k in MANIFEST_REQUIRED_KEYS if k not in data]
+        if missing:
+            raise ValueError(f"manifest missing required keys: {missing}")
+        schema = data["schema"]
+        if schema != MANIFEST_SCHEMA:
+            raise ValueError(
+                f"unsupported manifest schema {schema!r} (expected {MANIFEST_SCHEMA!r})"
+            )
+        return cls(
+            name=data["name"],  # type: ignore[arg-type]
+            seed=data["seed"],  # type: ignore[arg-type]
+            config=data["config"],  # type: ignore[arg-type]
+            repro_scale=data["repro_scale"],  # type: ignore[arg-type]
+            version=data["version"],  # type: ignore[arg-type]
+            duration_s=data["duration_s"],  # type: ignore[arg-type]
+            metrics=data.get("metrics"),  # type: ignore[arg-type]
+            audit=data.get("audit"),  # type: ignore[arg-type]
+            profile=data.get("profile"),  # type: ignore[arg-type]
+            results=data.get("results"),
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "RunManifest":
+        return cls.from_dict(json.loads(Path(path).read_text(encoding="ascii")))

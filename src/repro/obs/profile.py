@@ -1,0 +1,147 @@
+"""Hot-loop wall-clock profiling.
+
+This is the ONLY module in the package allowed to read the host clock:
+``repro.checks.lint`` bans wall-clock reads everywhere else (rule
+RPR003) precisely so that simulation logic can never depend on real
+time, and this module is the single allowlisted exception (see
+``WALL_CLOCK_ALLOWLIST`` in :mod:`repro.checks.lint`, and the test that
+proves the allowlist exact).  Keep every ``time.perf_counter`` call in
+the repository inside this file.
+
+Two tools:
+
+* :class:`Stopwatch` — a trivial elapsed-seconds timer the CLI uses to
+  stamp manifests with a run's wall-clock duration.
+* :class:`EngineProfiler` — wraps one engine's two hot phases
+  (``_process_batch`` and ``_reconcile``) with timing shims and reports
+  slots/sec, events/sec and seconds per phase.  Instrumentation is
+  per-instance attribute shadowing, so an uninstrumented engine is
+  untouched and pays nothing.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import-time only
+    from repro.sim.engine import SimulationEngine
+
+
+class Stopwatch:
+    """Elapsed wall-clock seconds since construction."""
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter()
+        self._stopped: Optional[float] = None
+
+    def stop(self) -> float:
+        """Freeze and return the elapsed time (idempotent)."""
+        if self._stopped is None:
+            self._stopped = time.perf_counter() - self._start
+        return self._stopped
+
+    @property
+    def elapsed(self) -> float:
+        """Elapsed seconds so far (without freezing)."""
+        if self._stopped is not None:
+            return self._stopped
+        return time.perf_counter() - self._start
+
+
+@dataclass(frozen=True)
+class ProfileReport:
+    """Throughput summary of one profiled engine run."""
+
+    wall_seconds: float
+    slots: int
+    events: int
+    phase_seconds: Dict[str, float]
+
+    @property
+    def slots_per_second(self) -> float:
+        return self.slots / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def events_per_second(self) -> float:
+        return self.events / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "wall_seconds": self.wall_seconds,
+            "slots": self.slots,
+            "events": self.events,
+            "slots_per_second": self.slots_per_second,
+            "events_per_second": self.events_per_second,
+            "phase_seconds": dict(sorted(self.phase_seconds.items())),
+        }
+
+    def render(self) -> str:
+        lines = [
+            "profile:",
+            f"  wall time      {self.wall_seconds:.3f} s",
+            f"  slots          {self.slots} ({self.slots_per_second:,.0f} slots/s)",
+            f"  events         {self.events} ({self.events_per_second:,.0f} events/s)",
+        ]
+        for phase, seconds in sorted(self.phase_seconds.items()):
+            share = seconds / self.wall_seconds if self.wall_seconds > 0 else 0.0
+            lines.append(f"  phase {phase:<14s} {seconds:.3f} s ({share:5.1%})")
+        return "\n".join(lines)
+
+
+class EngineProfiler:
+    """Times an engine's event-dispatch and reconcile phases.
+
+    Usage::
+
+        profiler = EngineProfiler()
+        profiler.instrument(sim.engine)
+        sim.run(seconds)
+        report = profiler.finish()
+    """
+
+    def __init__(self) -> None:
+        self.phase_seconds: Dict[str, float] = {"events": 0.0, "reconcile": 0.0}
+        self.events = 0
+        self._engine: Optional["SimulationEngine"] = None
+        self._watch: Optional[Stopwatch] = None
+
+    def instrument(self, engine: "SimulationEngine") -> None:
+        if self._engine is not None:
+            raise RuntimeError("EngineProfiler already instruments an engine")
+        self._engine = engine
+        original_batch = engine._process_batch
+        original_reconcile = engine._reconcile
+        phases = self.phase_seconds
+
+        def timed_batch(slot: int, batch: List[Tuple[int, int, int, Any]]) -> Set[int]:
+            self.events += len(batch)
+            start = time.perf_counter()
+            result = original_batch(slot, batch)
+            phases["events"] += time.perf_counter() - start
+            return result
+
+        def timed_reconcile(slot: int, affected: Set[int]) -> None:
+            start = time.perf_counter()
+            original_reconcile(slot, affected)
+            phases["reconcile"] += time.perf_counter() - start
+
+        # Instance attributes shadow the class methods for this engine only.
+        engine._process_batch = timed_batch  # type: ignore[method-assign]
+        engine._reconcile = timed_reconcile  # type: ignore[method-assign]
+        self._watch = Stopwatch()
+
+    def finish(self) -> ProfileReport:
+        """Stop timing and summarize (the engine keeps running untimed)."""
+        if self._engine is None or self._watch is None:
+            raise RuntimeError("EngineProfiler.finish() before instrument()")
+        wall = self._watch.stop()
+        phases = dict(self.phase_seconds)
+        phases["other"] = max(wall - sum(phases.values()), 0.0)
+        return ProfileReport(
+            wall_seconds=wall,
+            slots=self._engine.now,
+            events=self.events,
+            phase_seconds=phases,
+        )

@@ -1,0 +1,202 @@
+"""Metric primitives: counters, gauges, fixed-bucket histograms.
+
+Everything here is deliberately boring: plain Python ints and floats,
+no background threads, no clock reads, no third-party client library.
+The registry exists so that a simulation fed by the seeded RNG streams
+produces *byte-identical* snapshots across runs — snapshot dicts are
+built in sorted-key order and contain only JSON-representable values.
+
+Instruments are created on first use (``registry.counter(name)``) and
+cached, so hot-loop call sites can hold the instrument object and pay a
+single attribute increment per event.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Default histogram bucket upper bounds (inclusive); the last implicit
+#: bucket is +inf.  Chosen to resolve slot-scale durations.
+DEFAULT_BUCKET_BOUNDS: Tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0,
+)
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Gauge:
+    """A point-in-time numeric value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, value={self.value})"
+
+
+class Histogram:
+    """A fixed-bucket histogram.
+
+    ``bounds`` are inclusive upper edges in strictly increasing order; a
+    final overflow bucket catches everything above the last bound, so
+    ``counts`` always has ``len(bounds) + 1`` entries.  Buckets are
+    fixed at construction — no dynamic rebinning — which keeps
+    ``observe`` a single bisect and the snapshot stable across runs.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str, bounds: Sequence[float] = DEFAULT_BUCKET_BOUNDS) -> None:
+        edges = tuple(float(b) for b in bounds)
+        if not edges:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b >= a for b, a in zip(edges, edges[1:])):
+            raise ValueError(f"bucket bounds must strictly increase, got {edges}")
+        self.name = name
+        self.bounds: Tuple[float, ...] = edges
+        self.counts: List[int] = [0] * (len(edges) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, count={self.count})"
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges and histograms."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instrument access -------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = DEFAULT_BUCKET_BOUNDS
+    ) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name, bounds)
+        elif instrument.bounds != tuple(float(b) for b in bounds):
+            raise ValueError(
+                f"histogram {name!r} already registered with bounds "
+                f"{instrument.bounds}"
+            )
+        return instrument
+
+    # -- one-shot conveniences ---------------------------------------------
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    # -- output ------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """The registry's full state as a deterministic plain dict."""
+        return {
+            "counters": {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name].value for name in sorted(self._gauges)
+            },
+            "histograms": {
+                name: self._histograms[name].snapshot()
+                for name in sorted(self._histograms)
+            },
+        }
+
+    def render(self) -> str:
+        """A grep-friendly plain-text dump (the ``--metrics`` printout)."""
+        lines = ["metrics:"]
+        for name in sorted(self._counters):
+            lines.append(f"  {name} = {self._counters[name].value}")
+        for name in sorted(self._gauges):
+            lines.append(f"  {name} = {self._gauges[name].value:g}")
+        for name in sorted(self._histograms):
+            h = self._histograms[name]
+            lines.append(
+                f"  {name}: count={h.count} mean={h.mean:.2f} "
+                f"min={h.min if h.min is not None else '-'} "
+                f"max={h.max if h.max is not None else '-'}"
+            )
+        if len(lines) == 1:
+            lines.append("  (empty)")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        """Drop every instrument (test isolation)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)

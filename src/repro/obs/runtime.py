@@ -1,0 +1,62 @@
+"""Process-wide switch for metrics collection.
+
+Mirrors :mod:`repro.checks.runtime`: the simulation engine consults this
+module at construction time and, when enabled, attaches a
+:class:`repro.obs.listener.MetricsListener` bound to the shared registry
+— so one ``--metrics`` flag (or ``REPRO_METRICS=1``) instruments every
+engine a command builds, including the many short-lived engines inside
+an experiment sweep, and their counts accumulate in one place.
+
+Kept import-light (only the registry) so the engine can depend on it
+without cycles.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.obs.registry import MetricsRegistry
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+_enabled = False
+_registry: Optional[MetricsRegistry] = None
+
+
+def enable_metrics() -> None:
+    """Attach a metrics listener to every engine built from now on."""
+    global _enabled
+    _enabled = True
+
+
+def disable_metrics() -> None:
+    """Stop auto-attaching metrics listeners (env var still wins)."""
+    global _enabled
+    _enabled = False
+
+
+def metrics_enabled() -> bool:
+    """True if new engines should feed the shared registry."""
+    if _enabled:
+        return True
+    return os.environ.get("REPRO_METRICS", "").strip().lower() in _TRUTHY
+
+
+def shared_registry() -> MetricsRegistry:
+    """The process-wide registry (created on first use)."""
+    global _registry
+    if _registry is None:
+        _registry = MetricsRegistry()
+    return _registry
+
+
+def reset_metrics() -> MetricsRegistry:
+    """Replace the shared registry with a fresh one and return it.
+
+    Call before a run whose snapshot must not contain earlier counts
+    (the CLI does this for every ``--metrics`` invocation).
+    """
+    global _registry
+    _registry = MetricsRegistry()
+    return _registry

@@ -61,6 +61,7 @@ if TYPE_CHECKING:  # pragma: no cover - import-time only
     from repro.checks.invariants import InvariantChecker
     from repro.mac.constants import MacTiming
     from repro.mac.dcf import DcfMac
+    from repro.obs.listener import MetricsListener
     from repro.phy.medium import Medium
     from repro.topology.mobility import MobilityModel
 
@@ -142,6 +143,15 @@ class SimulationEngine:
 
             self.invariant_checker = InvariantChecker()
             self.listeners.append(self.invariant_checker)
+        self.metrics_listener: Optional["MetricsListener"] = None
+        from repro.obs.runtime import metrics_enabled
+
+        if metrics_enabled():
+            from repro.obs.listener import MetricsListener
+            from repro.obs.runtime import shared_registry
+
+            self.metrics_listener = MetricsListener(shared_registry())
+            self.listeners.append(self.metrics_listener)
         self._refresh_hooks()
 
     # -- public API ------------------------------------------------------
@@ -180,21 +190,27 @@ class SimulationEngine:
         """
         if not self._primed:
             self._prime()
-        while self._heap and self._heap[0][0] <= end_slot:
-            slot = self._heap[0][0]
-            batch: List[_Event] = []
-            while self._heap and self._heap[0][0] == slot:
-                batch.append(heapq.heappop(self._heap))
-            affected = self._process_batch(slot, batch)
-            if affected:
-                self._reconcile(slot, affected)
-            self.now = slot
-            for hook in self._slot_end_hooks:
-                hook(slot, self)
-            if stop_condition is not None and stop_condition():
-                return self.now
-        self.now = max(self.now, end_slot)
-        return self.now
+        try:
+            while self._heap and self._heap[0][0] <= end_slot:
+                slot = self._heap[0][0]
+                batch: List[_Event] = []
+                while self._heap and self._heap[0][0] == slot:
+                    batch.append(heapq.heappop(self._heap))
+                affected = self._process_batch(slot, batch)
+                if affected:
+                    self._reconcile(slot, affected)
+                self.now = slot
+                for hook in self._slot_end_hooks:
+                    hook(slot, self)
+                if stop_condition is not None and stop_condition():
+                    return self.now
+            self.now = max(self.now, end_slot)
+            return self.now
+        finally:
+            # Fold the per-node back-off statistics into the metrics
+            # registry whenever a run segment completes (idempotent).
+            if self.metrics_listener is not None:
+                self.metrics_listener.harvest(self)
 
     # -- setup -----------------------------------------------------------
 

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 
 from repro.sim.listeners import SimulationListener
+from repro.util.units import DEFAULT_SLOT_TIME_US
 
 if TYPE_CHECKING:  # pragma: no cover - import-time only
     from repro.phy.medium import Medium, Transmission
@@ -27,7 +28,7 @@ class TraceRecord:
     receiver: int = -1
     detail: str = ""
 
-    def render(self, slot_time_us: float = 20.0) -> str:
+    def render(self, slot_time_us: float = DEFAULT_SLOT_TIME_US) -> str:
         """ns-2-flavored single-line rendering."""
         time_s = self.slot * slot_time_us / 1e6
         symbol = {"start": "s", "success": "r", "failure": "d", "epoch": "M"}[
@@ -109,11 +110,11 @@ class TraceRecorder(SimulationListener):
 
     # -- output ------------------------------------------------------------
 
-    def render(self, slot_time_us: float = 20.0) -> str:
+    def render(self, slot_time_us: float = DEFAULT_SLOT_TIME_US) -> str:
         """The whole trace as text."""
         return "\n".join(r.render(slot_time_us) for r in self.records)
 
-    def write(self, path: str, slot_time_us: float = 20.0) -> None:
+    def write(self, path: str, slot_time_us: float = DEFAULT_SLOT_TIME_US) -> None:
         """Write the trace to a file."""
         with open(path, "w", encoding="ascii") as handle:
             handle.write(self.render(slot_time_us))

@@ -17,7 +17,7 @@ from pathlib import Path
 import pytest
 
 from repro.checks import lint_paths, lint_source
-from repro.checks.lint import RULES, iter_python_files
+from repro.checks.lint import RULES, WALL_CLOCK_ALLOWLIST, iter_python_files
 
 SRC = str(Path(__file__).resolve().parent.parent / "src")
 
@@ -386,3 +386,50 @@ def test_cli_rejects_missing_path(tmp_path):
     )
     assert result.returncode == 2
     assert "no such file or directory" in result.stderr
+
+
+# -- RPR003 allowlist (repro.obs.profile) ------------------------------------
+
+
+def test_wall_clock_allowlist_is_exactly_the_profiler():
+    assert WALL_CLOCK_ALLOWLIST == ("obs/profile.py",)
+
+
+def test_profile_module_is_clock_exempt():
+    src = "import time\nt = time.perf_counter()\n"
+    assert codes(src, path="repro/obs/profile.py") == []
+    assert "RPR003" in codes(src, path="repro/obs/listener.py")
+
+
+def test_time_import_flagged_outside_allowlist():
+    src = "from time import perf_counter\n"
+    assert "RPR003" in codes(src, path="repro/obs/listener.py")
+    assert codes(src, path="repro/obs/profile.py") == []
+
+
+def test_rng_module_is_not_clock_exempt():
+    # util/rng.py is exempt from the RNG rules but NOT from RPR003.
+    src = "import time\nt = time.time()\n"
+    assert "RPR003" in codes(src, path="repro/util/rng.py")
+
+
+def test_wall_clock_allowlist_matches_the_tree():
+    """The allowlist is exact: lint every real source file under a
+    surrogate non-exempt path; the files that then offend RPR003 must
+    be precisely the allowlisted ones (so the profiler truly reads the
+    clock, and nothing else in src/ does)."""
+    offenders = set()
+    for path in iter_python_files([SRC]):
+        source = path.read_text(encoding="utf-8")
+        found = lint_source(
+            source, "unexempt/surrogate.py", select=["RPR003"]
+        )
+        if found:
+            rel = path.relative_to(Path(SRC) / "repro").as_posix()
+            offenders.add(rel)
+    assert offenders == set(WALL_CLOCK_ALLOWLIST)
+
+
+def test_annotation_rule_covers_obs():
+    src = "def helper(x):\n    return x\n"
+    assert "RPR301" in codes(src, path="repro/obs/helper.py")

@@ -1,0 +1,122 @@
+"""End-to-end tests for the CLI observability surface.
+
+Exercises ``--metrics`` / ``--json`` / ``--profile`` / ``--audit``
+through :func:`repro.cli.main`, validating the emitted manifests and
+the determinism guarantee (same seed, byte-identical metric snapshot).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import MANIFEST_REQUIRED_KEYS, RunManifest
+from repro.obs.audit import AUDIT_FIELDS
+from repro.obs.runtime import disable_metrics, reset_metrics
+
+
+@pytest.fixture(autouse=True)
+def _clean_runtime():
+    disable_metrics()
+    reset_metrics()
+    yield
+    disable_metrics()
+    reset_metrics()
+
+
+def _demo(tmp_path, *extra):
+    out = tmp_path / "run.json"
+    argv = ["demo", "--seconds", "2", "--metrics", "--json", str(out)]
+    argv.extend(extra)
+    assert main(argv) == 0
+    return json.loads(out.read_text())
+
+
+def test_demo_manifest_required_keys(tmp_path, capsys):
+    manifest = _demo(tmp_path)
+    for key in MANIFEST_REQUIRED_KEYS:
+        assert key in manifest
+    assert manifest["name"] == "demo"
+    assert manifest["seed"] == 42
+    assert manifest["config"]["pm"] == 60
+    assert manifest["duration_s"] > 0
+    assert manifest["metrics"]["counters"]["engine.slots"] > 0
+    out = capsys.readouterr().out
+    assert "metrics:" in out
+    assert "engine.slots" in out
+
+
+def test_demo_manifest_loads_as_run_manifest(tmp_path):
+    _demo(tmp_path)
+    manifest = RunManifest.load(tmp_path / "run.json")
+    assert manifest.name == "demo"
+    assert manifest.metrics is not None
+
+
+def test_demo_audit_distinguishes_layers(tmp_path):
+    """The acceptance bar: audit entries in the manifest separate
+    deterministic catches from statistical rank-sum verdicts."""
+    manifest = _demo(
+        tmp_path, "--pm", "25", "--seed", "5", "--seconds", "6"
+    )
+    audit = manifest["audit"]
+    assert audit, "cheating demo produced no audit records"
+    for record in audit:
+        assert set(record) == set(AUDIT_FIELDS)
+    deterministic = [r for r in audit if r["deterministic"]]
+    statistical = [r for r in audit if not r["deterministic"]]
+    assert deterministic and statistical
+    assert all(r["rule"] != "rank_sum" for r in deterministic)
+    assert all(r["rule"] == "rank_sum" for r in statistical)
+    assert all(r["p_value"] is not None for r in statistical)
+    assert all(r["threshold"] is not None for r in statistical)
+
+
+def test_demo_audit_jsonl_export(tmp_path):
+    jsonl = tmp_path / "audit.jsonl"
+    _demo(tmp_path, "--pm", "60", "--audit", str(jsonl))
+    lines = jsonl.read_text().splitlines()
+    assert lines
+    for line in lines:
+        assert set(json.loads(line)) == set(AUDIT_FIELDS)
+
+
+def test_same_seed_runs_byte_identical_metrics(tmp_path):
+    a = _demo(tmp_path)
+    reset_metrics()
+    b = _demo(tmp_path)
+    assert json.dumps(a["metrics"], sort_keys=True) == json.dumps(
+        b["metrics"], sort_keys=True
+    )
+
+
+def test_demo_profile_smoke(tmp_path, capsys):
+    manifest = _demo(tmp_path, "--profile")
+    profile = manifest["profile"]
+    assert profile["wall_seconds"] > 0
+    assert profile["slots"] > 0
+    assert set(profile["phase_seconds"]) == {"events", "reconcile", "other"}
+    assert "profile:" in capsys.readouterr().out
+
+
+def test_fig3_manifest_has_results(tmp_path):
+    out = tmp_path / "fig3.json"
+    argv = [
+        "fig3", "--loads", "0.02", "--runs", "1",
+        "--metrics", "--json", str(out),
+    ]
+    assert main(argv) == 0
+    manifest = json.loads(out.read_text())
+    points = manifest["results"]["points"]
+    assert points
+    assert "rho" in points[0]
+    assert manifest["config"]["loads"] == [0.02]
+    assert manifest["metrics"]["counters"]["engine.slots"] > 0
+
+
+def test_metrics_disabled_leaves_no_listener(capsys):
+    assert main(["demo", "--seconds", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "metrics:" not in out
