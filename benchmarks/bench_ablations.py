@@ -20,6 +20,7 @@ import math
 
 from repro.core.detector import DetectorConfig
 from repro.core.ranksum import rank_sum_test
+from repro.experiments.parallel import run_trials
 from repro.experiments.runner import (
     collect_detection_samples,
     scaled,
@@ -46,6 +47,12 @@ def _collect(pm, seed, detector_config=None):
     )
 
 
+def _collect_trial(task):
+    """Picklable (pm, seed, detector_config) task for ``run_trials``."""
+    pm, seed, detector_config = task
+    return _collect(pm, seed, detector_config)
+
+
 def _rates(detector):
     hit, _ = windowed_detection_rate(
         detector, SAMPLE_SIZE, include_deterministic=False
@@ -57,14 +64,24 @@ def bench_ablation_arma_alpha(benchmark):
     """Detection should be insensitive to alpha near 1 (paper claim)."""
 
     def run():
-        out = {}
-        for alpha in (0.9, 0.995, 0.9995):
-            cfg = DetectorConfig(
-                sample_size=10_000, known_n=5, known_k=5, arma_alpha=alpha
-            )
-            det = _collect(PM, seed=71, detector_config=cfg)
-            out[alpha] = _rates(det)
-        return out
+        alphas = (0.9, 0.995, 0.9995)
+        detectors = run_trials(
+            _collect_trial,
+            [
+                (
+                    PM,
+                    71,
+                    DetectorConfig(
+                        sample_size=10_000, known_n=5, known_k=5,
+                        arma_alpha=alpha,
+                    ),
+                )
+                for alpha in alphas
+            ],
+        )
+        return {
+            alpha: _rates(det) for alpha, det in zip(alphas, detectors)
+        }
 
     rates = benchmark.pedantic(run, rounds=1, iterations=1)
     print()
@@ -84,17 +101,28 @@ def bench_ablation_region_geometry(benchmark):
     """
 
     def run():
-        out = {}
-        for label, model in (
+        variants = (
             ("union", RegionModel()),
             ("crescent", RegionModel(far_interferer_offset=250.0)),
-        ):
-            cfg = DetectorConfig(
-                sample_size=10_000, known_n=5, known_k=5, region_model=model
-            )
-            det_cheat = _collect(PM, seed=72, detector_config=cfg)
-            out[label] = _rates(det_cheat)
-        return out
+        )
+        detectors = run_trials(
+            _collect_trial,
+            [
+                (
+                    PM,
+                    72,
+                    DetectorConfig(
+                        sample_size=10_000, known_n=5, known_k=5,
+                        region_model=model,
+                    ),
+                )
+                for _label, model in variants
+            ],
+        )
+        return {
+            label: _rates(det)
+            for (label, _model), det in zip(variants, detectors)
+        }
 
     rates = benchmark.pedantic(run, rounds=1, iterations=1)
     print()
@@ -174,14 +202,15 @@ def bench_ablation_nk_sensitivity(benchmark):
     """The paper found higher n, k change little (the exponent saturates)."""
 
     def run():
-        out = {}
-        for nk in (2, 5, 10):
-            cfg = DetectorConfig(
-                sample_size=10_000, known_n=nk, known_k=nk
-            )
-            det = _collect(PM, seed=75, detector_config=cfg)
-            out[nk] = _rates(det)
-        return out
+        nk_values = (2, 5, 10)
+        detectors = run_trials(
+            _collect_trial,
+            [
+                (PM, 75, DetectorConfig(sample_size=10_000, known_n=nk, known_k=nk))
+                for nk in nk_values
+            ],
+        )
+        return {nk: _rates(det) for nk, det in zip(nk_values, detectors)}
 
     rates = benchmark.pedantic(run, rounds=1, iterations=1)
     print()

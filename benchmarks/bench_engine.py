@@ -1,0 +1,81 @@
+"""Bare-engine throughput: slots per second on the two paper topologies.
+
+The perf baseline every optimization PR measures against.  Four cells:
+{56-node grid, 112-node random} x {bare, with the metrics listener} —
+the listener cell prices the observability overhead.  No detector is
+attached; this measures the slot loop itself (event heap, carrier
+sensing, back-off reconciliation).
+
+Wall-clock numbers vary with the host, so the assertions only require
+sane, non-degenerate throughput; the measured values land in
+``BENCH_engine.json`` where the trajectory across PRs is tracked.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import scaled
+from repro.experiments.scenarios import GridScenario, RandomScenario
+from repro.obs.bench import write_bench_manifest
+from repro.obs.listener import MetricsListener
+from repro.obs.profile import Stopwatch
+from repro.obs.registry import MetricsRegistry
+
+SEED = 7
+LOAD = 0.6
+
+
+def _throughput(scenario, slots, with_metrics):
+    """Best-of-3 slots/sec for one scenario build (fresh sim per rep)."""
+    best = 0.0
+    for _rep in range(3):
+        sim, _sender, _monitor = scenario.build()
+        if with_metrics:
+            sim.add_listener(MetricsListener(MetricsRegistry()))
+        watch = Stopwatch()
+        sim.run_slots(slots)
+        elapsed = watch.stop()
+        best = max(best, slots / elapsed if elapsed > 0 else 0.0)
+    return best
+
+
+def bench_engine_slot_throughput(benchmark):
+    slots = scaled(20_000, minimum=2_000)
+
+    def run():
+        cells = {}
+        for label, scenario in (
+            ("grid56", GridScenario(load=LOAD, seed=SEED)),
+            ("random112", RandomScenario(load=LOAD, seed=SEED)),
+        ):
+            cells[f"{label}_slots_per_sec"] = _throughput(
+                scenario, slots, with_metrics=False
+            )
+            cells[f"{label}_metrics_slots_per_sec"] = _throughput(
+                scenario, slots, with_metrics=True
+            )
+        cells["slots"] = slots
+        return cells
+
+    cells = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for label in ("grid56", "random112"):
+        bare = cells[f"{label}_slots_per_sec"]
+        metered = cells[f"{label}_metrics_slots_per_sec"]
+        overhead = (bare / metered - 1.0) * 100 if metered else float("inf")
+        print(
+            f"engine {label}: {bare:,.0f} slots/s bare, "
+            f"{metered:,.0f} with metrics ({overhead:+.1f}% overhead)"
+        )
+    write_bench_manifest(
+        "engine", cells, seed=SEED, config={"load": LOAD, "slots": slots}
+    )
+
+    # Non-degenerate throughput on any plausible host; the real numbers
+    # are tracked via the manifest, not asserted.
+    assert cells["grid56_slots_per_sec"] > 1_000
+    assert cells["random112_slots_per_sec"] > 1_000
+    # The metrics listener must stay cheap enough to leave on.
+    assert (
+        cells["random112_metrics_slots_per_sec"]
+        > cells["random112_slots_per_sec"] * 0.2
+    )

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from repro.analysis.latency import detection_latency
 from repro.core.detector import DetectorConfig
+from repro.experiments.parallel import run_trials
 from repro.experiments.runner import collect_detection_samples, scaled
 from repro.experiments.scenarios import GridScenario
 from repro.obs.bench import write_bench_manifest
@@ -31,12 +32,18 @@ def _latency_for(pm, seed, sample_size=25):
     return detection_latency(detector)
 
 
+def _latency_trial(task):
+    pm, seed = task
+    return _latency_for(pm, seed)
+
+
 def bench_detection_latency(benchmark):
     def run():
-        results = {}
-        for pm in (25, 50, 80):
-            results[pm] = _latency_for(pm, seed=81 + pm)
-        return results
+        pm_levels = (25, 50, 80)
+        latencies = run_trials(
+            _latency_trial, [(pm, 81 + pm) for pm in pm_levels]
+        )
+        return dict(zip(pm_levels, latencies))
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     print()

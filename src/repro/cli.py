@@ -26,7 +26,12 @@ Observability (``repro.obs``) flags, accepted by every subcommand:
 ``--profile``
     time the hot loop.  ``demo`` instruments its single engine with the
     per-phase :class:`repro.obs.profile.EngineProfiler`; sweep commands
-    report overall wall-clock (plus slots/sec when ``--metrics`` is on).
+    report overall wall-clock (plus slots/sec when ``--metrics`` is on);
+``--jobs N``
+    run independent trials on ``N`` worker processes (0 = all cores;
+    defaults to ``REPRO_JOBS``, else serial).  Results — sweep points,
+    metrics snapshots, manifests — are identical for any value; see
+    :mod:`repro.experiments.parallel`.
 
 ``demo`` additionally accepts ``--audit OUT`` to export the detector's
 decision audit log as JSONL.
@@ -53,6 +58,11 @@ _INTERNAL_ARGS = frozenset(
         "results",
         "audit_records",
         "profile_report",
+        # The worker count must never influence a run's outputs (the
+        # parallel layer guarantees identical results for any jobs
+        # value), so it is plumbing, not configuration: manifests stay
+        # byte-identical regardless of --jobs.
+        "jobs",
     }
 )
 
@@ -251,6 +261,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="measure slot throughput (wall clock; engine phase "
         "breakdown for `demo`)",
     )
+    obs.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for independent trials (0 = all cores; "
+        "default: REPRO_JOBS or serial); results are identical for "
+        "any value",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p1 = sub.add_parser("table1", parents=[obs], help="print Table 1")
@@ -313,6 +332,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.checks import enable_runtime_checks
 
         enable_runtime_checks()
+
+    if getattr(args, "jobs", None) is not None:
+        from repro.experiments.parallel import set_default_jobs
+
+        set_default_jobs(args.jobs)
 
     registry = None
     if args.metrics:

@@ -113,10 +113,23 @@ def measure_starvation(scenario_factory, pm, seed, duration_s=8.0):
     )
 
 
+def _starvation_trial(task):
+    """One PM level, as a picklable task for ``run_trials``."""
+    scenario_factory, pm, seed, duration_s = task
+    return measure_starvation(scenario_factory, pm, seed, duration_s)
+
+
 def run_starvation_sweep(scenario_factory, pm_values=(0, 25, 50, 80, 100),
-                         seed=201, duration_s=8.0):
-    """The cheater's share and the fairness index across PM levels."""
-    return [
-        measure_starvation(scenario_factory, pm, seed, duration_s)
-        for pm in pm_values
+                         seed=201, duration_s=8.0, jobs=None):
+    """The cheater's share and the fairness index across PM levels.
+
+    PM levels are independent runs, so they execute on the process
+    pool (``jobs``/``REPRO_JOBS``, see
+    :mod:`repro.experiments.parallel`).
+    """
+    from repro.experiments.parallel import run_trials
+
+    tasks = [
+        (scenario_factory, pm, seed, duration_s) for pm in pm_values
     ]
+    return run_trials(_starvation_trial, tasks, jobs=jobs)

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 from repro.core.observation import ChannelObserver, joint_state_counts
 from repro.core.sysstate import SystemStateEstimator
+from repro.experiments.parallel import run_trials
 from repro.experiments.reporting import format_table
 from repro.experiments.runner import scaled, split_seeds
 from repro.experiments.scenarios import GridScenario, RandomScenario
@@ -39,29 +40,42 @@ class ProbabilityPoint:
     ana_p_idle_given_busy: float
 
 
-def measure_point(scenario_factory, load, seeds, observe_slots=50_000,
-                  n=5, k=5, separation=240.0):
-    """Average the measured and analytical probabilities over seeds."""
+def _measure_seed(task):
+    """One seeded observation run: measured (rho, p(B|I), p(I|B)).
+
+    ``task`` is ``(scenario_factory, load, seed, observe_slots)``.
+    Returns ``None`` when the run is unusable (a degenerate channel
+    with no busy or no idle slots at the monitor).
+    """
+    scenario_factory, load, seed, observe_slots = task
+    scenario = scenario_factory(load, seed)
+    sim, sender, monitor = scenario.build()
+    obs_r = ChannelObserver(monitor, sender)
+    obs_s = ChannelObserver(sender, monitor)
+    sim.add_listener(obs_r)
+    sim.add_listener(obs_s)
+    sim.run_slots(observe_slots)
+    counts = joint_state_counts(obs_r, obs_s, 0, sim.engine.now)
+    total = sum(counts.values())
+    r_idle = counts["II"] + counts["IB"]
+    r_busy = counts["BI"] + counts["BB"]
+    if total == 0 or r_idle == 0 or r_busy == 0:
+        return None
+    return (r_busy / total, counts["IB"] / r_idle, counts["BI"] / r_busy)
+
+
+def _aggregate_point(load, samples, n=5, k=5, separation=240.0):
+    """Average per-seed samples (in seed order) into a ProbabilityPoint."""
     estimator = SystemStateEstimator(RegionModel(separation=separation))
     sums = {"rho": 0.0, "sbi": 0.0, "sib": 0.0}
     used = 0
-    for seed in seeds:
-        scenario = scenario_factory(load, seed)
-        sim, sender, monitor = scenario.build()
-        obs_r = ChannelObserver(monitor, sender)
-        obs_s = ChannelObserver(sender, monitor)
-        sim.add_listener(obs_r)
-        sim.add_listener(obs_s)
-        sim.run_slots(observe_slots)
-        counts = joint_state_counts(obs_r, obs_s, 0, sim.engine.now)
-        total = sum(counts.values())
-        r_idle = counts["II"] + counts["IB"]
-        r_busy = counts["BI"] + counts["BB"]
-        if total == 0 or r_idle == 0 or r_busy == 0:
+    for sample in samples:
+        if sample is None:
             continue
-        sums["rho"] += r_busy / total
-        sums["sbi"] += counts["IB"] / r_idle
-        sums["sib"] += counts["BI"] / r_busy
+        rho, sbi, sib = sample
+        sums["rho"] += rho
+        sums["sbi"] += sbi
+        sums["sib"] += sib
         used += 1
     if used == 0:
         raise RuntimeError(f"no usable runs at load {load}")
@@ -77,27 +91,43 @@ def measure_point(scenario_factory, load, seeds, observe_slots=50_000,
     )
 
 
+def measure_point(scenario_factory, load, seeds, observe_slots=50_000,
+                  n=5, k=5, separation=240.0, jobs=None):
+    """Average the measured and analytical probabilities over seeds."""
+    tasks = [(scenario_factory, load, seed, observe_slots) for seed in seeds]
+    samples = run_trials(_measure_seed, tasks, jobs=jobs)
+    return _aggregate_point(load, samples, n=n, k=k, separation=separation)
+
+
 def run_probability_sweep(scenario_factory, loads=DEFAULT_LOAD_SWEEP,
                           runs=None, observe_slots=None, base_seed=3,
-                          separation=240.0):
-    """The full Figure 3/4 sweep; returns a list of ProbabilityPoint."""
+                          separation=240.0, jobs=None):
+    """The full Figure 3/4 sweep; returns a list of ProbabilityPoint.
+
+    All (load, seed) trials are flattened into one task list so the
+    process pool (``jobs``/``REPRO_JOBS``, see
+    :mod:`repro.experiments.parallel`) stays saturated across the
+    whole sweep; per-load aggregation order matches the serial loop,
+    so the points are identical for any worker count.
+    """
     runs = runs if runs is not None else scaled(4)
     observe_slots = observe_slots if observe_slots is not None else scaled(
         25_000, minimum=5_000
     )
-    points = []
+    tasks = []
+    spans = []
     for load in loads:
         seeds = split_seeds(base_seed + int(load * 10_000), runs)
-        points.append(
-            measure_point(
-                scenario_factory,
-                load,
-                seeds,
-                observe_slots=observe_slots,
-                separation=separation,
-            )
+        start = len(tasks)
+        tasks.extend(
+            (scenario_factory, load, seed, observe_slots) for seed in seeds
         )
-    return points
+        spans.append((load, start, len(tasks)))
+    samples = run_trials(_measure_seed, tasks, jobs=jobs)
+    return [
+        _aggregate_point(load, samples[start:stop], separation=separation)
+        for load, start, stop in spans
+    ]
 
 
 def grid_poisson_factory(load, seed):

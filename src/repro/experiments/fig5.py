@@ -14,9 +14,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.experiments.parallel import run_trials
 from repro.experiments.reporting import format_series
 from repro.experiments.runner import (
-    collect_detection_samples,
+    detection_trial,
     scaled,
     windowed_detection_rate,
 )
@@ -49,30 +50,34 @@ class DetectionPoint:
 def run_detection_curve(scenario_factory, load, pm_values=DEFAULT_PM_SWEEP,
                         sample_sizes=SAMPLE_SIZES, windows=None,
                         alpha=0.05, base_seed=17, max_duration_s=300.0,
-                        runs=None):
+                        runs=None, jobs=None):
     """Detection probabilities for one load across PM and sample sizes.
 
     Pools non-overlapping windows across ``runs`` independent seeds, as
     the paper averages its detection probabilities over repeated runs.
+    The (pm, run) trials execute on the process pool
+    (``jobs``/``REPRO_JOBS``); seeds and window pooling are unchanged,
+    so the points match the serial sweep exactly.
     """
     windows = windows if windows is not None else scaled(6)
     runs = runs if runs is not None else scaled(2)
     target = windows * max(sample_sizes)
+    tasks = [
+        (
+            scenario_factory,
+            load,
+            pm,
+            base_seed + pm + 1000 * run_index,
+            target,
+            max_duration_s,
+        )
+        for pm in pm_values
+        for run_index in range(runs)
+    ]
+    all_detectors = run_trials(detection_trial, tasks, jobs=jobs)
     points = []
-    for pm in pm_values:
-        detectors = []
-        for run_index in range(runs):
-            scenario = scenario_factory(
-                load, base_seed + pm + 1000 * run_index
-            )
-            detectors.append(
-                collect_detection_samples(
-                    scenario,
-                    pm,
-                    target_samples=target,
-                    max_duration_s=max_duration_s,
-                )
-            )
+    for pm_index, pm in enumerate(pm_values):
+        detectors = all_detectors[pm_index * runs : (pm_index + 1) * runs]
         violations = sum(len(d.violations) for d in detectors)
         for size in sample_sizes:
             stat_hits = 0.0

@@ -12,9 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.experiments.fig5 import SAMPLE_SIZES, grid_factory, mobile_factory
+from repro.experiments.parallel import run_trials
 from repro.experiments.reporting import format_series
 from repro.experiments.runner import (
-    collect_detection_samples,
+    detection_trial,
     scaled,
     windowed_detection_rate,
 )
@@ -34,26 +35,28 @@ class MisdiagnosisPoint:
 
 def run_misdiagnosis_curve(scenario_factory, load, sample_sizes=SAMPLE_SIZES,
                            windows=None, alpha=0.05, base_seed=23,
-                           max_duration_s=300.0, runs=None):
+                           max_duration_s=300.0, runs=None, jobs=None):
     """Misdiagnosis probability across sample sizes for one load.
 
     Pools windows across ``runs`` independent seeds (the paper's
-    probabilities are averages over repeated runs).
+    probabilities are averages over repeated runs); the seeded runs
+    execute on the process pool (``jobs``/``REPRO_JOBS``).
     """
     windows = windows if windows is not None else scaled(10)
     runs = runs if runs is not None else scaled(3)
     target = windows * max(sample_sizes)
-    detectors = []
-    for run_index in range(runs):
-        scenario = scenario_factory(load, base_seed + 1000 * run_index)
-        detectors.append(
-            collect_detection_samples(
-                scenario,
-                pm=0,
-                target_samples=target,
-                max_duration_s=max_duration_s,
-            )
+    tasks = [
+        (
+            scenario_factory,
+            load,
+            0,  # pm: everyone honest — every diagnosis is a misdiagnosis
+            base_seed + 1000 * run_index,
+            target,
+            max_duration_s,
         )
+        for run_index in range(runs)
+    ]
+    detectors = run_trials(detection_trial, tasks, jobs=jobs)
     points = []
     for size in sample_sizes:
         hits = 0.0

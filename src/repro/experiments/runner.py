@@ -16,14 +16,33 @@ from repro.core.detector import BackoffMisbehaviorDetector, DetectorConfig
 from repro.core.ranksum import rank_sum_test
 
 
+#: (raw env string, parsed value) of the last fidelity_scale() call.
+#: scaled() runs inside trial loops, so the env re-parse is cached;
+#: keying on the raw string keeps monkeypatched REPRO_SCALE working
+#: without an explicit reset.
+_fidelity_cache = None
+
+
 def fidelity_scale():
     """The REPRO_SCALE multiplier (>= 0.1)."""
+    global _fidelity_cache
     raw = os.environ.get("REPRO_SCALE", "1.0")
+    cached = _fidelity_cache
+    if cached is not None and cached[0] == raw:
+        return cached[1]
     try:
         scale = float(raw)
     except ValueError as exc:
         raise ValueError(f"REPRO_SCALE must be a float, got {raw!r}") from exc
-    return max(scale, 0.1)
+    value = max(scale, 0.1)
+    _fidelity_cache = (raw, value)
+    return value
+
+
+def reset_fidelity_cache():
+    """Forget the cached REPRO_SCALE parse (test isolation)."""
+    global _fidelity_cache
+    _fidelity_cache = None
 
 
 def scaled(value, minimum=1):
@@ -86,6 +105,24 @@ def collect_detection_samples(scenario, pm, detector_config=None,
         stop_condition=lambda: detector.observation_count >= target_samples,
     )
     return detector
+
+
+def detection_trial(task):
+    """One seeded detection run, as a picklable task for ``run_trials``.
+
+    ``task`` is ``(scenario_factory, load, pm, seed, target_samples,
+    max_duration_s)`` with a module-level ``scenario_factory(load,
+    seed)``; returns the detector (see
+    :func:`collect_detection_samples`).
+    """
+    scenario_factory, load, pm, seed, target_samples, max_duration_s = task
+    scenario = scenario_factory(load, seed)
+    return collect_detection_samples(
+        scenario,
+        pm,
+        target_samples=target_samples,
+        max_duration_s=max_duration_s,
+    )
 
 
 def windowed_detection_rate(detector, sample_size, alpha=0.05,

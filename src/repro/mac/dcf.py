@@ -101,6 +101,11 @@ class DcfMac:
         return MacState.IDLE
 
     @property
+    def transmitting(self) -> bool:
+        """True while the node occupies the air."""
+        return self._transmitting
+
+    @property
     def has_traffic(self) -> bool:
         return not self.queue.is_empty
 

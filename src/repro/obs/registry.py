@@ -14,7 +14,7 @@ single attribute increment per event.
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, cast
 
 #: Default histogram bucket upper bounds (inclusive); the last implicit
 #: bucket is +inf.  Chosen to resolve slot-scale durations.
@@ -155,6 +155,39 @@ class MetricsRegistry:
 
     def observe(self, name: str, value: float) -> None:
         self.histogram(name).observe(value)
+
+    # -- merging -----------------------------------------------------------
+
+    def merge_snapshot(self, snapshot: Dict[str, object]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Used by :mod:`repro.experiments.parallel` to combine per-trial
+        worker registries: counters and histogram contents add, gauges
+        are last-write-wins (callers merge snapshots in task order, so
+        the surviving value matches the serial run's).  Histogram
+        bucket bounds must agree — :meth:`histogram` raises otherwise.
+        """
+        counters = cast(Dict[str, int], snapshot.get("counters", {}))
+        for name, value in counters.items():
+            self.counter(name).inc(value)
+        gauges = cast(Dict[str, float], snapshot.get("gauges", {}))
+        for name, value in gauges.items():
+            self.gauge(name).set(value)
+        histograms = cast(
+            Dict[str, Dict[str, Any]], snapshot.get("histograms", {})
+        )
+        for name, data in histograms.items():
+            hist = self.histogram(name, data["bounds"])
+            for index, count in enumerate(data["counts"]):
+                hist.counts[index] += count
+            hist.count += data["count"]
+            hist.total += data["total"]
+            other_min = data["min"]
+            if other_min is not None and (hist.min is None or other_min < hist.min):
+                hist.min = other_min
+            other_max = data["max"]
+            if other_max is not None and (hist.max is None or other_max > hist.max):
+                hist.max = other_max
 
     # -- output ------------------------------------------------------------
 

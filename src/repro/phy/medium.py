@@ -9,11 +9,37 @@ Spatial reachability (who senses / can decode whom) is precomputed into
 adjacency sets whenever node positions change; with at most a few hundred
 nodes the O(n^2) rebuild is cheap against the cost of querying it on
 every channel-state transition.
+
+Carrier-sense state is *incremental*: every ``start_transmission`` /
+``end_transmission`` / ``extend_transmission`` updates, for each node
+that senses the transmitter, (a) an insertion-ordered map of the
+transmissions it currently senses and (b) a lazy max-heap of their end
+slots.  The per-slot queries the engine hammers — :meth:`senses_busy`,
+:meth:`is_transmitting`, :meth:`interferers_at` — are therefore O(1) or
+O(sensed transmissions) instead of O(all active transmissions), and
+:meth:`busy_until` is amortized O(log n).  Transition cost is
+O(sensors of the transmitter), which is the same set the engine must
+reconcile anyway.
+
+Invariants the incremental state maintains (see
+``tests/test_medium_equivalence.py`` for the brute-force cross-check):
+
+* ``_sensed_active[listener]`` holds exactly the ``tx_id -> sender``
+  pairs of active transmissions whose sender is in
+  ``_sensed_by[sender]``'s listener set, in start order;
+* ``_busy_heaps[listener]`` contains one entry per (transmission,
+  end-slot version); ends only ever grow (``extend_transmission``), so
+  the heap top with a matching live end slot is the true maximum and
+  stale entries are discarded lazily;
+* both structures are rebuilt from scratch on ``update_positions``
+  (mobility epochs), because reachability itself changed.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
+from types import MappingProxyType
 
 
 @dataclass
@@ -24,6 +50,11 @@ class Transmission:
     busy period of precomputed length (see ``repro.mac.constants``); the
     ``kind`` records what the period carries for observers and collision
     accounting.
+
+    ``end_slot`` and ``kind`` must not be reassigned while the
+    transmission is registered on a :class:`Medium` — go through
+    :meth:`Medium.extend_transmission`, which keeps the incremental
+    carrier-sense indexes in step.
     """
 
     sender: int
@@ -54,6 +85,20 @@ class Medium:
         self._decodes_from = {}
         self._active = {}
         self._next_tx_id = 0
+        # -- incremental carrier-sense state --------------------------------
+        #: node_id -> number of its own active transmissions
+        self._tx_count = {}
+        #: tx_id -> in-flight handshake-kind transmissions
+        self._handshakes = {}
+        #: listener -> {tx_id: sender} for transmissions it senses,
+        #: in start order (mirrors iterating ``_active`` filtered).
+        self._sensed_active = {}
+        #: listener -> max-heap [(-end_slot, tx_id), ...], lazily pruned
+        self._busy_heaps = {}
+        # -- frozenset caches for the reachability accessors ----------------
+        self._neighbors_cache = {}
+        self._sensed_sources_cache = {}
+        self._sensors_cache = {}
 
     # -- topology ----------------------------------------------------------
 
@@ -61,7 +106,9 @@ class Medium:
         """Install new node positions and rebuild reachability sets.
 
         ``positions`` maps node id -> (x, y).  Call once at setup and
-        again at every mobility epoch.
+        again at every mobility epoch.  Reachability changed, so the
+        incremental carrier-sense indexes are rebuilt from the active
+        transmissions as well.
         """
         self._positions = dict(positions)
         ids = sorted(self._positions)
@@ -86,22 +133,55 @@ class Medium:
                     self._sensed_by[b].add(a)
                 if state_ba.decodable:
                     self._decodes_from[a].add(b)
+        self._neighbors_cache.clear()
+        self._sensed_sources_cache.clear()
+        self._sensors_cache.clear()
+        self._rebuild_sensing_index()
+
+    def _rebuild_sensing_index(self):
+        """Recompute the incremental indexes under the new adjacency."""
+        self._tx_count = {}
+        self._handshakes = {}
+        self._sensed_active = {}
+        self._busy_heaps = {}
+        # ``_active`` preserves start order (tx ids are handed out
+        # monotonically and dict insertion order survives deletions), so
+        # the per-listener maps come out in the same order a full scan
+        # of ``_active`` would produce.
+        for tx_id, tx in self._active.items():
+            self._index_transmission(tx_id, tx)
 
     @property
     def positions(self):
-        return dict(self._positions)
+        """Read-only view of node id -> (x, y); never copied."""
+        return MappingProxyType(self._positions)
 
     def neighbors(self, node_id):
         """Nodes whose frames ``node_id`` can decode (one-hop neighbors)."""
-        return frozenset(self._decodes_from.get(node_id, ()))
+        cached = self._neighbors_cache.get(node_id)
+        if cached is None:
+            cached = self._neighbors_cache[node_id] = frozenset(
+                self._decodes_from.get(node_id, ())
+            )
+        return cached
 
     def sensed_sources(self, node_id):
         """Nodes whose transmissions ``node_id`` senses as busy air."""
-        return frozenset(self._sensed_from.get(node_id, ()))
+        cached = self._sensed_sources_cache.get(node_id)
+        if cached is None:
+            cached = self._sensed_sources_cache[node_id] = frozenset(
+                self._sensed_from.get(node_id, ())
+            )
+        return cached
 
     def sensors_of(self, node_id):
-        """Nodes that sense ``node_id``'s transmissions."""
-        return frozenset(self._sensed_by.get(node_id, ()))
+        """Nodes that sense ``node_id``'s transmissions (cached frozenset)."""
+        cached = self._sensors_cache.get(node_id)
+        if cached is None:
+            cached = self._sensors_cache[node_id] = frozenset(
+                self._sensed_by.get(node_id, ())
+            )
+        return cached
 
     def can_decode(self, sender, receiver):
         return sender in self._decodes_from.get(receiver, ())
@@ -111,6 +191,49 @@ class Medium:
 
     # -- transmissions -----------------------------------------------------
 
+    def _index_transmission(self, tx_id, tx):
+        """Fold one transmission into the incremental indexes."""
+        sender = tx.sender
+        self._tx_count[sender] = self._tx_count.get(sender, 0) + 1
+        if tx.kind == "handshake":
+            self._handshakes[tx_id] = tx
+        entry = (-tx.end_slot, tx_id)
+        sensed_active = self._sensed_active
+        busy_heaps = self._busy_heaps
+        for listener in self._sensed_by.get(sender, ()):
+            tracked = sensed_active.get(listener)
+            if tracked is None:
+                tracked = sensed_active[listener] = {}
+            tracked[tx_id] = sender
+            heap = busy_heaps.get(listener)
+            if heap is None:
+                heap = busy_heaps[listener] = []
+            heapq.heappush(heap, entry)
+
+    def _unindex_transmission(self, tx_id, tx):
+        """Drop one transmission from the incremental indexes.
+
+        Heap entries are left behind and pruned lazily by
+        :meth:`busy_until`; when a listener's sensed set empties, its
+        heap is cleared outright (every entry is stale by definition).
+        """
+        sender = tx.sender
+        count = self._tx_count[sender] - 1
+        if count:
+            self._tx_count[sender] = count
+        else:
+            del self._tx_count[sender]
+        self._handshakes.pop(tx_id, None)
+        for listener in self._sensed_by.get(sender, ()):
+            tracked = self._sensed_active.get(listener)
+            if tracked is None:
+                continue
+            tracked.pop(tx_id, None)
+            if not tracked:
+                heap = self._busy_heaps.get(listener)
+                if heap:
+                    heap.clear()
+
     def start_transmission(self, transmission):
         """Register a transmission; returns its medium-assigned id."""
         if transmission.end_slot <= transmission.start_slot:
@@ -118,25 +241,67 @@ class Medium:
         tx_id = self._next_tx_id
         self._next_tx_id += 1
         self._active[tx_id] = transmission
+        self._index_transmission(tx_id, transmission)
         return tx_id
 
     def end_transmission(self, tx_id):
         """Remove a finished transmission; returns it."""
-        return self._active.pop(tx_id)
+        tx = self._active.pop(tx_id)
+        self._unindex_transmission(tx_id, tx)
+        return tx
+
+    def extend_transmission(self, tx_id, end_slot, kind=None):
+        """Grow an in-flight transmission's busy period (never shrink).
+
+        The engine uses this for the handshake -> exchange phase change:
+        the busy period extends through DATA + ACK and the ``kind``
+        flips to ``"exchange"``.  Returns the transmission.  Mutating
+        ``Transmission.end_slot`` directly would leave the incremental
+        busy-until heaps stale — this is the only supported way.
+        """
+        tx = self._active[tx_id]
+        if end_slot < tx.end_slot:
+            raise ValueError(
+                f"cannot shrink transmission {tx_id} "
+                f"({tx.end_slot} -> {end_slot})"
+            )
+        grew = end_slot > tx.end_slot
+        tx.end_slot = end_slot
+        if kind is not None and kind != tx.kind:
+            tx.kind = kind
+            if kind == "handshake":
+                self._handshakes[tx_id] = tx
+            else:
+                self._handshakes.pop(tx_id, None)
+        if grew:
+            entry = (-end_slot, tx_id)
+            for listener in self._sensed_by.get(tx.sender, ()):
+                heap = self._busy_heaps.get(listener)
+                if heap is not None:
+                    heapq.heappush(heap, entry)
+        return tx
 
     def active_transmissions(self):
-        return list(self._active.values())
+        """The in-flight transmissions, in start order (live view)."""
+        return self._active.values()
 
     def active_items(self):
-        """``(tx_id, transmission)`` pairs for all in-flight transmissions."""
-        return list(self._active.items())
+        """``(tx_id, transmission)`` pairs for all in-flight transmissions,
+        in start order (live view — do not mutate the medium while
+        iterating)."""
+        return self._active.items()
+
+    def active_handshakes(self):
+        """``(tx_id, transmission)`` pairs for in-flight *handshake*-kind
+        transmissions only, in start order (live view)."""
+        return self._handshakes.items()
 
     def active_item(self, tx_id):
         """The in-flight transmission with medium id ``tx_id``."""
         return self._active[tx_id]
 
     def is_transmitting(self, node_id):
-        return any(t.sender == node_id for t in self._active.values())
+        return node_id in self._tx_count
 
     # -- carrier sensing ---------------------------------------------------
 
@@ -144,29 +309,34 @@ class Medium:
         """True if ``node_id`` currently senses the channel busy.
 
         A node's own transmission does not count: while transmitting it
-        is not performing clear-channel assessment.
+        is not performing clear-channel assessment.  (A node is never in
+        its own ``sensed_from`` set, so the index needs no special
+        case.)
         """
-        sensed = self._sensed_from.get(node_id, ())
-        return any(
-            t.sender in sensed for t in self._active.values() if t.sender != node_id
-        )
+        return bool(self._sensed_active.get(node_id))
 
     def busy_until(self, node_id):
         """Last end slot among transmissions ``node_id`` senses, or None."""
-        sensed = self._sensed_from.get(node_id, ())
-        ends = [
-            t.end_slot
-            for t in self._active.values()
-            if t.sender != node_id and t.sender in sensed
-        ]
-        return max(ends) if ends else None
+        if not self._sensed_active.get(node_id):
+            return None
+        heap = self._busy_heaps[node_id]
+        active = self._active
+        while heap:
+            neg_end, tx_id = heap[0]
+            tx = active.get(tx_id)
+            if tx is not None and tx.end_slot == -neg_end:
+                return -neg_end
+            # Stale: the transmission ended, or this entry was
+            # superseded by an extension (the larger end sorts first in
+            # the max-heap, so a live superseding entry was already
+            # inspected).
+            heapq.heappop(heap)
+        return None
 
     def interferers_at(self, receiver, exclude_sender):
         """Active transmitters (other than ``exclude_sender``) that the
         receiver senses — i.e., sources of collision at ``receiver``."""
-        sensed = self._sensed_from.get(receiver, ())
-        return [
-            t.sender
-            for t in self._active.values()
-            if t.sender != exclude_sender and t.sender in sensed
-        ]
+        tracked = self._sensed_active.get(receiver)
+        if not tracked:
+            return []
+        return [s for s in tracked.values() if s != exclude_sender]

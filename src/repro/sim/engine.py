@@ -123,6 +123,12 @@ class SimulationEngine:
         self.medium = medium
         self.macs: Dict[int, "DcfMac"] = dict(macs)
         self.timing = timing
+        # The slot conversions behind these MacTiming properties walk a
+        # microseconds-to-slots chain on every access; resolve them once
+        # — they are read in the hottest paths of the slot loop.
+        self._handshake_slots = timing.handshake_slots
+        self._exchange_slots = timing.exchange_slots
+        self._difs_slots = timing.difs_slots
         self.traffic: Dict[int, Any] = dict(traffic_sources or {})
         self.mobility = mobility
         self.epoch_slots = max(
@@ -190,12 +196,14 @@ class SimulationEngine:
         """
         if not self._primed:
             self._prime()
+        heap = self._heap  # never rebound; aliasing is safe
+        heappop = heapq.heappop
         try:
-            while self._heap and self._heap[0][0] <= end_slot:
-                slot = self._heap[0][0]
+            while heap and heap[0][0] <= end_slot:
+                slot = heap[0][0]
                 batch: List[_Event] = []
-                while self._heap and self._heap[0][0] == slot:
-                    batch.append(heapq.heappop(self._heap))
+                while heap and heap[0][0] == slot:
+                    batch.append(heappop(heap))
                 affected = self._process_batch(slot, batch)
                 if affected:
                     self._reconcile(slot, affected)
@@ -247,9 +255,11 @@ class SimulationEngine:
     def _handle_phase(self, slot: int, tx_id: int) -> Set[int]:
         tx = self.medium.active_item(tx_id)
         if tx.kind == "handshake" and not tx.corrupted:
-            # CTS received: extend the busy period through DATA + ACK.
-            tx.kind = "exchange"
-            tx.end_slot = tx.start_slot + self.timing.exchange_slots
+            # CTS received: extend the busy period through DATA + ACK
+            # (via the medium so its busy-until index stays current).
+            self.medium.extend_transmission(
+                tx_id, tx.start_slot + self._exchange_slots, kind="exchange"
+            )
             self.schedule(tx.end_slot, EventKind.TRANSMISSION_PHASE, tx_id)
             return set()
         success = tx.kind == "exchange"
@@ -299,7 +309,7 @@ class SimulationEngine:
             sender=node_id,
             receiver=receiver,
             start_slot=slot,
-            end_slot=slot + self.timing.handshake_slots,
+            end_slot=slot + self._handshake_slots,
             kind="handshake",
             frame=rts,
             packet=mac.head_packet,
@@ -308,8 +318,10 @@ class SimulationEngine:
         tx_id = self.medium.start_transmission(tx)
         # A transmitter starting now corrupts any in-flight handshake whose
         # receiver lies within our interference footprint (hidden terminal).
-        for other_id, other in self.medium.active_items():
-            if other_id == tx_id or other.kind != "handshake":
+        # Only handshake-kind transmissions can still be corrupted, so
+        # iterate the medium's handshake index, not every busy period.
+        for other_id, other in self.medium.active_handshakes():
+            if other_id == tx_id:
                 continue
             if self.medium.senses(node_id, other.receiver):
                 other.corrupted = True
@@ -322,25 +334,36 @@ class SimulationEngine:
 
     # -- back-off reconciliation -------------------------------------------
 
-    def _neighborhood_of(self, node_id: int) -> Set[int]:
-        """Nodes whose channel view a transition at ``node_id`` can change."""
-        return set(self.medium.sensors_of(node_id))
+    def _neighborhood_of(self, node_id: int) -> "frozenset[int]":
+        """Nodes whose channel view a transition at ``node_id`` can change.
+
+        Returns the medium's cached frozenset directly — callers union
+        it, they never mutate it."""
+        return self.medium.sensors_of(node_id)
 
     def _reconcile(self, slot: int, affected: Set[int]) -> None:
+        # This pass runs for every affected node on every non-empty slot;
+        # it reads MAC state through direct attributes (``transmitting``,
+        # ``backoff.remaining``/``anchor``) rather than the enum-valued
+        # ``state`` property, which dominates the profile otherwise.
+        macs = self.macs
+        senses_busy = self.medium.senses_busy
+        resume_anchor = slot + self._difs_slots
         for node_id in affected:
-            mac = self.macs.get(node_id)
-            if mac is None or mac.state.value == "transmitting":
+            mac = macs.get(node_id)
+            if mac is None or mac.transmitting:
                 continue
-            if mac.needs_backoff_draw():
+            backoff = mac.backoff
+            if backoff.remaining is None:
+                if mac.queue.is_empty:
+                    continue
                 mac.draw_backoff()
-            if not mac.backoff.active:
-                continue
-            if self.medium.senses_busy(node_id):
-                mac.backoff.freeze(slot)
-            elif not mac.backoff.counting:
-                completion = mac.backoff.resume(slot + self.timing.difs_slots)
+            if senses_busy(node_id):
+                backoff.freeze(slot)
+            elif backoff.anchor is None:
+                completion = backoff.resume(resume_anchor)
                 self.schedule(
                     completion,
                     EventKind.COUNTDOWN_COMPLETE,
-                    (node_id, mac.backoff.generation),
+                    (node_id, backoff.generation),
                 )

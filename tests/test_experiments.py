@@ -83,6 +83,19 @@ class TestRunnerHelpers:
         monkeypatch.setenv("REPRO_SCALE", "0.1")
         assert scaled(3) >= 1
 
+    def test_fidelity_cache_tracks_env_changes(self, monkeypatch):
+        from repro.experiments.runner import reset_fidelity_cache
+
+        monkeypatch.setenv("REPRO_SCALE", "2.0")
+        assert fidelity_scale() == 2.0
+        # The cache keys on the raw env string, so a changed env is
+        # picked up without an explicit reset ...
+        monkeypatch.setenv("REPRO_SCALE", "3.0")
+        assert fidelity_scale() == 3.0
+        # ... and the explicit reset is available for test isolation.
+        reset_fidelity_cache()
+        assert fidelity_scale() == 3.0
+
     def test_split_seeds_distinct(self):
         seeds = split_seeds(5, 10)
         assert len(set(seeds)) == 10

@@ -37,9 +37,10 @@ class TestReachability:
     def test_senses(self, medium):
         assert medium.senses(0, 2)
 
-    def test_positions_copy(self, medium):
+    def test_positions_read_only(self, medium):
         positions = medium.positions
-        positions[0] = (999, 999)
+        with pytest.raises(TypeError):
+            positions[0] = (999, 999)
         assert medium.positions[0] == (0, 0)
 
 
@@ -96,7 +97,28 @@ class TestTransmissions:
     def test_active_items(self, medium):
         tx = Transmission(sender=0, receiver=1, start_slot=0, end_slot=10)
         tx_id = medium.start_transmission(tx)
-        assert medium.active_items() == [(tx_id, tx)]
+        assert list(medium.active_items()) == [(tx_id, tx)]
+        assert list(medium.active_transmissions()) == [tx]
+
+    def test_active_handshakes(self, medium):
+        hs = Transmission(
+            sender=0, receiver=1, start_slot=0, end_slot=10, kind="handshake"
+        )
+        data = Transmission(sender=2, receiver=1, start_slot=0, end_slot=10)
+        hs_id = medium.start_transmission(hs)
+        medium.start_transmission(data)
+        assert list(medium.active_handshakes()) == [(hs_id, hs)]
+        medium.extend_transmission(hs_id, 40, kind="exchange")
+        assert list(medium.active_handshakes()) == []
+
+    def test_extend_transmission(self, medium):
+        tx = Transmission(sender=0, receiver=1, start_slot=0, end_slot=10)
+        tx_id = medium.start_transmission(tx)
+        medium.extend_transmission(tx_id, 30)
+        assert tx.end_slot == 30
+        assert medium.busy_until(1) == 30
+        with pytest.raises(ValueError):
+            medium.extend_transmission(tx_id, 20)  # never shrink
 
 
 class TestOutOfRange:
