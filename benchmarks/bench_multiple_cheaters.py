@@ -8,7 +8,8 @@ pair: all cheaters flagged, the honest node not.
 
 from __future__ import annotations
 
-from repro.core.detector import BackoffMisbehaviorDetector, DetectorConfig
+from repro.core.detector import DetectorConfig
+from repro.core.observatory import SharedChannelObservatory
 from repro.mac.misbehavior import PercentageMisbehavior
 from repro.obs.bench import write_bench_manifest
 from repro.sim.network import Flow, Simulation, SimulationConfig
@@ -32,14 +33,15 @@ def _run(duration_s=15.0, seed=91):
         policies={s: PercentageMisbehavior(pm) for s, pm in cheaters.items()},
         config=SimulationConfig(seed=seed),
     )
+    # All four detectors subscribe through one shared observation plane.
+    observatory = SharedChannelObservatory()
+    sim.add_listener(observatory)
     detectors = {}
     for sender, monitor in pairs.items():
-        det = BackoffMisbehaviorDetector(
+        detectors[sender] = observatory.attach(
             monitor, sender,
             config=DetectorConfig(sample_size=25, known_n=5, known_k=5),
         )
-        sim.add_listener(det)
-        detectors[sender] = det
     sim.run(duration_s)
     return cheaters, detectors
 

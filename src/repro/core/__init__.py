@@ -13,7 +13,12 @@ produces :class:`Verdict` objects as observation windows fill.
 from repro.core.arma import ArmaTrafficEstimator
 from repro.core.bianchi import BianchiModel, CompetingTerminalEstimator
 from repro.core.density import NodeDensityEstimator
-from repro.core.detector import BackoffMisbehaviorDetector, DetectorConfig
+from repro.core.detector import (
+    BackoffMisbehaviorDetector,
+    DetectorConfig,
+    cached_region_model,
+    reset_region_cache,
+)
 from repro.core.handoff import MonitorHandoff
 from repro.core.deterministic import (
     AttemptNumberVerifier,
@@ -24,8 +29,14 @@ from repro.core.deterministic import (
 from repro.core.hypothesis import BackoffHypothesisTest, TestDecision
 from repro.core.observation import (
     ChannelObserver,
+    ChannelViewBase,
     ObservedTransmission,
     joint_state_counts,
+)
+from repro.core.observatory import (
+    MonitorChannel,
+    ObservatorySubscription,
+    SharedChannelObservatory,
 )
 from repro.core.ranksum import RankSumResult, rank_sum_test, wilcoxon_ranks
 from repro.core.records import BackoffObservation, Verdict
@@ -40,13 +51,17 @@ __all__ = [
     "BackoffObservation",
     "BianchiModel",
     "ChannelObserver",
+    "ChannelViewBase",
     "CompetingTerminalEstimator",
     "DetectorConfig",
     "DeterministicViolation",
+    "MonitorChannel",
     "MonitorHandoff",
     "NodeDensityEstimator",
+    "ObservatorySubscription",
     "ObservedTransmission",
     "RankSumResult",
+    "SharedChannelObservatory",
     "ReputationConfig",
     "ReputationTracker",
     "SequenceOffsetVerifier",
@@ -55,7 +70,9 @@ __all__ = [
     "TestDecision",
     "UnambiguousCountdownVerifier",
     "Verdict",
+    "cached_region_model",
     "joint_state_counts",
     "rank_sum_test",
+    "reset_region_cache",
     "wilcoxon_ranks",
 ]

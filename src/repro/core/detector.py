@@ -55,10 +55,45 @@ from repro.sim.listeners import SimulationListener
 if TYPE_CHECKING:  # pragma: no cover - import-time only
     from repro.core.deterministic import DeterministicViolation
     from repro.core.observation import ObservedTransmission
+    from repro.core.observatory import ObservatorySubscription
     from repro.core.records import Verdict as _Verdict
     from repro.mac.constants import MacTiming
     from repro.obs.registry import MetricsRegistry
     from repro.phy.medium import Medium, Transmission
+
+
+#: Memoized RegionModel instances keyed by their full geometry.  The
+#: circle-intersection areas in RegionModel.__post_init__ are the
+#: expensive part of a geometry refresh; models are immutable once
+#: built, so every detector (and every mobility epoch) with the same
+#: quantized separation shares one instance.
+_region_cache: Dict[
+    Tuple[float, float, float, Optional[float]], RegionModel
+] = {}
+
+
+def cached_region_model(
+    sensing_range: float = 550.0,
+    separation: float = 240.0,
+    interferer_offset: float = 450.0,
+    far_interferer_offset: Optional[float] = None,
+) -> RegionModel:
+    """A shared :class:`RegionModel` for the given geometry (memoized)."""
+    key = (sensing_range, separation, interferer_offset, far_interferer_offset)
+    model = _region_cache.get(key)
+    if model is None:
+        model = _region_cache[key] = RegionModel(
+            sensing_range=sensing_range,
+            separation=separation,
+            interferer_offset=interferer_offset,
+            far_interferer_offset=far_interferer_offset,
+        )
+    return model
+
+
+def reset_region_cache() -> None:
+    """Forget all memoized RegionModels (test isolation escape hatch)."""
+    _region_cache.clear()
 
 
 @dataclass
@@ -136,6 +171,7 @@ class BackoffMisbehaviorDetector(SimulationListener):
         separation: Optional[float] = None,
         audit: Optional[DecisionAuditLog] = None,
         metrics: "Optional[MetricsRegistry]" = None,
+        observer: "Optional[ObservatorySubscription]" = None,
     ) -> None:
         self.config = config if config is not None else DetectorConfig()
         self.timing = timing if timing is not None else DEFAULT_TIMING
@@ -151,7 +187,15 @@ class BackoffMisbehaviorDetector(SimulationListener):
         self.metrics = metrics
 
         cfg = self.config
-        self.observer = ChannelObserver(monitor_id, tagged_id)
+        #: True when the observer is an observatory subscription — the
+        #: SharedChannelObservatory then drives all channel accounting
+        #: and this detector must NOT be registered as an engine
+        #: listener (it would double-count every transmission).
+        self._subscribed = observer is not None
+        if observer is None:
+            self.observer = ChannelObserver(monitor_id, tagged_id)
+        else:
+            self.observer = observer
         self.prng = VerifiableBackoffPrng(
             tagged_id, cw_min=self.timing.cw_min, cw_max=self.timing.cw_max
         )
@@ -160,7 +204,7 @@ class BackoffMisbehaviorDetector(SimulationListener):
             kwargs = {}
             if separation is not None:
                 kwargs["separation"] = separation
-            region_model = RegionModel(**kwargs)
+            region_model = cached_region_model(**kwargs)
         self.state_estimator = SystemStateEstimator(region_model)
         self.arma = ArmaTrafficEstimator(
             cfg.arma_alpha, cfg.arma_interval_slots
@@ -196,6 +240,11 @@ class BackoffMisbehaviorDetector(SimulationListener):
     def on_transmission_start(
         self, slot: int, transmission: "Transmission", medium: "Medium"
     ) -> None:
+        if self._subscribed:
+            raise RuntimeError(
+                "detector is observatory-subscribed; do not register it "
+                "as an engine listener"
+            )
         self.observer.on_transmission_start(slot, transmission, medium)
 
     def on_positions_updated(
@@ -229,9 +278,14 @@ class BackoffMisbehaviorDetector(SimulationListener):
         current = self.state_estimator.region_model
         if abs(separation - current.separation) < 10.0:
             return  # avoid churning the geometry for sub-noise moves
-        model = RegionModel(
+        # The dead band above already ignores sub-10 m moves, so quantize
+        # the separation to the same granularity: mobility epochs across
+        # all detectors then hit a small set of memoized RegionModels
+        # instead of recomputing circle-intersection areas every time.
+        quantized = max(round(separation / 10.0) * 10.0, 1.0)
+        model = cached_region_model(
             sensing_range=current.sensing_range,
-            separation=separation,
+            separation=quantized,
             interferer_offset=current.interferer_offset,
             far_interferer_offset=current.far_interferer_offset,
         )
@@ -245,6 +299,11 @@ class BackoffMisbehaviorDetector(SimulationListener):
         success: bool,
         medium: "Medium",
     ) -> None:
+        if self._subscribed:
+            raise RuntimeError(
+                "detector is observatory-subscribed; do not register it "
+                "as an engine listener"
+            )
         if self._birth_slot is None:
             self._birth_slot = transmission.start_slot
             self._arma_cursor = transmission.start_slot

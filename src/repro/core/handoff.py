@@ -11,6 +11,16 @@ the new monitor has its own channel view).
 
 Verdicts and deterministic violations from all monitors are accumulated
 so experiment harnesses see one continuous stream.
+
+With an ``observatory`` the hand-off manager works at the subscription
+layer instead of the listener layer: the engine keeps one
+:class:`~repro.core.observatory.SharedChannelObservatory` listener
+throughout, and a hand-off detaches the old detector's subscription and
+attaches the replacement's — no listener churn.  The replacement always
+gets a *fresh private channel* (``fresh_channel=True``): a brand-new
+monitor's observer starts empty, and inheriting the shared channel's
+busy history would diverge from what that node could have recorded
+(statistical history does not transfer, per the paper).
 """
 
 from __future__ import annotations
@@ -24,6 +34,7 @@ from repro.geometry.vectors import distance
 from repro.sim.listeners import SimulationListener
 
 if TYPE_CHECKING:  # pragma: no cover - import-time only
+    from repro.core.observatory import SharedChannelObservatory
     from repro.mac.constants import MacTiming
     from repro.obs.audit import DecisionAuditLog
     from repro.phy.medium import Medium, Transmission
@@ -42,6 +53,7 @@ class MonitorHandoff(SimulationListener):
         rng: "Optional[RngStream]" = None,
         separation: Optional[float] = None,
         audit: "Optional[DecisionAuditLog]" = None,
+        observatory: "Optional[SharedChannelObservatory]" = None,
     ) -> None:
         if rng is None:
             raise ValueError("MonitorHandoff requires an RngStream")
@@ -51,14 +63,28 @@ class MonitorHandoff(SimulationListener):
         self._rng = rng
         #: one audit log spans every monitor of this tagged node
         self.audit = audit
-        self.detector = BackoffMisbehaviorDetector(
-            initial_monitor,
-            tagged_id,
-            config=self.config,
-            timing=timing,
-            separation=separation,
-            audit=audit,
-        )
+        #: shared observation plane, or None for the listener path
+        self.observatory = observatory
+        if observatory is not None:
+            self.detector = observatory.attach(
+                initial_monitor,
+                tagged_id,
+                config=self.config,
+                timing=timing,
+                separation=separation,
+                audit=audit,
+                position_unit=False,
+            )
+            observatory.add_position_listener(self)
+        else:
+            self.detector = BackoffMisbehaviorDetector(
+                initial_monitor,
+                tagged_id,
+                config=self.config,
+                timing=timing,
+                separation=separation,
+                audit=audit,
+            )
         self.handoffs = 0
         self.retired_detectors: List[BackoffMisbehaviorDetector] = []
 
@@ -109,6 +135,9 @@ class MonitorHandoff(SimulationListener):
     def on_transmission_start(
         self, slot: int, transmission: "Transmission", medium: "Medium"
     ) -> None:
+        # Observatory mode: the subscription receives events directly;
+        # this forwarding path only exists for the listener mode (the
+        # subscribed detector itself rejects listener calls).
         self.detector.on_transmission_start(slot, transmission, medium)
 
     def on_transmission_end(
@@ -157,12 +186,25 @@ class MonitorHandoff(SimulationListener):
         tag = positions.get(self.tagged_id)
         if mon is not None and tag is not None:
             separation = max(distance(mon, tag), 1.0)
-        self.detector = BackoffMisbehaviorDetector(
-            new_monitor,
-            self.tagged_id,
-            config=self.config,
-            timing=self.timing,
-            separation=separation,
-            audit=self.audit,
-        )
+        if self.observatory is not None:
+            self.observatory.detach(self.detector)
+            self.detector = self.observatory.attach(
+                new_monitor,
+                self.tagged_id,
+                config=self.config,
+                timing=self.timing,
+                separation=separation,
+                audit=self.audit,
+                fresh_channel=True,
+                position_unit=False,
+            )
+        else:
+            self.detector = BackoffMisbehaviorDetector(
+                new_monitor,
+                self.tagged_id,
+                config=self.config,
+                timing=self.timing,
+                separation=separation,
+                audit=self.audit,
+            )
         self.detector.on_positions_updated(slot, positions, medium)

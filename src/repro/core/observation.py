@@ -6,6 +6,17 @@ the modified-RTS fields of those it can also *decode*.  Everything the
 detector does — ARMA traffic intensity, the Iest/Best estimates, the
 rank-sum samples — is computed from this observer, never from simulator
 ground truth the node could not know.
+
+Two implementations share the interval bookkeeping in
+:class:`ChannelViewBase`:
+
+* :class:`ChannelObserver` — the standalone engine listener one detector
+  owns privately (the original path, still used for baselines and
+  single-detector tests);
+* :class:`repro.core.observatory.MonitorChannel` — the per-monitor-node
+  timeline a :class:`~repro.core.observatory.SharedChannelObservatory`
+  maintains once and shares across every detector observing from that
+  node.
 """
 
 from __future__ import annotations
@@ -33,8 +44,8 @@ class ObservedTransmission:
 
 
 def joint_state_counts(
-    observer_r: "ChannelObserver",
-    observer_s: "ChannelObserver",
+    observer_r: "ChannelViewBase",
+    observer_s: "ChannelViewBase",
     start: int,
     end: int,
 ) -> Dict[str, int]:
@@ -44,45 +55,179 @@ def joint_state_counts(
     first letter R's state, second S's — over ``[start, end)``.  This is
     the ground-truth measurement behind the paper's Figures 3-4: e.g.
     p(S busy | R idle) = IB / (II + IB).
+
+    Accepts anything exposing ``busy_intervals_in`` (a
+    :class:`ChannelObserver`, an observatory channel, or a subscription
+    view).  Implemented as one merged sweep over both clipped interval
+    lists: O(R + S) after the clip, no per-boundary binary searches.
     """
-    if end <= start:
-        return {"II": 0, "IB": 0, "BI": 0, "BB": 0}
-
-    def edges(observer: "ChannelObserver") -> List[Tuple[int, int]]:
-        points = []
-        for lo, hi in zip(observer._busy_starts, observer._busy_ends):
-            lo, hi = max(lo, start), min(hi, end)
-            if hi > lo:
-                points.append((lo, hi))
-        return points
-
-    r_busy = edges(observer_r)
-    s_busy = edges(observer_s)
-    boundaries = sorted(
-        {start, end}
-        | {p for lo, hi in r_busy for p in (lo, hi)}
-        | {p for lo, hi in s_busy for p in (lo, hi)}
-    )
-
-    def busy_at(intervals: List[Tuple[int, int]], t: int) -> bool:
-        # Intervals are sorted and disjoint; binary search the candidate.
-        import bisect as _bisect
-
-        i = _bisect.bisect_right(intervals, (t, float("inf"))) - 1
-        return i >= 0 and intervals[i][0] <= t < intervals[i][1]
-
     counts = {"II": 0, "IB": 0, "BI": 0, "BB": 0}
-    for lo, hi in zip(boundaries, boundaries[1:]):
-        if hi <= lo:
-            continue
-        key = ("B" if busy_at(r_busy, lo) else "I") + (
-            "B" if busy_at(s_busy, lo) else "I"
-        )
-        counts[key] += hi - lo
+    if end <= start:
+        return counts
+    r_busy = observer_r.busy_intervals_in(start, end)
+    s_busy = observer_s.busy_intervals_in(start, end)
+    n_r, n_s = len(r_busy), len(s_busy)
+    ri = si = 0
+    cursor = start
+    while cursor < end:
+        # Drop intervals that ended at or before the cursor; what is
+        # left determines each observer's state on the next segment.
+        while ri < n_r and r_busy[ri][1] <= cursor:
+            ri += 1
+        while si < n_s and s_busy[si][1] <= cursor:
+            si += 1
+        r_state = ri < n_r and r_busy[ri][0] <= cursor
+        s_state = si < n_s and s_busy[si][0] <= cursor
+        # The state holds until the nearest start/end among the current
+        # intervals (or the window end); both lists are sorted, so only
+        # the interval at each pointer can bound the segment.
+        boundary = end
+        if ri < n_r:
+            edge = r_busy[ri][1] if r_state else r_busy[ri][0]
+            if edge < boundary:
+                boundary = edge
+        if si < n_s:
+            edge = s_busy[si][1] if s_state else s_busy[si][0]
+            if edge < boundary:
+                boundary = edge
+        key = ("B" if r_state else "I") + ("B" if s_state else "I")
+        counts[key] += boundary - cursor
+        cursor = boundary
     return counts
 
 
-class ChannelObserver(SimulationListener):
+class ChannelViewBase:
+    """Busy-interval timeline + own-transmission ledger of one monitor.
+
+    Holds only the interval bookkeeping and the queries the detector
+    runs against it; no listener plumbing, no tagged-node state.  Busy
+    intervals are kept sorted by start and non-overlapping (merged on
+    insert); the monitor's own transmissions are serial, so the own-tx
+    ledger is sorted and disjoint by construction.
+    """
+
+    def __init__(self) -> None:
+        self._busy_starts: List[int] = []
+        self._busy_ends: List[int] = []
+        self._own_starts: List[int] = []
+        self._own_ends: List[int] = []
+        self.monitor_tx_slots = 0    # air time of the monitor's own frames
+        self.last_slot = 0
+
+    # -- busy/idle accounting ----------------------------------------------------
+
+    def _add_busy_interval(self, start: int, end: int) -> None:
+        """Insert [start, end) and merge with overlapping neighbors."""
+        if end <= start:
+            return
+        i = bisect.bisect_left(self._busy_starts, start)
+        # Merge backwards into a predecessor that overlaps us.
+        if i > 0 and self._busy_ends[i - 1] >= start:
+            i -= 1
+            start = self._busy_starts[i]
+            end = max(end, self._busy_ends[i])
+            del self._busy_starts[i], self._busy_ends[i]
+        # Merge forward over any successors we swallow.
+        while i < len(self._busy_starts) and self._busy_starts[i] <= end:
+            end = max(end, self._busy_ends[i])
+            del self._busy_starts[i], self._busy_ends[i]
+        self._busy_starts.insert(i, start)
+        self._busy_ends.insert(i, end)
+
+    def _add_own_interval(self, start: int, end: int) -> None:
+        """Record one of the monitor's own tx periods (arrive in order)."""
+        self.monitor_tx_slots += end - start
+        self._own_starts.append(start)
+        self._own_ends.append(end)
+
+    def busy_slots_in(self, start: int, end: int) -> int:
+        """Number of busy slots the monitor saw in [start, end)."""
+        if end <= start:
+            return 0
+        total = 0
+        i = bisect.bisect_right(self._busy_starts, start) - 1
+        i = max(i, 0)
+        while i < len(self._busy_starts) and self._busy_starts[i] < end:
+            lo = max(self._busy_starts[i], start)
+            hi = min(self._busy_ends[i], end)
+            if hi > lo:
+                total += hi - lo
+            i += 1
+        return total
+
+    def busy_intervals_in(self, start: int, end: int) -> List[Tuple[int, int]]:
+        """Busy sub-intervals clipped to [start, end), sorted, disjoint."""
+        clipped: List[Tuple[int, int]] = []
+        if end <= start:
+            return clipped
+        starts, ends = self._busy_starts, self._busy_ends
+        i = bisect.bisect_right(starts, start) - 1
+        i = max(i, 0)
+        n = len(starts)
+        while i < n and starts[i] < end:
+            lo = max(starts[i], start)
+            hi = min(ends[i], end)
+            if hi > lo:
+                clipped.append((lo, hi))
+            i += 1
+        return clipped
+
+    def idle_busy_counts(self, start: int, end: int) -> Tuple[int, int]:
+        """(idle, busy) slot counts at the monitor over [start, end)."""
+        busy = self.busy_slots_in(start, end)
+        return (end - start) - busy, busy
+
+    def idle_stretches_in(self, start: int, end: int) -> int:
+        """Number of maximal idle stretches within [start, end).
+
+        Each stretch costs the sender a DIFS before it may resume its
+        countdown, so the detector subtracts one DIFS per stretch from
+        the estimated countdown budget.
+        """
+        if end <= start:
+            return 0
+        stretches = 0
+        cursor = start
+        for lo, hi in self.busy_intervals_in(start, end):
+            if lo > cursor:
+                stretches += 1
+            cursor = max(cursor, hi)
+        if cursor < end:
+            stretches += 1
+        return stretches
+
+    def own_tx_slots_in(self, start: int, end: int) -> int:
+        """Slots in [start, end) spent transmitting by the monitor itself.
+
+        The tagged neighbor certainly freezes during these (it senses
+        the monitor), so the deterministic countdown bound excludes
+        them.  The ledger is sorted and disjoint, so clip with bisect
+        like :meth:`busy_slots_in` instead of scanning from the origin.
+        """
+        if end <= start:
+            return 0
+        total = 0
+        starts, ends = self._own_starts, self._own_ends
+        i = bisect.bisect_right(starts, start) - 1
+        i = max(i, 0)
+        n = len(starts)
+        while i < n and starts[i] < end:
+            lo = max(starts[i], start)
+            hi = min(ends[i], end)
+            if hi > lo:
+                total += hi - lo
+            i += 1
+        return total
+
+    def traffic_intensity(self, start: int, end: int) -> float:
+        """Fraction of busy slots over [start, end) (the paper's rho)."""
+        if end <= start:
+            return 0.0
+        _idle, busy = self.idle_busy_counts(start, end)
+        return busy / (end - start)
+
+
+class ChannelObserver(ChannelViewBase, SimulationListener):
     """Records one monitor's channel view and its view of a tagged node.
 
     Parameters
@@ -96,21 +241,14 @@ class ChannelObserver(SimulationListener):
     """
 
     def __init__(self, monitor_id: int, tagged_id: int) -> None:
+        ChannelViewBase.__init__(self)
         self.monitor_id = monitor_id
         self.tagged_id = tagged_id
-        # Busy intervals [start, end) at the monitor, kept sorted by
-        # start and non-overlapping (merged on insert).
-        self._busy_starts: List[int] = []
-        self._busy_ends: List[int] = []
         # In-flight transmissions we flagged as sensed at their start.
         self._sensed_active: Dict[int, bool] = {}
         self._decodable_active: Dict[int, bool] = {}
         #: ObservedTransmission of the tagged node
         self.observed: List[ObservedTransmission] = []
-        self.monitor_tx_slots = 0    # air time of the monitor's own frames
-        #: the monitor's own (start, end) tx periods
-        self._own_intervals: List[Tuple[int, int]] = []
-        self.last_slot = 0
 
     # -- listener callbacks ----------------------------------------------------
 
@@ -145,9 +283,8 @@ class ChannelObserver(SimulationListener):
         if self._sensed_active.pop(key, False):
             self._add_busy_interval(transmission.start_slot, transmission.end_slot)
             if transmission.sender == self.monitor_id:
-                self.monitor_tx_slots += transmission.duration
-                self._own_intervals.append(
-                    (transmission.start_slot, transmission.end_slot)
+                self._add_own_interval(
+                    transmission.start_slot, transmission.end_slot
                 )
         if transmission.sender == self.tagged_id:
             decodable = self._decodable_active.pop(key, False)
@@ -167,94 +304,3 @@ class ChannelObserver(SimulationListener):
         if drop_history:
             self.observed.clear()
             self._decodable_active.clear()
-
-    # -- busy/idle accounting ----------------------------------------------------
-
-    def _add_busy_interval(self, start: int, end: int) -> None:
-        """Insert [start, end) and merge with overlapping neighbors."""
-        if end <= start:
-            return
-        i = bisect.bisect_left(self._busy_starts, start)
-        # Merge backwards into a predecessor that overlaps us.
-        if i > 0 and self._busy_ends[i - 1] >= start:
-            i -= 1
-            start = self._busy_starts[i]
-            end = max(end, self._busy_ends[i])
-            del self._busy_starts[i], self._busy_ends[i]
-        # Merge forward over any successors we swallow.
-        while i < len(self._busy_starts) and self._busy_starts[i] <= end:
-            end = max(end, self._busy_ends[i])
-            del self._busy_starts[i], self._busy_ends[i]
-        self._busy_starts.insert(i, start)
-        self._busy_ends.insert(i, end)
-
-    def busy_slots_in(self, start: int, end: int) -> int:
-        """Number of busy slots the monitor saw in [start, end)."""
-        if end <= start:
-            return 0
-        total = 0
-        i = bisect.bisect_right(self._busy_starts, start) - 1
-        i = max(i, 0)
-        while i < len(self._busy_starts) and self._busy_starts[i] < end:
-            lo = max(self._busy_starts[i], start)
-            hi = min(self._busy_ends[i], end)
-            if hi > lo:
-                total += hi - lo
-            i += 1
-        return total
-
-    def idle_busy_counts(self, start: int, end: int) -> Tuple[int, int]:
-        """(idle, busy) slot counts at the monitor over [start, end)."""
-        busy = self.busy_slots_in(start, end)
-        return (end - start) - busy, busy
-
-    def idle_stretches_in(self, start: int, end: int) -> int:
-        """Number of maximal idle stretches within [start, end).
-
-        Each stretch costs the sender a DIFS before it may resume its
-        countdown, so the detector subtracts one DIFS per stretch from
-        the estimated countdown budget.
-        """
-        if end <= start:
-            return 0
-        # Collect busy sub-intervals clipped to [start, end).
-        clipped: List[Tuple[int, int]] = []
-        i = bisect.bisect_right(self._busy_starts, start) - 1
-        i = max(i, 0)
-        while i < len(self._busy_starts) and self._busy_starts[i] < end:
-            lo = max(self._busy_starts[i], start)
-            hi = min(self._busy_ends[i], end)
-            if hi > lo:
-                clipped.append((lo, hi))
-            i += 1
-        stretches = 0
-        cursor = start
-        for lo, hi in clipped:
-            if lo > cursor:
-                stretches += 1
-            cursor = max(cursor, hi)
-        if cursor < end:
-            stretches += 1
-        return stretches
-
-    def own_tx_slots_in(self, start: int, end: int) -> int:
-        """Slots in [start, end) spent transmitting by the monitor itself.
-
-        The tagged neighbor certainly freezes during these (it senses
-        the monitor), so the deterministic countdown bound excludes
-        them.  Own transmissions never overlap each other, so a linear
-        clip suffices.
-        """
-        total = 0
-        for lo, hi in self._own_intervals:
-            lo, hi = max(lo, start), min(hi, end)
-            if hi > lo:
-                total += hi - lo
-        return total
-
-    def traffic_intensity(self, start: int, end: int) -> float:
-        """Fraction of busy slots over [start, end) (the paper's rho)."""
-        if end <= start:
-            return 0.0
-        _idle, busy = self.idle_busy_counts(start, end)
-        return busy / (end - start)

@@ -1,0 +1,436 @@
+"""A shared observation plane for many-monitor detection runs.
+
+The paper's framework is cooperative: *every* neighbor of a sender is a
+potential monitor.  The original wiring gave each
+:class:`~repro.core.detector.BackoffMisbehaviorDetector` its own private
+:class:`~repro.core.observation.ChannelObserver` registered as a full
+engine listener, so a run with D detectors paid O(D) per transmission —
+D ``senses()`` lookups, D copies of the *same monitor node's*
+busy-interval timeline, D identical ARMA ingests.
+
+:class:`SharedChannelObservatory` is a single engine listener that
+ingests each transmission **once** and fans the result out cheaply:
+
+* sensed/decodable status is resolved per *monitor node* once, from the
+  medium's cached :meth:`~repro.phy.medium.Medium.sensors_of`
+  frozensets;
+* one :class:`MonitorChannel` (busy timeline + own-tx ledger) exists per
+  monitor node, shared by every detector observing from that node;
+* per-channel *feeds* advance the ARMA traffic estimator and the
+  Bianchi competing-terminal estimator once per event and are shared by
+  every same-configuration detector on the channel;
+* detectors subscribe via :class:`ObservatorySubscription` — a
+  read-only, ``ChannelObserver``-compatible view plus a private
+  ``ObservedTransmission`` demux of their tagged node.
+
+Equivalence contract: for detectors attached *before* the run starts
+(or on a fresh private channel mid-run, as the mobility hand-off does),
+same-seed observations, verdicts, audit logs and metrics snapshots are
+byte-identical to the per-detector-observer path; the suite in
+``tests/test_observatory.py`` pins this.  A detector attached mid-run to
+an already-populated shared channel would inherit busy history its own
+observer could never have seen — use ``fresh_channel=True`` there.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+from repro.core.detector import BackoffMisbehaviorDetector, DetectorConfig
+from repro.core.observation import ChannelViewBase, ObservedTransmission
+from repro.sim.listeners import SimulationListener
+
+if TYPE_CHECKING:  # pragma: no cover - import-time only
+    from repro.core.arma import ArmaTrafficEstimator
+    from repro.core.bianchi import CompetingTerminalEstimator
+    from repro.mac.constants import MacTiming
+    from repro.obs.audit import DecisionAuditLog
+    from repro.obs.registry import MetricsRegistry
+    from repro.phy.medium import Medium, Transmission
+
+Position = Tuple[float, float]
+
+#: Feed key: (attach epoch, arma alpha, arma interval, exchange slots).
+_ArmaKey = Tuple[int, float, int, int]
+
+
+class _ArmaFeed:
+    """One shared ARMA ingest stream on a :class:`MonitorChannel`.
+
+    Mirrors ``BackoffMisbehaviorDetector._advance_arma`` exactly: the
+    cursor starts at the first event's start slot (which also fixes the
+    subscribed detectors' birth slot) and only slots older than one full
+    exchange are ingested.  Every detector whose (arma_alpha,
+    arma_interval_slots, exchange_slots, attach epoch) matches shares
+    this feed's estimator instance.
+    """
+
+    __slots__ = ("arma", "exchange_slots", "cursor", "birth_slot", "detectors")
+
+    def __init__(self, arma: "ArmaTrafficEstimator", exchange_slots: int) -> None:
+        self.arma = arma
+        self.exchange_slots = exchange_slots
+        self.cursor = 0
+        self.birth_slot: Optional[int] = None
+        self.detectors: List[BackoffMisbehaviorDetector] = []
+
+    def advance(
+        self, slot: int, transmission: "Transmission", channel: "MonitorChannel"
+    ) -> None:
+        """Ingest finalized slots up to ``slot - exchange_slots``."""
+        if self.birth_slot is None:
+            birth = transmission.start_slot
+            self.birth_slot = birth
+            self.cursor = birth
+            for detector in self.detectors:
+                detector._birth_slot = birth
+                detector._arma_cursor = birth
+        target = slot - self.exchange_slots
+        if target <= self.cursor:
+            return
+        idle, busy = channel.idle_busy_counts(self.cursor, target)
+        self.arma.ingest(busy, idle + busy)
+        self.cursor = target
+
+
+class MonitorChannel(ChannelViewBase):
+    """One monitor node's shared busy timeline and estimator feeds."""
+
+    def __init__(self, monitor_id: int) -> None:
+        ChannelViewBase.__init__(self)
+        self.monitor_id = monitor_id
+        #: id(transmission) of in-flight transmissions sensed at start
+        self._sensed_keys: Set[int] = set()
+        #: end events ingested since this channel was created; feeds are
+        #: keyed by the value at attach time so only detectors that
+        #: joined at the same point in the stream share state.
+        self.events_ingested = 0
+        self._arma_by_key: Dict[_ArmaKey, _ArmaFeed] = {}
+        self.arma_feeds: List[_ArmaFeed] = []
+        self._terminal_by_epoch: Dict[int, "CompetingTerminalEstimator"] = {}
+        self.terminal_feeds: List["CompetingTerminalEstimator"] = []
+        #: detectors with occupancy correction enabled (per-tagged EWMA)
+        self.occupancy_detectors: List[BackoffMisbehaviorDetector] = []
+        #: live subscriptions reading this channel
+        self.subscribers = 0
+
+
+class ObservatorySubscription:
+    """A detector's read-only, ``ChannelObserver``-compatible view.
+
+    Queries delegate to the shared :class:`MonitorChannel`; the
+    ``observed`` demux (and the decodable flags captured at transmission
+    start) are private to this (monitor, tagged) subscription.
+    """
+
+    __slots__ = (
+        "channel",
+        "monitor_id",
+        "tagged_id",
+        "observed",
+        "_observatory",
+        "_decodable_keys",
+        "_detector",
+    )
+
+    def __init__(
+        self,
+        observatory: "SharedChannelObservatory",
+        channel: MonitorChannel,
+        monitor_id: int,
+        tagged_id: int,
+    ) -> None:
+        self._observatory = observatory
+        self.channel = channel
+        self.monitor_id = monitor_id
+        self.tagged_id = tagged_id
+        #: ObservedTransmission of the tagged node (this sub's demux)
+        self.observed: List[ObservedTransmission] = []
+        #: id(transmission) of in-flight tagged tx decodable at start
+        self._decodable_keys: Set[int] = set()
+        self._detector: Optional[BackoffMisbehaviorDetector] = None
+
+    # -- ChannelObserver-compatible query surface --------------------------
+
+    def busy_slots_in(self, start: int, end: int) -> int:
+        return self.channel.busy_slots_in(start, end)
+
+    def busy_intervals_in(self, start: int, end: int) -> List[Tuple[int, int]]:
+        return self.channel.busy_intervals_in(start, end)
+
+    def idle_busy_counts(self, start: int, end: int) -> Tuple[int, int]:
+        return self.channel.idle_busy_counts(start, end)
+
+    def idle_stretches_in(self, start: int, end: int) -> int:
+        return self.channel.idle_stretches_in(start, end)
+
+    def own_tx_slots_in(self, start: int, end: int) -> int:
+        return self.channel.own_tx_slots_in(start, end)
+
+    def traffic_intensity(self, start: int, end: int) -> float:
+        return self.channel.traffic_intensity(start, end)
+
+    @property
+    def monitor_tx_slots(self) -> int:
+        return self.channel.monitor_tx_slots
+
+    @property
+    def last_slot(self) -> int:
+        return self.channel.last_slot
+
+    @property
+    def _busy_starts(self) -> List[int]:
+        return self.channel._busy_starts
+
+    @property
+    def _busy_ends(self) -> List[int]:
+        return self.channel._busy_ends
+
+    def retag(self, new_tagged_id: int, drop_history: bool = True) -> None:
+        """Re-point this subscription's demux at another tagged node."""
+        self._observatory._retag_subscription(self, new_tagged_id)
+        if drop_history:
+            self.observed.clear()
+            self._decodable_keys.clear()
+
+    def on_positions_updated(
+        self, slot: int, positions: Dict[int, Position], medium: "Medium"
+    ) -> None:
+        """No-op: the shared channel needs no per-epoch work."""
+
+
+class SharedChannelObservatory(SimulationListener):
+    """The single engine listener behind every subscribed detector."""
+
+    def __init__(self) -> None:
+        #: monitor id -> shared channel (fresh channels live only in the list)
+        self._channels: Dict[int, MonitorChannel] = {}
+        #: every live channel, shared and fresh, in creation order
+        self._channel_list: List[MonitorChannel] = []
+        #: tagged id -> subscriptions, in attach order (= audit order)
+        self._subs_by_tagged: Dict[int, List[ObservatorySubscription]] = {}
+        #: units receiving position epochs (detectors, hand-off managers)
+        self._position_units: List[SimulationListener] = []
+        #: live detectors in attach order
+        self.detectors: List[BackoffMisbehaviorDetector] = []
+
+    # -- subscription management -------------------------------------------
+
+    def attach(
+        self,
+        monitor_id: int,
+        tagged_id: int,
+        config: Optional[DetectorConfig] = None,
+        timing: "Optional[MacTiming]" = None,
+        separation: Optional[float] = None,
+        audit: "Optional[DecisionAuditLog]" = None,
+        metrics: "Optional[MetricsRegistry]" = None,
+        fresh_channel: bool = False,
+        position_unit: bool = True,
+    ) -> BackoffMisbehaviorDetector:
+        """Create a detector subscribed to this observatory.
+
+        ``fresh_channel=True`` gives the detector a private, empty
+        channel instead of the monitor node's shared one — required for
+        byte-identity when attaching mid-run (a hand-off replacement
+        must not inherit busy history its own observer never saw).
+        ``position_unit=False`` skips mobility-epoch forwarding (the
+        hand-off manager forwards positions itself).
+        """
+        channel = self._channels.get(monitor_id) if not fresh_channel else None
+        if channel is None:
+            channel = MonitorChannel(monitor_id)
+            self._channel_list.append(channel)
+            if not fresh_channel:
+                self._channels[monitor_id] = channel
+        subscription = ObservatorySubscription(
+            self, channel, monitor_id, tagged_id
+        )
+        detector = BackoffMisbehaviorDetector(
+            monitor_id,
+            tagged_id,
+            config=config,
+            timing=timing,
+            separation=separation,
+            audit=audit,
+            metrics=metrics,
+            observer=subscription,
+        )
+        subscription._detector = detector
+        channel.subscribers += 1
+        self._share_feeds(channel, detector)
+        self._subs_by_tagged.setdefault(tagged_id, []).append(subscription)
+        self.detectors.append(detector)
+        if position_unit:
+            self._position_units.append(detector)
+        return detector
+
+    def _share_feeds(
+        self, channel: MonitorChannel, detector: BackoffMisbehaviorDetector
+    ) -> None:
+        """Point the detector at the channel's shared estimator feeds."""
+        epoch = channel.events_ingested
+        cfg = detector.config
+        key: _ArmaKey = (
+            epoch,
+            cfg.arma_alpha,
+            cfg.arma_interval_slots,
+            detector.timing.exchange_slots,
+        )
+        feed = channel._arma_by_key.get(key)
+        if feed is None:
+            feed = _ArmaFeed(detector.arma, detector.timing.exchange_slots)
+            channel._arma_by_key[key] = feed
+            channel.arma_feeds.append(feed)
+        else:
+            detector.arma = feed.arma
+        feed.detectors.append(detector)
+        terminal = channel._terminal_by_epoch.get(epoch)
+        if terminal is None:
+            channel._terminal_by_epoch[epoch] = detector.terminal_estimator
+            channel.terminal_feeds.append(detector.terminal_estimator)
+        else:
+            detector.terminal_estimator = terminal
+        if cfg.occupancy_correction:
+            channel.occupancy_detectors.append(detector)
+
+    def detach(self, detector: BackoffMisbehaviorDetector) -> None:
+        """Unsubscribe a detector; its recorded state freezes.
+
+        Drops the demux, feed and position registrations; if the channel
+        has no remaining subscribers it stops updating entirely (like a
+        retired private observer).
+        """
+        subscription = detector.observer
+        if not isinstance(subscription, ObservatorySubscription):
+            raise ValueError("detector is not observatory-subscribed")
+        channel = subscription.channel
+        subs = self._subs_by_tagged.get(subscription.tagged_id, [])
+        if subscription in subs:
+            subs.remove(subscription)
+        if detector in self.detectors:
+            self.detectors.remove(detector)
+        if detector in self._position_units:
+            self._position_units.remove(detector)
+        if detector in channel.occupancy_detectors:
+            channel.occupancy_detectors.remove(detector)
+        for feed in channel.arma_feeds:
+            if detector in feed.detectors:
+                feed.detectors.remove(detector)
+        channel.subscribers -= 1
+        if channel.subscribers <= 0:
+            self._channel_list.remove(channel)
+            if self._channels.get(channel.monitor_id) is channel:
+                del self._channels[channel.monitor_id]
+
+    def _retag_subscription(
+        self, subscription: ObservatorySubscription, new_tagged_id: int
+    ) -> None:
+        """Move a subscription's demux registration to a new tagged node."""
+        subs = self._subs_by_tagged.get(subscription.tagged_id, [])
+        if subscription in subs:
+            subs.remove(subscription)
+        subscription.tagged_id = new_tagged_id
+        self._subs_by_tagged.setdefault(new_tagged_id, []).append(subscription)
+
+    def add_position_listener(self, unit: SimulationListener) -> None:
+        """Forward mobility epochs to ``unit`` (e.g. a MonitorHandoff)."""
+        self._position_units.append(unit)
+
+    # -- engine listener callbacks -----------------------------------------
+
+    def on_transmission_start(
+        self, slot: int, transmission: "Transmission", medium: "Medium"
+    ) -> None:
+        key = id(transmission)
+        sender = transmission.sender
+        sensors = medium.sensors_of(sender)
+        for channel in self._channel_list:
+            monitor = channel.monitor_id
+            if monitor == sender or monitor in sensors:
+                channel._sensed_keys.add(key)
+        subs = self._subs_by_tagged.get(sender)
+        if not subs:
+            return
+        # Decodable iff in decode range, the monitor itself silent, and
+        # no other sensed transmission garbling the preamble — resolved
+        # once per monitor node, not once per detector.
+        flags: Dict[int, bool] = {}
+        for subscription in subs:
+            monitor = subscription.monitor_id
+            decodable = flags.get(monitor)
+            if decodable is None:
+                decodable = flags[monitor] = bool(
+                    medium.can_decode(sender, monitor)
+                    and not medium.is_transmitting(monitor)
+                    and not medium.interferers_at(monitor, exclude_sender=sender)
+                )
+            if decodable:
+                subscription._decodable_keys.add(key)
+
+    def on_transmission_end(
+        self,
+        slot: int,
+        transmission: "Transmission",
+        success: bool,
+        medium: "Medium",
+    ) -> None:
+        key = id(transmission)
+        sender = transmission.sender
+        sensors = medium.sensors_of(sender)
+        start_slot = transmission.start_slot
+        end_slot = transmission.end_slot
+        collided = not success
+        for channel in self._channel_list:
+            monitor = channel.monitor_id
+            if end_slot > channel.last_slot:
+                channel.last_slot = end_slot
+            if key in channel._sensed_keys:
+                channel._sensed_keys.remove(key)
+                channel._add_busy_interval(start_slot, end_slot)
+                if sender == monitor:
+                    channel._add_own_interval(start_slot, end_slot)
+            channel.events_ingested += 1
+            if sender != monitor and monitor in sensors:
+                # Every sensed attempt feeds the shared collision-
+                # probability estimate behind the density inversion.
+                for terminal in channel.terminal_feeds:
+                    terminal.record_attempt(collided=collided)
+                for detector in channel.occupancy_detectors:
+                    if sender != detector.tagged_id:
+                        detector._record_occupancy(
+                            invisible=detector.tagged_id not in sensors
+                        )
+            for feed in channel.arma_feeds:
+                feed.advance(slot, transmission, channel)
+        subs = self._subs_by_tagged.get(sender)
+        if not subs:
+            return
+        frame = transmission.frame
+        receiver = transmission.receiver
+        for subscription in subs:
+            decodable = key in subscription._decodable_keys
+            if decodable:
+                subscription._decodable_keys.remove(key)
+            subscription.observed.append(
+                ObservedTransmission(
+                    start_slot=start_slot,
+                    end_slot=end_slot,
+                    rts=frame if decodable else None,
+                    success=success,
+                    receiver=receiver,
+                )
+            )
+        # Run the sample pipelines only after every demux appended, in
+        # attach order (which fixes the audit-record order exactly as
+        # the per-listener dispatch did).
+        for subscription in subs:
+            detector = subscription._detector
+            if detector is not None:
+                detector._process_new_observations(medium)
+
+    def on_positions_updated(
+        self, slot: int, positions: Dict[int, Position], medium: "Medium"
+    ) -> None:
+        for unit in self._position_units:
+            unit.on_positions_updated(slot, positions, medium)

@@ -52,7 +52,8 @@ def scaled(value, minimum=1):
 
 def collect_detection_samples(scenario, pm, detector_config=None,
                               target_samples=500, max_duration_s=240.0,
-                              policies=None, audit=None):
+                              policies=None, audit=None,
+                              use_observatory=True):
     """Run one scenario with a (possibly misbehaving) sender and collect
     the detector's raw sample stream.
 
@@ -64,8 +65,16 @@ def collect_detection_samples(scenario, pm, detector_config=None,
     ``audit`` is an optional :class:`repro.obs.DecisionAuditLog` that
     receives one structured record per verdict (shared across monitor
     hand-offs in the mobile case).
+
+    ``use_observatory`` selects the shared observation plane (one
+    :class:`repro.core.observatory.SharedChannelObservatory` engine
+    listener with the detector as a subscriber — the default) versus the
+    legacy per-detector-listener wiring; both produce byte-identical
+    results (see ``tests/test_observatory.py``), the legacy path exists
+    as the equivalence/bench baseline.
     """
     from repro.core.handoff import MonitorHandoff
+    from repro.core.observatory import SharedChannelObservatory
     from repro.mac.misbehavior import PercentageMisbehavior
     from repro.util.rng import RngStream
 
@@ -80,6 +89,10 @@ def collect_detection_samples(scenario, pm, detector_config=None,
             sender_policies[sender] = PercentageMisbehavior(pm)
         sim, sender, monitor = scenario.build(policies=sender_policies)
     mobile = bool(getattr(scenario, "mobile", False))
+    observatory = None
+    if use_observatory:
+        observatory = SharedChannelObservatory()
+        sim.add_listener(observatory)
     if mobile:
         # The paper's mobile protocol: when the monitor drifts out of
         # range, a random current neighbor takes over.
@@ -88,6 +101,17 @@ def collect_detection_samples(scenario, pm, detector_config=None,
             monitor,
             config=detector_config,
             rng=RngStream(getattr(scenario, "seed", 0), "monitor-handoff"),
+            separation=getattr(scenario, "separation", None),
+            audit=audit,
+            observatory=observatory,
+        )
+        if observatory is None:
+            sim.add_listener(detector)
+    elif observatory is not None:
+        detector = observatory.attach(
+            monitor,
+            sender,
+            config=detector_config,
             separation=getattr(scenario, "separation", None),
             audit=audit,
         )
@@ -99,7 +123,7 @@ def collect_detection_samples(scenario, pm, detector_config=None,
             separation=getattr(scenario, "separation", None),
             audit=audit,
         )
-    sim.add_listener(detector)
+        sim.add_listener(detector)
     sim.run(
         max_duration_s,
         stop_condition=lambda: detector.observation_count >= target_samples,

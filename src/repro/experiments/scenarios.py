@@ -157,6 +157,101 @@ class RandomScenario:
         return getattr(self, "pair_separation", 240.0)
 
 
+@dataclass
+class MultiMonitorGridScenario:
+    """Dense-monitor grid: M monitor nodes each watch the same C cheaters.
+
+    The cooperative regime the shared observation plane exists for:
+    every monitor runs one detector per tagged node, so a monitor
+    node's busy timeline and estimator feeds are shared by C detectors
+    (M x C detectors on M channels).  Monitors must *decode* every
+    tagged node, so the default geometry tightens the grid spacing to
+    110 m — the 2-hop knight-step diagonal is 110 * sqrt(5) ~ 246 m,
+    just inside the 250 m decode range — and places the C = 4 tagged
+    nodes in a 2 x 2 block at the grid center with the M = 4 monitors
+    on the rows flanking the block.
+
+    ``build`` returns ``(simulation, pairs)`` with the full
+    (monitor, tagged) attach list in deterministic order.
+    """
+
+    rows: int = 7
+    cols: int = 8
+    spacing: float = 110.0
+    n_pairs: int = 30
+    load: float = 0.6
+    traffic: str = "poisson"
+    seed: int = 1
+    #: tagged node indices; () picks the central 2x2 block
+    tagged: tuple = ()
+    #: monitor node indices; () picks the rows flanking the block
+    monitors: tuple = ()
+
+    def tagged_nodes(self):
+        """The tagged (monitored) node indices."""
+        if self.tagged:
+            return list(self.tagged)
+        r, c = self.rows // 2, self.cols // 2
+        return sorted(
+            rr * self.cols + cc for rr in (r - 1, r) for cc in (c - 1, c)
+        )
+
+    def monitor_nodes(self):
+        """The monitor node indices."""
+        if self.monitors:
+            return list(self.monitors)
+        r, c = self.rows // 2, self.cols // 2
+        return sorted(
+            rr * self.cols + cc for rr in (r - 2, r + 1) for cc in (c - 1, c)
+        )
+
+    def monitor_pairs(self):
+        """All (monitor, tagged) pairs, grouped by monitor node."""
+        taggeds = self.tagged_nodes()
+        return [
+            (monitor, tagged)
+            for monitor in self.monitor_nodes()
+            for tagged in taggeds
+        ]
+
+    def build(self, policies=None, mac_options=None):
+        """Returns ``(simulation, pairs)``; tagged node i streams to
+        monitor i % M, background flows fill up to ``n_pairs``."""
+        positions = grid_positions(self.rows, self.cols, self.spacing)
+        pairs = self.monitor_pairs()
+        taggeds = self.tagged_nodes()
+        monitors = self.monitor_nodes()
+        reserved = set(taggeds) | set(monitors)
+        candidates = [i for i in range(len(positions)) if i not in reserved]
+        rng = RngStream(self.seed, "multi-monitor-flow-sources")
+        rng.shuffle(candidates)
+        background = candidates[: max(self.n_pairs - len(taggeds), 0)]
+        flows = [
+            Flow(
+                source=tagged,
+                destination=monitors[i % len(monitors)],
+                kind=self.traffic,
+                load=self.load,
+            )
+            for i, tagged in enumerate(taggeds)
+        ] + [
+            Flow(source=src, destination=None, kind=self.traffic, load=self.load)
+            for src in background
+        ]
+        sim = Simulation(
+            positions,
+            flows=flows,
+            policies=policies,
+            config=SimulationConfig(seed=self.seed),
+            mac_options=mac_options,
+        )
+        return sim, pairs
+
+    @property
+    def separation(self):
+        return self.spacing
+
+
 def build_grid_simulation(load=0.6, traffic="poisson", seed=1, policies=None,
                           n_pairs=30):
     """Convenience wrapper returning ``(sim, sender, monitor)``."""

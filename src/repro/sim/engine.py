@@ -53,7 +53,7 @@ from typing import (
 )
 
 from repro.phy.medium import Transmission
-from repro.sim.listeners import SimulationListener
+from repro.sim.listeners import SimulationListener, overrides_hook
 from repro.traffic.queue import Packet
 from repro.util.units import seconds_to_slots
 
@@ -66,15 +66,6 @@ if TYPE_CHECKING:  # pragma: no cover - import-time only
     from repro.topology.mobility import MobilityModel
 
 _Event = Tuple[int, int, int, Any]
-
-
-def _overrides_hook(listener: object, name: str) -> bool:
-    """True if ``listener`` provides its own implementation of ``name``."""
-    method = getattr(listener, name, None)
-    if not callable(method):
-        return False
-    base = getattr(SimulationListener, name, None)
-    return getattr(method, "__func__", method) is not base
 
 
 class EventKind(enum.IntEnum):
@@ -141,6 +132,9 @@ class SimulationEngine:
         self._primed = False
         self._event_hooks: List[Callable[..., None]] = []
         self._slot_end_hooks: List[Callable[..., None]] = []
+        self._tx_start_hooks: List[Callable[..., None]] = []
+        self._tx_end_hooks: List[Callable[..., None]] = []
+        self._positions_hooks: List[Callable[..., None]] = []
         self.invariant_checker: Optional["InvariantChecker"] = None
         from repro.checks.runtime import runtime_checks_enabled
 
@@ -167,16 +161,21 @@ class SimulationEngine:
         self._refresh_hooks()
 
     def _refresh_hooks(self) -> None:
-        self._event_hooks = [
-            getattr(listener, "on_event")
-            for listener in self.listeners
-            if _overrides_hook(listener, "on_event")
-        ]
-        self._slot_end_hooks = [
-            getattr(listener, "on_slot_end")
-            for listener in self.listeners
-            if _overrides_hook(listener, "on_slot_end")
-        ]
+        # Per-hook dispatch lists: each callback is delivered only to
+        # listeners that override it, so the hot transmission-start/end
+        # loops skip the base-class no-ops entirely.
+        def hooks(name: str) -> List[Callable[..., None]]:
+            return [
+                getattr(listener, name)
+                for listener in self.listeners
+                if overrides_hook(listener, name)
+            ]
+
+        self._event_hooks = hooks("on_event")
+        self._slot_end_hooks = hooks("on_slot_end")
+        self._tx_start_hooks = hooks("on_transmission_start")
+        self._tx_end_hooks = hooks("on_transmission_end")
+        self._positions_hooks = hooks("on_positions_updated")
 
     def schedule(self, slot: int, kind: int, data: Any = None) -> None:
         if slot < self.now:
@@ -265,16 +264,16 @@ class SimulationEngine:
         success = tx.kind == "exchange"
         self.medium.end_transmission(tx_id)
         self.macs[tx.sender].complete_transmission(success)
-        for listener in self.listeners:
-            listener.on_transmission_end(slot, tx, success, self.medium)
+        for hook in self._tx_end_hooks:
+            hook(slot, tx, success, self.medium)
         return self._neighborhood_of(tx.sender) | {tx.sender}
 
     def _handle_epoch(self, slot: int) -> None:
         time_s = slot * self.timing.slot_time_us / 1e6
         positions = self.mobility.positions_at(time_s)
         self.medium.update_positions(positions)
-        for listener in self.listeners:
-            listener.on_positions_updated(slot, positions, self.medium)
+        for hook in self._positions_hooks:
+            hook(slot, positions, self.medium)
         self.schedule(slot + self.epoch_slots, EventKind.MOBILITY_EPOCH)
 
     def _handle_arrival(self, slot: int, node_id: int) -> None:
@@ -328,8 +327,8 @@ class SimulationEngine:
             if self.medium.senses(other.sender, receiver):
                 tx.corrupted = True
         self.schedule(tx.end_slot, EventKind.TRANSMISSION_PHASE, tx_id)
-        for listener in self.listeners:
-            listener.on_transmission_start(slot, tx, self.medium)
+        for hook in self._tx_start_hooks:
+            hook(slot, tx, self.medium)
         return self._neighborhood_of(node_id) | {node_id}
 
     # -- back-off reconciliation -------------------------------------------

@@ -8,9 +8,12 @@ simulation state.
 Two low-level hooks exist for instrumentation that needs to see the raw
 event stream (the invariant checker in :mod:`repro.checks.invariants`):
 ``on_event`` fires before each scheduled event is dispatched and
-``on_slot_end`` after a slot's batch and reconcile pass complete.  The
-engine only calls them on listeners that actually override them, so
-ordinary monitors pay nothing.
+``on_slot_end`` after a slot's batch and reconcile pass complete.
+
+The engine dispatches *every* callback — high-level and low-level —
+only to listeners that actually override it (see :func:`overrides_hook`
+and ``SimulationEngine._refresh_hooks``), so a listener pays nothing
+for the hooks it leaves as the base-class no-ops.
 """
 
 from __future__ import annotations
@@ -23,6 +26,20 @@ if TYPE_CHECKING:  # pragma: no cover - import-time only
     from repro.sim.engine import SimulationEngine
 
 Position = Tuple[float, float]
+
+
+def overrides_hook(listener: object, name: str) -> bool:
+    """True if ``listener`` provides its own implementation of ``name``.
+
+    Compares against the :class:`SimulationListener` base no-op, so the
+    engine's per-hook dispatch lists contain only bound methods that
+    actually do something.
+    """
+    method = getattr(listener, name, None)
+    if not callable(method):
+        return False
+    base = getattr(SimulationListener, name, None)
+    return getattr(method, "__func__", method) is not base
 
 
 class SimulationListener:

@@ -433,3 +433,19 @@ def test_wall_clock_allowlist_matches_the_tree():
 def test_annotation_rule_covers_obs():
     src = "def helper(x):\n    return x\n"
     assert "RPR301" in codes(src, path="repro/obs/helper.py")
+
+
+# -- the shared observation plane stays inside the lint scope ------------------
+
+
+def test_annotation_rule_covers_observatory_module():
+    src = "def helper(x):\n    return x\n"
+    assert "RPR301" in codes(src, path="repro/core/observatory.py")
+
+
+def test_observatory_module_is_lint_clean():
+    """The real observatory source passes every rule under its real path
+    (it lives in repro/core, the strictest scope)."""
+    path = Path(SRC) / "repro" / "core" / "observatory.py"
+    source = path.read_text(encoding="utf-8")
+    assert lint_source(source, "repro/core/observatory.py") == []
