@@ -1,0 +1,109 @@
+"""Fault injection: detection power and soundness under channel impairment.
+
+Sweeps the monitor-side decode-failure probability from 0 to 0.5 on the
+static grid (load 0.6) and, at each intensity, runs paired seeds with an
+honest sender and a PM = 60 timer cheat (see
+:mod:`repro.experiments.faults_sweep`).
+
+Reproduction/soundness targets:
+
+- **false accusations stay bounded**: the deterministic verifiers never
+  fire against the honest sender at any impairment intensity — a
+  quarantined observation must not feed them;
+- **quarantine is accounted for**: every intensity > 0 quarantines
+  observations, and each carries an audit reason code
+  (``decode_failure`` here; ``undecodable`` marks the physics-side
+  losses that exist even on a clean channel);
+- **detection power survives**: the PM = 60 cheat is still caught with
+  high probability at 50% decode failure — the sample stream thins, it
+  does not bias.
+
+Default fidelity is low; raise REPRO_SCALE for tighter curves.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.faults_sweep import (
+    DEFAULT_DECODE_SWEEP,
+    render_sweep,
+    run_fault_sweep,
+)
+from repro.obs.bench import write_bench_manifest
+
+SEED = 29
+PM = 60
+LOAD = 0.6
+SAMPLE_SIZE = 25
+
+
+def bench_faults_sweep(benchmark):
+    points = benchmark.pedantic(
+        lambda: run_fault_sweep(
+            decode_probs=DEFAULT_DECODE_SWEEP,
+            pm=PM,
+            load=LOAD,
+            sample_size=SAMPLE_SIZE,
+            base_seed=SEED,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_sweep(points))
+    print()
+    for p in points:
+        reasons = ", ".join(f"{r}={n}" for r, n in p.quarantine_reasons)
+        print(
+            f"decode={p.decode:.2f}: quarantined "
+            f"{p.cheater_quarantined + p.honest_quarantined} ({reasons}); "
+            f"honest deterministic violations {p.false_accusations}"
+        )
+    write_bench_manifest(
+        "faults",
+        points,
+        seed=SEED,
+        config={
+            "pm": PM,
+            "load": LOAD,
+            "sample_size": SAMPLE_SIZE,
+            "decode_sweep": list(DEFAULT_DECODE_SWEEP),
+        },
+    )
+
+    by_decode = {p.decode: p for p in points}
+    assert set(by_decode) == set(DEFAULT_DECODE_SWEEP)
+    for p in points:
+        # Soundness: impairment must never manufacture a deterministic
+        # accusation against an honest sender.
+        assert p.false_accusations == 0, (
+            f"honest sender accused at decode={p.decode}: "
+            f"{p.false_accusations} deterministic violations"
+        )
+        # Every quarantined observation carries a reason code; the
+        # pooled per-reason counts must account for the full total.
+        total_by_reason = sum(n for _reason, n in p.quarantine_reasons)
+        assert total_by_reason == p.cheater_quarantined + p.honest_quarantined
+        if p.decode > 0:
+            reasons = dict(p.quarantine_reasons)
+            assert reasons.get("decode_failure", 0) > 0, (
+                f"decode={p.decode} produced no decode_failure quarantines"
+            )
+        # The false-alarm rate of the statistical layer stays bounded
+        # (well clear of the detection band; alpha-level noise only).
+        if not math.isnan(p.false_alarm_probability):
+            assert p.false_alarm_probability <= 0.25, (
+                f"false-alarm rate {p.false_alarm_probability} at "
+                f"decode={p.decode}"
+            )
+    # Power: the PM=60 cheat stays caught through heavy impairment.
+    worst = by_decode[0.5]
+    if not math.isnan(worst.combined_probability):
+        assert worst.combined_probability >= 0.8, (
+            f"detection collapsed under impairment: "
+            f"{worst.combined_probability}"
+        )
+    # Impairment thins the sample stream: more decode failures must not
+    # create more samples than the clean channel collected.
+    assert by_decode[0.5].cheater_quarantined > by_decode[0.0].cheater_quarantined

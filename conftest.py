@@ -6,7 +6,39 @@ runs the captured output of passing benches is included in the terminal
 summary (equivalent to passing ``-rP``), so
 ``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` records
 the tables without extra flags.
+
+``--update-golden`` regenerates the golden fingerprints pinned by
+``tests/test_golden_fingerprints.py`` (see that module's docstring).
 """
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate tests/golden/*.json fingerprints instead of "
+        "asserting against them",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _reset_registered_caches():
+    """Rewind every registered module-level cache before each test.
+
+    Caches like ``cached_region_model`` and the ``REPRO_SCALE`` parse
+    are process-global; without this, a test's observable behavior can
+    depend on which tests ran before it (the shared-state footgun).
+    Every module-level cache must register a reset hook with
+    ``repro.util.caches.register_cache_reset`` — lint rule RPR401
+    enforces that.
+    """
+    from repro.util.caches import reset_all_caches
+
+    reset_all_caches()
+    yield
 
 
 def pytest_configure(config):

@@ -41,6 +41,9 @@ Rules
 ``RPR202``  bare ``except:``
 ``RPR301``  public function in ``core/``/``mac/``/``sim/``/``obs/``
             missing type annotations
+``RPR401``  module-level ``*cache*`` assignment in a module that never
+            references ``register_cache_reset`` (``util/caches.py`` is
+            the registry itself and exempt)
 ==========  ============================================================
 """
 
@@ -75,6 +78,11 @@ RULES: Tuple[LintRule, ...] = (
     LintRule("RPR201", "mutable default argument"),
     LintRule("RPR202", "bare except: clause"),
     LintRule("RPR301", "public function in core/, mac/ or sim/ missing annotations"),
+    LintRule(
+        "RPR401",
+        "module-level cache without a reset hook registered via "
+        "repro.util.caches.register_cache_reset",
+    ),
 )
 
 RULE_CODES: Tuple[str, ...] = tuple(rule.code for rule in RULES)
@@ -103,6 +111,12 @@ WALL_CLOCK_ALLOWLIST: Tuple[str, ...] = ("obs/profile.py",)
 
 #: Package subtrees whose public functions must be fully annotated.
 _ANNOTATION_SCOPES: Tuple[str, ...] = ("core", "mac", "obs", "sim")
+
+#: Module-level names treated as process-global caches (RPR401).
+_CACHE_NAME = re.compile(r"cache", re.IGNORECASE)
+
+#: The cache-reset registry itself, exempt from RPR401.
+_CACHE_REGISTRY_SUFFIXES: Tuple[str, ...] = ("util/caches.py",)
 
 #: Identifiers that denote integer slot timestamps or slot counts.
 _SLOT_NAME = re.compile(r"(?:^|_)slots?$")
@@ -445,6 +459,58 @@ class _LintVisitor(ast.NodeVisitor):
         self._scope.pop()
 
 
+def _cache_registry_exempt(path: str) -> bool:
+    norm = _normalized(path)
+    return any(norm.endswith(suffix) for suffix in _CACHE_REGISTRY_SUFFIXES)
+
+
+def _module_cache_findings(tree: ast.Module, path: str) -> List[Finding]:
+    """RPR401: module-level caches must register a reset hook.
+
+    A module-global named ``*cache*`` survives across tests unless it is
+    rewound; any module assigning one must reference
+    ``register_cache_reset`` somewhere (imports count), which the
+    autouse test fixture then drives via ``reset_all_caches()``.
+    """
+    if _cache_registry_exempt(path):
+        return []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name) and node.id == "register_cache_reset":
+            return []
+        if isinstance(node, ast.Attribute) and node.attr == "register_cache_reset":
+            return []
+        if isinstance(node, (ast.Import, ast.ImportFrom)) and any(
+            alias.name == "register_cache_reset" for alias in node.names
+        ):
+            return []
+    findings: List[Finding] = []
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            targets = [t for t in stmt.targets if isinstance(t, ast.Name)]
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            targets = [stmt.target]
+        else:
+            continue
+        for target in targets:
+            # ALL_CAPS names are constants by convention, not caches.
+            if _CACHE_NAME.search(target.id) and not target.id.isupper():
+                findings.append(
+                    Finding(
+                        path=path,
+                        line=stmt.lineno,
+                        col=stmt.col_offset,
+                        code="RPR401",
+                        message=(
+                            f"module-level cache `{target.id}` has no reset "
+                            "hook: register one with repro.util.caches."
+                            "register_cache_reset so the test suite can "
+                            "rewind it"
+                        ),
+                    )
+                )
+    return findings
+
+
 def lint_source(
     source: str, path: str, select: Optional[Sequence[str]] = None
 ) -> List[Finding]:
@@ -468,7 +534,7 @@ def lint_source(
         ]
     visitor = _LintVisitor(path)
     visitor.visit(tree)
-    findings = visitor.findings
+    findings = visitor.findings + _module_cache_findings(tree, path)
     if select is not None:
         wanted = frozenset(select)
         findings = [f for f in findings if f.code in wanted]

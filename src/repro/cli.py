@@ -154,6 +154,30 @@ def _cmd_fig6(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.faults_sweep import (
+        DEFAULT_DECODE_SWEEP,
+        render_sweep,
+        run_fault_sweep,
+    )
+
+    decode = tuple(args.decode) if args.decode else DEFAULT_DECODE_SWEEP
+    kwargs = {"decode_probs": decode, "pm": args.pm, "load": args.load}
+    if args.runs:
+        kwargs["runs"] = args.runs
+    points = run_fault_sweep(**kwargs)
+    print(render_sweep(points))
+    total_quarantined = sum(p.cheater_quarantined + p.honest_quarantined
+                            for p in points)
+    false_accusations = sum(p.false_accusations for p in points)
+    print(
+        f"quarantined observations: {total_quarantined}, "
+        f"false accusations (honest, deterministic): {false_accusations}"
+    )
+    args.results = {"points": points}
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro.analysis.latency import detection_latency
     from repro.analysis.summary import summarize_estimation
@@ -270,6 +294,14 @@ def build_parser() -> argparse.ArgumentParser:
         "default: REPRO_JOBS or serial); results are identical for "
         "any value",
     )
+    obs.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=None,
+        help="inject deterministic monitor-side link faults, e.g. "
+        "'decode=0.3,corrupt=0.1,burst=0.2:3000,seed=7' (see "
+        "repro.faults; default: REPRO_FAULTS or clean channels)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p1 = sub.add_parser("table1", parents=[obs], help="print Table 1")
@@ -295,6 +327,17 @@ def build_parser() -> argparse.ArgumentParser:
     p6.add_argument("--windows", type=int)
     p6.add_argument("--mobile", action="store_true")
     p6.set_defaults(func=_cmd_fig6)
+
+    pf = sub.add_parser(
+        "faults-sweep",
+        parents=[obs],
+        help="detection vs. false accusation across impairment intensities",
+    )
+    pf.add_argument("--decode", nargs="*", type=float)
+    pf.add_argument("--pm", type=int, default=60)
+    pf.add_argument("--load", type=float, default=0.6)
+    pf.add_argument("--runs", type=int)
+    pf.set_defaults(func=_cmd_faults_sweep)
 
     demo = sub.add_parser(
         "demo", parents=[obs], help="one detection run with a summary"
@@ -338,6 +381,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         set_default_jobs(args.jobs)
 
+    if getattr(args, "faults", None) is not None:
+        from repro.faults.runtime import set_fault_spec
+
+        set_fault_spec(args.faults)
+
     registry = None
     if args.metrics:
         from repro.obs.runtime import enable_metrics, reset_metrics
@@ -358,6 +406,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             from repro.obs.runtime import disable_metrics
 
             disable_metrics()
+        if getattr(args, "faults", None) is not None:
+            from repro.faults.runtime import set_fault_spec
+
+            set_fault_spec(None)
     duration = watch.stop() if watch is not None else None
 
     snapshot = None

@@ -51,6 +51,7 @@ from repro.mac.frames import SEQ_OFF_MODULUS
 from repro.mac.prng import VerifiableBackoffPrng
 from repro.obs.audit import AuditRecord, DecisionAuditLog
 from repro.sim.listeners import SimulationListener
+from repro.util.caches import register_cache_reset
 
 if TYPE_CHECKING:  # pragma: no cover - import-time only
     from repro.core.deterministic import DeterministicViolation
@@ -91,6 +92,7 @@ def cached_region_model(
     return model
 
 
+@register_cache_reset
 def reset_region_cache() -> None:
     """Forget all memoized RegionModels (test isolation escape hatch)."""
     _region_cache.clear()
@@ -157,6 +159,13 @@ class DetectorConfig:
     #: the bulk of the traffic and estimate conservatively.  Deterministic
     #: checks still run on every attempt.
     max_test_attempt: int = 3
+    #: Emit an audit record + metric counter for every quarantined
+    #: observation (missing/corrupt announced fields).  ``None`` (the
+    #: default) auto-enables exactly when the observer has an injected
+    #: fault schedule — clean runs keep their audit/metrics streams
+    #: byte-identical to pre-fault-injection versions, faulted runs get
+    #: a reason code per quarantined observation.
+    quarantine_audit: Optional[bool] = None
 
 
 class BackoffMisbehaviorDetector(SimulationListener):
@@ -220,6 +229,15 @@ class BackoffMisbehaviorDetector(SimulationListener):
             cfg.countdown_tolerance
         )
 
+        #: quarantined (undecodable/corrupt-announcement) observation
+        #: counts by reason code — always tracked, audit-gated emission.
+        self.quarantine_counts: Dict[str, int] = {}
+        if cfg.quarantine_audit is None:
+            self._quarantine_audit = (
+                getattr(self.observer, "faults", None) is not None
+            )
+        else:
+            self._quarantine_audit = cfg.quarantine_audit
         #: accepted BackoffObservation samples
         self.observations: List[BackoffObservation] = []
         self.skipped_samples = 0
@@ -383,7 +401,12 @@ class BackoffMisbehaviorDetector(SimulationListener):
             self._processed += 1
             current = observed[index]
             if current.rts is None:
-                continue  # sensed but not decodable: no announced fields
+                # Sensed but no (valid) announced fields: quarantine.
+                # The observation still anchors the next contention
+                # interval via the busy timeline, but nothing of it may
+                # feed the verifiers or the rank-sum window.
+                self._quarantine(current)
+                continue
             self._run_deterministic_frame_checks(current)
             if index == 0:
                 continue  # no previous activity to anchor the interval
@@ -519,6 +542,36 @@ class BackoffMisbehaviorDetector(SimulationListener):
         self.skipped_samples += 1
         if self.metrics is not None:
             self.metrics.inc("detector.samples_skipped")
+
+    def _quarantine(self, current: "ObservedTransmission") -> None:
+        """Count (and, when auditing, log) one undecodable observation.
+
+        ``current.impairment`` names the injected link fault; plain
+        physics-side decode failures are labeled ``"undecodable"``.
+        """
+        from repro.faults.schedule import IMPAIRMENT_UNDECODABLE
+
+        reason = current.impairment or IMPAIRMENT_UNDECODABLE
+        self.quarantine_counts[reason] = (
+            self.quarantine_counts.get(reason, 0) + 1
+        )
+        if not self._quarantine_audit:
+            return
+        if self.metrics is not None:
+            self.metrics.inc("detector.quarantined")
+            self.metrics.inc(f"detector.quarantined.{reason}")
+        if self.audit is not None:
+            self.audit.record(
+                AuditRecord(
+                    slot=current.start_slot,
+                    monitor=self.monitor_id,
+                    tagged=self.tagged_id,
+                    rule="quarantine",
+                    diagnosis=Diagnosis.INSUFFICIENT_DATA.value,
+                    deterministic=False,
+                    detail=reason,
+                )
+            )
 
     def _publish(
         self,

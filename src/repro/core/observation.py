@@ -28,19 +28,28 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 from repro.sim.listeners import SimulationListener
 
 if TYPE_CHECKING:  # pragma: no cover - import-time only
+    from repro.faults.schedule import FaultSchedule
     from repro.mac.frames import RtsFrame
     from repro.phy.medium import Medium, Transmission
 
 
 @dataclass
 class ObservedTransmission:
-    """One transmission of the tagged node, as seen by the monitor."""
+    """One transmission of the tagged node, as seen by the monitor.
+
+    ``impairment`` names the injected link fault that cost the monitor
+    the announcement (``rts`` is then ``None``); it stays ``None`` both
+    for clean decodes and for physics-side decode failures (out of
+    range, monitor transmitting, garbled preamble) — the detector
+    labels those ``"undecodable"`` when it quarantines them.
+    """
 
     start_slot: int
     end_slot: int
     rts: "Optional[RtsFrame]"    # the decoded RtsFrame, or None if not decodable
     success: bool
     receiver: int
+    impairment: Optional[str] = None
 
 
 def joint_state_counts(
@@ -240,10 +249,21 @@ class ChannelObserver(ChannelViewBase, SimulationListener):
         the monitor hands off).
     """
 
-    def __init__(self, monitor_id: int, tagged_id: int) -> None:
+    def __init__(
+        self,
+        monitor_id: int,
+        tagged_id: int,
+        faults: "Optional[FaultSchedule]" = None,
+    ) -> None:
         ChannelViewBase.__init__(self)
         self.monitor_id = monitor_id
         self.tagged_id = tagged_id
+        if faults is None:
+            from repro.faults.runtime import active_schedule
+
+            faults = active_schedule()
+        #: injected link faults (None = clean channel, the default)
+        self.faults = faults
         # In-flight transmissions we flagged as sensed at their start.
         self._sensed_active: Dict[int, bool] = {}
         self._decodable_active: Dict[int, bool] = {}
@@ -264,12 +284,9 @@ class ChannelObserver(ChannelViewBase, SimulationListener):
         if sender == self.tagged_id:
             # Decodable iff in decode range, the monitor itself silent,
             # and no other sensed transmission garbling the preamble.
-            decodable = (
-                medium.can_decode(sender, self.monitor_id)
-                and not medium.is_transmitting(self.monitor_id)
-                and not medium.interferers_at(self.monitor_id, exclude_sender=sender)
+            self._decodable_active[key] = medium.clean_decode(
+                sender, self.monitor_id
             )
-            self._decodable_active[key] = decodable
 
     def on_transmission_end(
         self,
@@ -288,13 +305,23 @@ class ChannelObserver(ChannelViewBase, SimulationListener):
                 )
         if transmission.sender == self.tagged_id:
             decodable = self._decodable_active.pop(key, False)
+            rts = transmission.frame if decodable else None
+            impairment = None
+            if decodable and self.faults is not None:
+                rts, impairment = self.faults.deliver_rts(
+                    self.monitor_id,
+                    transmission.sender,
+                    transmission.start_slot,
+                    rts,
+                )
             self.observed.append(
                 ObservedTransmission(
                     start_slot=transmission.start_slot,
                     end_slot=transmission.end_slot,
-                    rts=transmission.frame if decodable else None,
+                    rts=rts,
                     success=success,
                     receiver=transmission.receiver,
+                    impairment=impairment,
                 )
             )
 

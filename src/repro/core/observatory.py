@@ -43,6 +43,7 @@ from repro.sim.listeners import SimulationListener
 if TYPE_CHECKING:  # pragma: no cover - import-time only
     from repro.core.arma import ArmaTrafficEstimator
     from repro.core.bianchi import CompetingTerminalEstimator
+    from repro.faults.schedule import FaultSchedule
     from repro.mac.constants import MacTiming
     from repro.obs.audit import DecisionAuditLog
     from repro.obs.registry import MetricsRegistry
@@ -171,6 +172,11 @@ class ObservatorySubscription:
         return self.channel.traffic_intensity(start, end)
 
     @property
+    def faults(self) -> "Optional[FaultSchedule]":
+        """The observatory's injected fault schedule (None = clean)."""
+        return self._observatory.faults
+
+    @property
     def monitor_tx_slots(self) -> int:
         return self.channel.monitor_tx_slots
 
@@ -202,7 +208,17 @@ class ObservatorySubscription:
 class SharedChannelObservatory(SimulationListener):
     """The single engine listener behind every subscribed detector."""
 
-    def __init__(self) -> None:
+    def __init__(self, faults: "Optional[FaultSchedule]" = None) -> None:
+        if faults is None:
+            from repro.faults.runtime import active_schedule
+
+            faults = active_schedule()
+        #: injected link faults (None = clean channel, the default);
+        #: applied per monitor *node*, identically to a private
+        #: ChannelObserver on that node (the draws are pure hashes of
+        #: (monitor, sender, start slot), so the equivalence contract
+        #: holds under faults too).
+        self.faults = faults
         #: monitor id -> shared channel (fresh channels live only in the list)
         self._channels: Dict[int, MonitorChannel] = {}
         #: every live channel, shared and fresh, in creation order
@@ -360,10 +376,8 @@ class SharedChannelObservatory(SimulationListener):
             monitor = subscription.monitor_id
             decodable = flags.get(monitor)
             if decodable is None:
-                decodable = flags[monitor] = bool(
-                    medium.can_decode(sender, monitor)
-                    and not medium.is_transmitting(monitor)
-                    and not medium.interferers_at(monitor, exclude_sender=sender)
+                decodable = flags[monitor] = medium.clean_decode(
+                    sender, monitor
                 )
             if decodable:
                 subscription._decodable_keys.add(key)
@@ -408,17 +422,30 @@ class SharedChannelObservatory(SimulationListener):
             return
         frame = transmission.frame
         receiver = transmission.receiver
+        #: per-monitor-node fault resolution memo: (rts, impairment)
+        delivered: Dict[int, Tuple[object, Optional[str]]] = {}
         for subscription in subs:
             decodable = key in subscription._decodable_keys
             if decodable:
                 subscription._decodable_keys.remove(key)
+            rts = frame if decodable else None
+            impairment = None
+            if decodable and self.faults is not None:
+                monitor = subscription.monitor_id
+                outcome = delivered.get(monitor)
+                if outcome is None:
+                    outcome = delivered[monitor] = self.faults.deliver_rts(
+                        monitor, sender, start_slot, frame
+                    )
+                rts, impairment = outcome
             subscription.observed.append(
                 ObservedTransmission(
                     start_slot=start_slot,
                     end_slot=end_slot,
-                    rts=frame if decodable else None,
+                    rts=rts,
                     success=success,
                     receiver=receiver,
+                    impairment=impairment,
                 )
             )
         # Run the sample pipelines only after every demux appended, in

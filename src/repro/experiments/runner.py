@@ -14,6 +14,7 @@ import os
 
 from repro.core.detector import BackoffMisbehaviorDetector, DetectorConfig
 from repro.core.ranksum import rank_sum_test
+from repro.util.caches import register_cache_reset
 
 
 #: (raw env string, parsed value) of the last fidelity_scale() call.
@@ -39,6 +40,7 @@ def fidelity_scale():
     return value
 
 
+@register_cache_reset
 def reset_fidelity_cache():
     """Forget the cached REPRO_SCALE parse (test isolation)."""
     global _fidelity_cache

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.mac.backoff import BackoffScheduler
 from repro.mac.constants import DEFAULT_TIMING
@@ -27,6 +27,9 @@ from repro.mac.misbehavior import BackoffPolicy, HonestBackoff
 from repro.mac.prng import VerifiableBackoffPrng
 from repro.mac.constants import MacTiming
 from repro.traffic.queue import DropTailQueue, Packet
+
+if TYPE_CHECKING:  # pragma: no cover - import-time only
+    from repro.mac.adversary import AnnouncementPolicy
 
 
 class MacState(enum.Enum):
@@ -71,6 +74,7 @@ class DcfMac:
         queue_capacity: int = 50,
         announce_attempt_always_one: bool = False,
         announce_stale_offset: bool = False,
+        announcement: "Optional[AnnouncementPolicy]" = None,
     ) -> None:
         self.node_id = node_id
         self.timing = timing if timing is not None else DEFAULT_TIMING
@@ -83,6 +87,9 @@ class DcfMac:
         self.stats = MacStats()
         self.announce_attempt_always_one = announce_attempt_always_one
         self.announce_stale_offset = announce_stale_offset
+        #: optional announcement rewrite (repro.mac.adversary); applied
+        #: to every built RTS after the legacy announce knobs.
+        self.announcement = announcement
 
         self._next_offset = 0       # next unconsumed PRS offset
         self._attempt = 1           # 1-based attempt for the head packet
@@ -177,13 +184,16 @@ class DcfMac:
             if self.announce_stale_offset
             else self._current.offset
         )
-        return RtsFrame(
+        frame = RtsFrame(
             sender=self.node_id,
             receiver=packet.destination,
             seq_off=announced_offset,
             attempt=announced_attempt,
             digest=data_digest(packet.payload),
         )
+        if self.announcement is not None:
+            frame = self.announcement.rewrite(frame)
+        return frame
 
     def begin_transmission(self) -> None:
         """Countdown hit zero; the node occupies the air."""

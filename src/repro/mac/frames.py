@@ -10,12 +10,27 @@ obliged to use.
 
 from __future__ import annotations
 
+import struct
+import zlib
 from dataclasses import dataclass
 
 SEQ_OFF_BITS = 13
 SEQ_OFF_MODULUS = 1 << SEQ_OFF_BITS  # the 13-bit field wraps at 8192
 ATTEMPT_BITS = 3
 MAX_ATTEMPT_FIELD = (1 << ATTEMPT_BITS) - 1
+
+#: Wire image of the modified RTS extension (big-endian):
+#:   2 bytes  seq_off_field (13 bits) << 3 | attempt (3 bits)
+#:   4 bytes  sender address
+#:   4 bytes  receiver address
+#:  16 bytes  MD5 digest of the DATA payload to follow
+#:   4 bytes  CRC-32 over the 26 bytes above
+_RTS_HEADER = ">HII16s"
+RTS_WIRE_BYTES = struct.calcsize(_RTS_HEADER) + 4
+
+
+class FrameDecodeError(ValueError):
+    """A wire image failed validation (truncated, bad CRC, bad field)."""
 
 
 @dataclass(frozen=True)
@@ -47,6 +62,55 @@ class RtsFrame:
     def seq_off_field(self) -> int:
         """The wrapped 13-bit sequence offset as transmitted on air."""
         return self.seq_off % SEQ_OFF_MODULUS
+
+
+def encode_rts(frame: RtsFrame) -> bytes:
+    """Serialize ``frame`` to its :data:`RTS_WIRE_BYTES`-byte wire image.
+
+    Only the wrapped 13-bit :attr:`RtsFrame.seq_off_field` goes on air;
+    decoding therefore recovers ``seq_off % 8192``, exactly what a real
+    monitor would see (the unwrap happens in the detector's tracking).
+    """
+    packed = (frame.seq_off_field << ATTEMPT_BITS) | frame.attempt
+    body = struct.pack(
+        _RTS_HEADER,
+        packed,
+        frame.sender & 0xFFFFFFFF,
+        frame.receiver & 0xFFFFFFFF,
+        frame.digest,
+    )
+    return body + struct.pack(">I", zlib.crc32(body))
+
+
+def decode_rts(wire: bytes) -> RtsFrame:
+    """Parse a wire image back into an :class:`RtsFrame`.
+
+    Raises :class:`FrameDecodeError` — never anything else — on any
+    malformed input: wrong length, CRC mismatch, or a field that fails
+    :class:`RtsFrame` validation (e.g. the reserved attempt value 0).
+    A monitor treats that as an undecodable announcement and quarantines
+    the observation rather than feeding garbage to the verifiers.
+    """
+    if len(wire) != RTS_WIRE_BYTES:
+        raise FrameDecodeError(
+            f"RTS wire image must be {RTS_WIRE_BYTES} bytes, got {len(wire)}"
+        )
+    body, crc = wire[:-4], struct.unpack(">I", wire[-4:])[0]
+    if zlib.crc32(body) != crc:
+        raise FrameDecodeError("RTS wire image failed CRC-32 check")
+    packed, sender, receiver, digest = struct.unpack(_RTS_HEADER, body)
+    attempt = packed & MAX_ATTEMPT_FIELD
+    seq_off = packed >> ATTEMPT_BITS
+    try:
+        return RtsFrame(
+            sender=sender,
+            receiver=receiver,
+            seq_off=seq_off,
+            attempt=attempt,
+            digest=digest,
+        )
+    except ValueError as exc:
+        raise FrameDecodeError(str(exc)) from exc
 
 
 @dataclass(frozen=True)

@@ -193,6 +193,49 @@ class AdaptiveLoadCheat(BackoffPolicy):
         )
 
 
+class AlibiBackoff(BackoffPolicy):
+    """One half of a colluding pair: cheat, and cover for your partner.
+
+    Two deviations in one policy.  For its own traffic the node shrinks
+    the dictated back-off by ``pm`` percent (the paper's PM attack).
+    And whenever ``partner_probe()`` reports the partner mid-contention,
+    it instead jumps in with a tiny ``cover_backoff`` draw — cover
+    traffic that fills the partner's contention interval with busy
+    slots, dragging the monitor's eq. 1–5 estimate of the partner's
+    countdown toward the dictated value.  Wire a symmetric pair with
+    :func:`repro.mac.adversary.install_colluding_pair`.
+    """
+
+    def __init__(
+        self,
+        partner_probe: Callable[[], bool],
+        cover_backoff: int = 1,
+        pm: float = 0.0,
+    ) -> None:
+        if not callable(partner_probe):
+            raise TypeError("partner_probe must be callable")
+        self.partner_probe = partner_probe
+        self.cover_backoff = int(check_non_negative(cover_backoff, "cover_backoff"))
+        self.pm = check_in_range(pm, 0, 100, "pm")
+        self.cover_draws = 0
+        self.own_draws = 0
+
+    def actual_backoff(
+        self, prng: "VerifiableBackoffPrng", offset: int, attempt: int
+    ) -> int:
+        if self.partner_probe():
+            self.cover_draws += 1
+            return self.cover_backoff
+        self.own_draws += 1
+        dictated = prng.dictated_backoff(offset, attempt)
+        return int(round(dictated * (100 - self.pm) / 100.0))
+
+    def describe(self) -> str:
+        return (
+            f"AlibiBackoff(pm={self.pm}, cover_backoff={self.cover_backoff})"
+        )
+
+
 class AlienDistributionBackoff(BackoffPolicy):
     """Ignores the dictated PRS entirely; draws from its own uniform.
 

@@ -17,7 +17,15 @@ recording *which rule fired* as a structured record:
 ``rank_sum``
     a Wilcoxon rank-sum window evaluation, with its statistic, p-value
     and the alpha threshold it was judged against (statistical — the
-    diagnosis may be ``well_behaved``).
+    diagnosis may be ``well_behaved``);
+``quarantine``
+    an observation whose announced ``SeqOff#``/``Attempt#``/``MD``
+    fields were missing or corrupt was excluded from the verifiers and
+    the rank-sum window; ``detail`` carries the impairment reason code
+    (see :mod:`repro.faults`) and the diagnosis is always
+    ``insufficient_data``.  Emitted only when quarantine auditing is
+    active (automatic whenever fault injection is, off otherwise so
+    clean-run audit streams stay byte-identical to earlier versions).
 
 Records are plain dataclasses serialized to JSON-lines with sorted
 keys, so audit files are diffable and byte-stable for a fixed seed.
@@ -40,6 +48,7 @@ AUDIT_RULES: Tuple[str, ...] = (
     "attempt_number",
     "blatant_countdown",
     "rank_sum",
+    "quarantine",
 )
 
 #: The exact key set of a serialized record (the JSONL schema).

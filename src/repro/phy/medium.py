@@ -186,6 +186,21 @@ class Medium:
     def can_decode(self, sender, receiver):
         return sender in self._decodes_from.get(receiver, ())
 
+    def clean_decode(self, sender, receiver):
+        """True iff ``receiver`` can decode ``sender``'s frame right now.
+
+        The full monitor-side decode predicate: in decode range, the
+        receiver itself silent (no clear-channel assessment while
+        transmitting), and no other sensed transmission garbling the
+        preamble.  This is the physics half of the decode path; link
+        faults (:mod:`repro.faults`) degrade it further, observer-side.
+        """
+        return (
+            self.can_decode(sender, receiver)
+            and not self.is_transmitting(receiver)
+            and not self.interferers_at(receiver, exclude_sender=sender)
+        )
+
     def senses(self, transmitter, listener):
         return transmitter in self._sensed_from.get(listener, ())
 

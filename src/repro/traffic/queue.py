@@ -6,9 +6,23 @@ import itertools
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro.util.caches import register_cache_reset
 from repro.util.validation import check_positive
 
 _packet_ids = itertools.count()
+
+
+@register_cache_reset
+def reset_packet_ids():
+    """Rewind the process-global packet uid counter.
+
+    Packet uids feed the RTS payload digests, so two same-seed runs in
+    one process only emit identical frames if the counter is rewound in
+    between.  Registered with :mod:`repro.util.caches` so the test
+    suite's autouse fixture does this before every test.
+    """
+    global _packet_ids
+    _packet_ids = itertools.count()
 
 
 @dataclass

@@ -1,0 +1,50 @@
+"""Process-wide registry of module-level cache reset hooks.
+
+Module-level caches (the memoized region model, the parsed
+``REPRO_SCALE`` fidelity multiplier, the active fault schedule, ...)
+make a test's observable behavior depend on which tests ran before it
+unless something rewinds them.  Every module that keeps such a cache
+registers its reset function here; the root conftest's autouse fixture
+calls :func:`reset_all_caches` before each test, and lint rule RPR401
+flags module-level caches in modules that never register a hook.
+
+``register_cache_reset`` doubles as a decorator so the idiom stays
+one line at the definition site::
+
+    _thing_cache: Optional[Thing] = None
+
+    @register_cache_reset
+    def reset_thing_cache() -> None:
+        global _thing_cache
+        _thing_cache = None
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+ResetHook = Callable[[], None]
+
+_RESET_HOOKS: List[ResetHook] = []
+
+
+def register_cache_reset(reset: ResetHook) -> ResetHook:
+    """Register ``reset`` to run on :func:`reset_all_caches`.
+
+    Returns ``reset`` unchanged, so it can wrap a ``def`` as a
+    decorator.  Registering the same function twice is a no-op.
+    """
+    if reset not in _RESET_HOOKS:
+        _RESET_HOOKS.append(reset)
+    return reset
+
+
+def registered_resets() -> Tuple[ResetHook, ...]:
+    """The currently registered hooks, in registration order."""
+    return tuple(_RESET_HOOKS)
+
+
+def reset_all_caches() -> None:
+    """Run every registered reset hook (registration order)."""
+    for hook in tuple(_RESET_HOOKS):
+        hook()

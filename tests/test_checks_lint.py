@@ -449,3 +449,62 @@ def test_observatory_module_is_lint_clean():
     path = Path(SRC) / "repro" / "core" / "observatory.py"
     source = path.read_text(encoding="utf-8")
     assert lint_source(source, "repro/core/observatory.py") == []
+
+
+# -- RPR401: module-level caches must register a reset hook -------------------
+
+
+def test_unregistered_module_cache_flagged():
+    assert "RPR401" in codes("_model_cache = {}\n")
+
+
+def test_annotated_module_cache_flagged():
+    assert "RPR401" in codes("_result_cache: dict = {}\n")
+
+
+def test_registered_module_cache_passes():
+    src = """\
+    from repro.util.caches import register_cache_reset
+
+    _model_cache = {}
+
+    @register_cache_reset
+    def reset_model_cache():
+        _model_cache.clear()
+    """
+    assert "RPR401" not in codes(src)
+
+
+def test_register_reference_via_attribute_passes():
+    src = """\
+    import repro.util.caches
+
+    _model_cache = {}
+    repro.util.caches.register_cache_reset(_model_cache.clear)
+    """
+    assert "RPR401" not in codes(src)
+
+
+def test_cache_registry_module_exempt_from_rpr401():
+    src = "_hooks_cache = []\n"
+    assert codes(src, path="repro/util/caches.py", select=["RPR401"]) == []
+
+
+def test_all_caps_cache_constant_not_flagged():
+    # ALL_CAPS names are constants by convention, not mutable caches.
+    assert "RPR401" not in codes("CACHE_DIR_ENV = 'X'\n")
+
+
+def test_function_local_cache_not_flagged():
+    src = """\
+    def lookup():
+        local_cache = {}
+        return local_cache
+    """
+    assert "RPR401" not in codes(src)
+
+
+def test_every_source_cache_has_a_registered_reset():
+    """RPR401 over the real tree: every module-level cache in src/
+    registers a reset hook (the shared-state footgun stays fixed)."""
+    assert lint_paths([SRC], select=["RPR401"]) == []

@@ -1,0 +1,164 @@
+"""Property-based fuzzing of the modified-RTS wire codec.
+
+Two contracts, established by seeded random sweeps plus exhaustive
+boundary coverage:
+
+* **round-trip** — every encodable frame decodes back to the same
+  on-air fields (the 13-bit wrapped ``seq_off_field``, the 3-bit
+  attempt, the 32-bit-masked addresses, the full digest);
+* **total decoding** — ``decode_rts`` raises
+  :class:`~repro.mac.frames.FrameDecodeError` (a ``ValueError``) and
+  *nothing else* on arbitrary corrupted, truncated, extended or random
+  input.  The fault layer (``repro.faults``) and the monitors rely on
+  that: an undecodable announcement is quarantined, never an uncaught
+  exception inside the observation plane.
+
+Draws come from seeded :class:`~repro.util.rng.RngStream` instances, so
+failures reproduce bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mac.frames import (
+    ATTEMPT_BITS,
+    MAX_ATTEMPT_FIELD,
+    RTS_WIRE_BYTES,
+    SEQ_OFF_MODULUS,
+    FrameDecodeError,
+    RtsFrame,
+    decode_rts,
+    encode_rts,
+)
+from repro.util.rng import RngStream
+
+FUZZ_ROUNDS = 300
+
+#: Boundary values for each field (plus random fill between them).
+SEQ_OFF_EDGES = (0, 1, SEQ_OFF_MODULUS - 1, SEQ_OFF_MODULUS, SEQ_OFF_MODULUS + 1,
+                 5 * SEQ_OFF_MODULUS + 7, 2**31)
+ATTEMPT_EDGES = (1, 2, MAX_ATTEMPT_FIELD - 1, MAX_ATTEMPT_FIELD)
+ADDRESS_EDGES = (0, 1, 0xFFFF_FFFF, 0x1_0000_0000, 2**40 + 3)
+DIGEST_EDGES = (b"\x00" * 16, b"\xff" * 16, bytes(range(16)))
+
+
+def _random_frame(rng):
+    return RtsFrame(
+        sender=int(rng.integers(0, 2**40)),
+        receiver=int(rng.integers(0, 2**40)),
+        seq_off=int(rng.integers(0, 4 * SEQ_OFF_MODULUS)),
+        attempt=int(rng.integers(1, MAX_ATTEMPT_FIELD + 1)),
+        digest=bytes(int(rng.integers(0, 256)) for _ in range(16)),
+    )
+
+
+def _assert_round_trip(frame):
+    wire = encode_rts(frame)
+    assert len(wire) == RTS_WIRE_BYTES
+    decoded = decode_rts(wire)
+    assert decoded.seq_off == frame.seq_off_field
+    assert decoded.seq_off_field == frame.seq_off_field
+    assert decoded.attempt == frame.attempt
+    assert decoded.sender == frame.sender & 0xFFFF_FFFF
+    assert decoded.receiver == frame.receiver & 0xFFFF_FFFF
+    assert decoded.digest == frame.digest
+    # Canonical form: re-encoding the decode reproduces the wire image.
+    assert encode_rts(decoded) == wire
+
+
+def test_round_trip_boundary_grid():
+    """Every combination of per-field boundary values survives."""
+    for seq_off in SEQ_OFF_EDGES:
+        for attempt in ATTEMPT_EDGES:
+            for address in ADDRESS_EDGES:
+                for digest in DIGEST_EDGES:
+                    _assert_round_trip(
+                        RtsFrame(
+                            sender=address,
+                            receiver=ADDRESS_EDGES[-1 - ADDRESS_EDGES.index(address)],
+                            seq_off=seq_off,
+                            attempt=attempt,
+                            digest=digest,
+                        )
+                    )
+
+
+def test_round_trip_random_frames():
+    rng = RngStream(4242, "frames-fuzz-roundtrip")
+    for _ in range(FUZZ_ROUNDS):
+        _assert_round_trip(_random_frame(rng))
+
+
+def test_single_byte_corruption_detected_or_decodes_cleanly():
+    """Flipping any single byte is caught by the CRC.
+
+    (A 32-bit CRC cannot be fooled by a single-byte change, so each
+    corrupted image must raise — and must raise FrameDecodeError.)
+    """
+    rng = RngStream(4242, "frames-fuzz-flip")
+    for _ in range(60):
+        wire = bytearray(encode_rts(_random_frame(rng)))
+        position = int(rng.integers(0, len(wire)))
+        mask = int(rng.integers(1, 256))
+        wire[position] ^= mask
+        with pytest.raises(FrameDecodeError):
+            decode_rts(bytes(wire))
+
+
+def test_multi_byte_corruption_never_raises_uncaught():
+    """Arbitrary k-byte damage either decodes (CRC fluke) or raises
+    FrameDecodeError — never any other exception."""
+    rng = RngStream(4242, "frames-fuzz-damage")
+    for _ in range(FUZZ_ROUNDS):
+        wire = bytearray(encode_rts(_random_frame(rng)))
+        for _flip in range(int(rng.integers(1, 6))):
+            wire[int(rng.integers(0, len(wire)))] ^= int(rng.integers(1, 256))
+        try:
+            frame = decode_rts(bytes(wire))
+        except FrameDecodeError:
+            continue
+        assert isinstance(frame, RtsFrame)  # a legitimate CRC fluke
+
+
+def test_every_truncation_length_raises():
+    wire = encode_rts(
+        RtsFrame(sender=3, receiver=9, seq_off=77, attempt=2, digest=b"z" * 16)
+    )
+    for length in range(len(wire)):
+        with pytest.raises(FrameDecodeError):
+            decode_rts(wire[:length])
+
+
+def test_extended_wire_raises():
+    wire = encode_rts(
+        RtsFrame(sender=3, receiver=9, seq_off=77, attempt=2, digest=b"z" * 16)
+    )
+    with pytest.raises(FrameDecodeError):
+        decode_rts(wire + b"\x00")
+
+
+def test_random_garbage_raises_only_decode_error():
+    rng = RngStream(4242, "frames-fuzz-garbage")
+    for _ in range(FUZZ_ROUNDS):
+        length = int(rng.integers(0, 2 * RTS_WIRE_BYTES))
+        blob = bytes(int(rng.integers(0, 256)) for _ in range(length))
+        with pytest.raises(FrameDecodeError):
+            decode_rts(blob)
+
+
+def test_reserved_attempt_zero_rejected():
+    """Attempt 0 is unencodable (RtsFrame forbids it), and a forged wire
+    image carrying it fails decoding with FrameDecodeError."""
+    import struct
+    import zlib
+
+    packed = (5 << ATTEMPT_BITS) | 0  # attempt field = 0
+    body = struct.pack(">HII16s", packed, 1, 2, b"d" * 16)
+    wire = body + struct.pack(">I", zlib.crc32(body))
+    with pytest.raises(FrameDecodeError):
+        decode_rts(wire)
+
+
+def test_decode_error_is_a_value_error():
+    assert issubclass(FrameDecodeError, ValueError)

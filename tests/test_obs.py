@@ -202,6 +202,7 @@ class TestAuditLog:
             "attempt_number",
             "blatant_countdown",
             "rank_sum",
+            "quarantine",
         )
 
     def test_unknown_rule_rejected(self):
