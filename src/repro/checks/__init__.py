@@ -1,10 +1,17 @@
 """Repo-native correctness tooling.
 
-Two halves:
+Three halves:
 
-* :mod:`repro.checks.lint` — an AST-based static pass enforcing the
-  repo's determinism and slot-exactness contracts (run it with
-  ``python -m repro.checks src/``).
+* :mod:`repro.checks.lint` — a fast AST-based single-file pass
+  enforcing the repo's determinism and slot-exactness contracts (run
+  it with ``python -m repro.checks src/``).
+* :mod:`repro.checks.deep` — the whole-program analysis (``--deep``):
+  builds a project index + call graph (:mod:`repro.checks.index`) and
+  runs unit-flow typing (:mod:`repro.checks.unitflow`), determinism
+  race detection (:mod:`repro.checks.races`) and layering enforcement
+  (:mod:`repro.checks.layering`), with baseline suppression
+  (:mod:`repro.checks.baseline`) and SARIF export
+  (:mod:`repro.checks.sarif`).
 * :mod:`repro.checks.invariants` — a simulation listener that verifies,
   while a run executes, the event-ordering and back-off invariants the
   engine documents (install it with the CLI ``--check`` flag or the
@@ -13,6 +20,8 @@ Two halves:
 
 from __future__ import annotations
 
+from repro.checks.deep import ALL_RULES, DEEP_RULES, run_deep
+from repro.checks.index import ProjectIndex
 from repro.checks.lint import Finding, LintRule, RULES, lint_paths, lint_source
 from repro.checks.runtime import (
     disable_runtime_checks,
@@ -21,11 +30,15 @@ from repro.checks.runtime import (
 )
 
 __all__ = [
+    "ALL_RULES",
+    "DEEP_RULES",
     "Finding",
     "LintRule",
+    "ProjectIndex",
     "RULES",
     "lint_paths",
     "lint_source",
+    "run_deep",
     "enable_runtime_checks",
     "disable_runtime_checks",
     "runtime_checks_enabled",

@@ -1,18 +1,42 @@
 """CLI entry point: ``python -m repro.checks [paths...]``.
 
-Lints the given files/directories (default: ``src``) against the repo's
-static rules and exits nonzero if any finding is reported, so the pass
-can gate CI.
+Fast mode (default) lints the given files/directories against the
+single-file rules; ``--deep`` additionally builds the whole-program
+index and runs the cross-module passes (unit flow, determinism races,
+layering).  Exits nonzero if any non-baselined finding is reported, so
+either mode can gate CI.
+
+Output:
+
+* default — one ``path:line:col: CODE message`` line per finding;
+* ``--json`` — a JSON array of finding objects;
+* ``--sarif FILE`` — additionally write a SARIF 2.1.0 document;
+* ``--explain RPR501`` — print a rule's long-form documentation;
+* ``--baseline FILE`` — suppress findings listed (with justification)
+  in the baseline; ``--write-baseline`` regenerates the file from the
+  current findings.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro.checks.baseline import (
+    DEFAULT_BASELINE,
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    render_baseline,
+)
+from repro.checks.deep import ALL_RULES, DEEP_RULES, run_deep
+from repro.checks.explain import explain
 from repro.checks.lint import RULES, lint_paths
+from repro.checks.sarif import to_sarif, validate_sarif, write_sarif
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -30,7 +54,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--select",
         nargs="*",
         metavar="CODE",
-        help="only report these rule codes (e.g. RPR001 RPR101)",
+        help="only report these rule codes (e.g. RPR001 RPR501)",
+    )
+    parser.add_argument(
+        "--deep",
+        action="store_true",
+        help="also run the whole-program passes (unit flow, races, layering)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit findings as a JSON array on stdout",
+    )
+    parser.add_argument(
+        "--sarif",
+        metavar="FILE",
+        help="write findings as a SARIF 2.1.0 document to FILE",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=DEFAULT_BASELINE,
+        help=f"baseline suppression file (default: {DEFAULT_BASELINE}; "
+        "missing file means empty baseline)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file entirely",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="regenerate the baseline file from the current findings and exit",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="CODE",
+        help="print a rule's long-form documentation and exit",
     )
     parser.add_argument(
         "--list-rules",
@@ -42,12 +104,25 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.explain:
+        text = explain(args.explain)
+        if text is None:
+            print(
+                f"repro.checks: unknown rule code: {args.explain} "
+                "(see --list-rules)",
+                file=sys.stderr,
+            )
+            return 2
+        print(text)
+        return 0
     if args.list_rules:
         for rule in RULES:
             print(f"{rule.code}  {rule.summary}")
+        for rule in DEEP_RULES:
+            print(f"{rule.code}  {rule.summary}  [--deep]")
         return 0
     if args.select:
-        known = {rule.code for rule in RULES} | {"RPR000"}
+        known = {rule.code for rule in ALL_RULES} | {"RPR000"}
         unknown = sorted(set(args.select) - known)
         if unknown:
             print(
@@ -64,13 +139,84 @@ def main(argv: Optional[List[str]] = None) -> int:
                 file=sys.stderr,
             )
         return 2
+
     findings = lint_paths(args.paths, select=args.select)
-    for finding in findings:
-        print(finding.render())
+    if args.deep:
+        findings = sorted(
+            findings + run_deep(args.paths, select=args.select),
+            key=lambda f: (f.path, f.line, f.col, f.code),
+        )
+
+    if args.write_baseline:
+        Path(args.baseline).write_text(render_baseline(findings))
+        print(
+            f"repro.checks: wrote {len(findings)} finding(s) to "
+            f"{args.baseline} — fill in every justification",
+            file=sys.stderr,
+        )
+        return 0
+
+    suppressed_count = 0
+    if not args.no_baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except BaselineError as exc:
+            print(f"repro.checks: {exc}", file=sys.stderr)
+            return 2
+        findings, suppressed, stale = apply_baseline(findings, baseline)
+        suppressed_count = len(suppressed)
+        if args.deep:
+            # Staleness is only meaningful for a full deep run; a fast
+            # lint of one subdirectory never reports deep findings.
+            for key in stale:
+                print(
+                    f"repro.checks: stale baseline entry (no longer "
+                    f"reported): {key}",
+                    file=sys.stderr,
+                )
+
+    if args.sarif:
+        document = to_sarif(findings, ALL_RULES)
+        problems = validate_sarif(document)
+        if problems:
+            for problem in problems:
+                print(f"repro.checks: invalid SARIF: {problem}", file=sys.stderr)
+            return 2
+        write_sarif(args.sarif, document)
+
+    if args.as_json:
+        print(
+            json.dumps(
+                [
+                    {
+                        "path": f.path,
+                        "line": f.line,
+                        "col": f.col,
+                        "code": f.code,
+                        "message": f.message,
+                    }
+                    for f in findings
+                ],
+                indent=2,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.render())
     noun = "finding" if len(findings) == 1 else "findings"
-    print(f"repro.checks: {len(findings)} {noun}", file=sys.stderr)
+    suffix = (
+        f" ({suppressed_count} baselined)" if suppressed_count else ""
+    )
+    print(f"repro.checks: {len(findings)} {noun}{suffix}", file=sys.stderr)
     return 1 if findings else 0
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # stdout went away (e.g. `... --explain RPR501 | head`); mirror
+        # the conventional CLI response instead of a traceback.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        sys.exit(1)

@@ -1,0 +1,123 @@
+"""Baseline suppression for the deep analysis.
+
+A deep pass adopted into an existing codebase needs a way to say "this
+finding is known and intentional" without sprinkling inline pragmas
+through source files.  The baseline file (``checks_baseline.json`` at
+the repo root) is a checked-in list of suppressed findings where
+**every entry carries a human justification** — an empty or missing
+justification fails loading, so a suppression can never be silent.
+
+Keys deliberately omit line numbers: unrelated edits move code, and a
+baseline that churns on every edit trains people to regenerate it
+blindly.  A key is ``code:path:message``, which survives line drift but
+breaks (correctly) when the finding itself changes.
+
+Stale entries — baselined findings the analyzer no longer reports —
+are surfaced as warnings so the file shrinks as debt is paid down.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.checks.lint import Finding
+
+#: Default baseline location, relative to the working directory.
+DEFAULT_BASELINE = "checks_baseline.json"
+
+BASELINE_VERSION = 1
+
+
+def baseline_key(finding: Finding) -> str:
+    """Line-independent stable identity of a finding."""
+    path = finding.path.replace("\\", "/")
+    return f"{finding.code}:{path}:{finding.message}"
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed or carries an empty justification."""
+
+
+def load_baseline(path: str) -> Dict[str, str]:
+    """Load ``key -> justification``; missing file means empty baseline."""
+    file = Path(path)
+    if not file.exists():
+        return {}
+    try:
+        raw = json.loads(file.read_text())
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"{path}: not valid JSON ({exc})") from exc
+    if not isinstance(raw, dict) or raw.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            f"{path}: expected an object with version == {BASELINE_VERSION}"
+        )
+    entries = raw.get("entries")
+    if not isinstance(entries, list):
+        raise BaselineError(f"{path}: entries must be an array")
+    baseline: Dict[str, str] = {}
+    for i, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise BaselineError(f"{path}: entries[{i}] is not an object")
+        key = entry.get("key")
+        justification = entry.get("justification")
+        if not isinstance(key, str) or not key:
+            raise BaselineError(f"{path}: entries[{i}] is missing a key")
+        if not isinstance(justification, str) or not justification.strip():
+            raise BaselineError(
+                f"{path}: entries[{i}] ({key}) has no justification — every "
+                "suppression must say why it is intentional"
+            )
+        if justification.strip().upper().startswith("TODO"):
+            raise BaselineError(
+                f"{path}: entries[{i}] ({key}) still carries the TODO "
+                "placeholder — replace it with a real justification"
+            )
+        if key in baseline:
+            raise BaselineError(f"{path}: duplicate baseline key {key}")
+        baseline[key] = justification
+    return baseline
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Dict[str, str]
+) -> Tuple[List[Finding], List[Finding], List[str]]:
+    """Split findings into (new, suppressed) and report stale keys."""
+    new: List[Finding] = []
+    suppressed: List[Finding] = []
+    used = set()
+    for finding in findings:
+        key = baseline_key(finding)
+        if key in baseline:
+            suppressed.append(finding)
+            used.add(key)
+        else:
+            new.append(finding)
+    stale = sorted(set(baseline) - used)
+    return new, suppressed, stale
+
+
+def render_baseline(findings: Sequence[Finding]) -> str:
+    """Serialize findings as a baseline file body (justifications TODO)."""
+    entries = [
+        {
+            "key": baseline_key(finding),
+            "justification": "TODO: justify or fix",
+        }
+        for finding in sorted(
+            findings, key=lambda f: (f.path, f.code, f.message)
+        )
+    ]
+    # One finding can map to one key (e.g. same message on two lines);
+    # keep the first.
+    seen = set()
+    unique = []
+    for entry in entries:
+        if entry["key"] in seen:
+            continue
+        seen.add(entry["key"])
+        unique.append(entry)
+    return json.dumps(
+        {"version": BASELINE_VERSION, "entries": unique}, indent=2
+    ) + "\n"

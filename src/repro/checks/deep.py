@@ -1,0 +1,64 @@
+"""The deep analysis orchestrator: ``python -m repro.checks --deep``.
+
+Builds the whole-program :class:`~repro.checks.index.ProjectIndex` once
+and runs the three cross-module passes over it:
+
+1. :mod:`repro.checks.unitflow` — RPR5xx unit-flow typing;
+2. :mod:`repro.checks.races` — RPR6xx determinism races;
+3. :mod:`repro.checks.layering` — RPR7xx layering enforcement.
+
+The fast single-file lint (:mod:`repro.checks.lint`) stays separate so
+pre-commit can run it in milliseconds; ``--deep`` runs both.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.checks.index import ProjectIndex
+from repro.checks.layering import LayeringPass
+from repro.checks.lint import RULES, Finding, LintRule
+from repro.checks.races import RacePass
+from repro.checks.unitflow import UnitFlowPass
+
+#: Rules reported only by the deep (whole-program) analysis.
+DEEP_RULES: Tuple[LintRule, ...] = (
+    LintRule("RPR501", "arithmetic or comparison mixing two different units"),
+    LintRule("RPR502", "call argument whose unit differs from the parameter's"),
+    LintRule("RPR503", "float-producing expression bound to a slot-typed target"),
+    LintRule("RPR504", "binding or return that violates its declared unit"),
+    LintRule(
+        "RPR601",
+        "module-level mutable state written on a parallel-worker path "
+        "without a registered reset/merge",
+    ),
+    LintRule("RPR602", "unsorted set iteration on a verdict/audit path"),
+    LintRule("RPR603", "os.environ mutation (process-wide state leak)"),
+    LintRule("RPR701", "import edge that violates the package layer DAG"),
+    LintRule("RPR702", "detector code accessing Medium internals"),
+    LintRule("RPR703", "observation-plane code writing simulation state"),
+)
+
+ALL_RULES: Tuple[LintRule, ...] = RULES + DEEP_RULES
+
+
+def run_deep(
+    paths: Sequence[str], select: Optional[Sequence[str]] = None
+) -> List[Finding]:
+    """Run the three deep passes over all files under ``paths``."""
+    index = ProjectIndex.build(paths)
+    return run_deep_on_index(index, select=select)
+
+
+def run_deep_on_index(
+    index: ProjectIndex, select: Optional[Sequence[str]] = None
+) -> List[Finding]:
+    """Run the three deep passes over a pre-built index."""
+    findings: List[Finding] = []
+    findings.extend(UnitFlowPass(index).run())
+    findings.extend(RacePass(index).run())
+    findings.extend(LayeringPass(index).run())
+    if select:
+        wanted = set(select)
+        findings = [f for f in findings if f.code in wanted]
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.code))

@@ -1,0 +1,478 @@
+"""Project-wide AST index and call graph for the deep analysis passes.
+
+The single-file lint pass (:mod:`repro.checks.lint`) sees one module at
+a time; the deep passes (unit flow, determinism races, layering) need
+whole-program facts: which function a call resolves to, what a callee's
+parameter annotations declare, which module-level state a worker
+entrypoint can reach.  This module parses every source file once and
+builds:
+
+* a **module table** — per module: its AST, its import aliases (local
+  name -> fully qualified target), its import *edges* (for the layering
+  pass, with module/function/TYPE_CHECKING scoping), its module-level
+  assignments, and whether it references the cache-reset registry;
+* a **function table** — every ``def`` keyed by dotted qualname
+  (``repro.mac.constants.MacTiming.difs_slots``), with parameter and
+  return annotations;
+* a **call graph** — best-effort resolved edges between qualnames.
+  Resolution is deliberately conservative: direct calls resolve through
+  the import table, ``self.method()`` resolves within the class, and a
+  bare ``obj.method()`` resolves only when the method name is unique
+  project-wide.  Unresolved calls simply contribute no edge.
+
+Everything is derived from stable inputs (sorted file list, AST order),
+so two runs over the same tree produce identical indexes.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.checks.lint import iter_python_files
+
+_FunctionNode = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+@dataclass(frozen=True)
+class Param:
+    """One formal parameter: its name and (optional) annotation."""
+
+    name: str
+    annotation: Optional[ast.expr]
+
+
+@dataclass
+class FunctionInfo:
+    """One ``def``, with enough signature detail for cross-module checks."""
+
+    module: str
+    qualname: str
+    name: str
+    class_name: Optional[str]
+    node: ast.AST
+    params: List[Param]
+    returns: Optional[ast.expr]
+    lineno: int
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_name is not None
+
+    def positional_params(self) -> List[Param]:
+        """Parameters in call-matching order, ``self``/``cls`` stripped."""
+        params = self.params
+        if self.is_method and params and params[0].name in ("self", "cls"):
+            return params[1:]
+        return params
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """One import statement, as a module-to-module dependency edge."""
+
+    module: str
+    target: str
+    lineno: int
+    col: int
+    #: "module" for top-level imports, "function" for lazy imports.
+    scope: str
+    #: True when the import sits under ``if TYPE_CHECKING:``.
+    type_checking: bool
+
+
+@dataclass(frozen=True)
+class GlobalVar:
+    """One module-level assignment target."""
+
+    module: str
+    name: str
+    lineno: int
+    col: int
+    #: True when the bound value is a mutable container / class instance.
+    mutable: bool
+
+
+@dataclass
+class ModuleInfo:
+    """Everything the deep passes need to know about one module."""
+
+    name: str
+    path: str
+    tree: ast.Module
+    #: local alias -> fully qualified dotted target.
+    imports: Dict[str, str] = field(default_factory=dict)
+    import_edges: List[ImportEdge] = field(default_factory=list)
+    globals: Dict[str, GlobalVar] = field(default_factory=dict)
+    functions: List[FunctionInfo] = field(default_factory=list)
+    #: class name -> method name -> FunctionInfo
+    classes: Dict[str, Dict[str, FunctionInfo]] = field(default_factory=dict)
+    #: class name -> base-class name strings (dotted, unresolved)
+    class_bases: Dict[str, List[str]] = field(default_factory=dict)
+    references_cache_registry: bool = False
+
+
+#: AST nodes whose value makes a module-level binding mutable state.
+_MUTABLE_VALUE_NODES = (
+    ast.List,
+    ast.Dict,
+    ast.Set,
+    ast.ListComp,
+    ast.DictComp,
+    ast.SetComp,
+)
+_MUTABLE_CONSTRUCTOR_NAMES = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter",
+     "OrderedDict"}
+)
+
+
+def module_name_for_path(path: str) -> str:
+    """Dotted module name for ``path``.
+
+    Rooted at the ``repro`` package when present (``.../src/repro/mac/
+    dcf.py`` -> ``repro.mac.dcf``); otherwise the path's parts are used
+    verbatim (``mac/dcf.py`` -> ``mac.dcf``) so synthetic corpus trees
+    index naturally.  ``__init__.py`` maps to the package itself.
+    """
+    parts = list(path.replace("\\", "/").split("/"))
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if "repro" in parts:
+        parts = parts[parts.index("repro") :]
+    parts = [p for p in parts if p not in ("", ".")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) or "<root>"
+
+
+def _value_is_mutable(value: Optional[ast.expr]) -> bool:
+    if value is None:
+        return False
+    if isinstance(value, _MUTABLE_VALUE_NODES):
+        return True
+    if isinstance(value, ast.Call):
+        func = value.func
+        if isinstance(func, ast.Name) and func.id in _MUTABLE_CONSTRUCTOR_NAMES:
+            return True
+        if isinstance(func, ast.Attribute) and func.attr in _MUTABLE_CONSTRUCTOR_NAMES:
+            return True
+    return False
+
+
+def _annotation_is_mutable(annotation: Optional[ast.expr]) -> bool:
+    """True when an annotated-only binding declares a mutable container."""
+    if annotation is None:
+        return False
+    for sub in ast.walk(annotation):
+        name = None
+        if isinstance(sub, ast.Name):
+            name = sub.id
+        elif isinstance(sub, ast.Attribute):
+            name = sub.attr
+        if name in ("List", "Dict", "Set", "list", "dict", "set", "DefaultDict",
+                    "Deque", "MutableMapping", "MutableSequence", "MutableSet"):
+            return True
+    return False
+
+
+class _ModuleScanner(ast.NodeVisitor):
+    """Single traversal populating a :class:`ModuleInfo`."""
+
+    def __init__(self, info: ModuleInfo) -> None:
+        self.info = info
+        self._scope: List[str] = []  # stack of "class:<Name>" / "function"
+        self._type_checking_depth = 0
+
+    # -- helpers -----------------------------------------------------------
+
+    def _enclosing_class(self) -> Optional[str]:
+        for marker in reversed(self._scope):
+            if marker == "function":
+                return None
+            if marker.startswith("class:"):
+                return marker[len("class:") :]
+        return None
+
+    def _import_scope(self) -> str:
+        return "function" if "function" in self._scope else "module"
+
+    def _add_edge(self, node: ast.AST, target: str) -> None:
+        self.info.import_edges.append(
+            ImportEdge(
+                module=self.info.name,
+                target=target,
+                lineno=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0),
+                scope=self._import_scope(),
+                type_checking=self._type_checking_depth > 0,
+            )
+        )
+
+    # -- imports -----------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            self.info.imports.setdefault(local, alias.name)
+            self._add_edge(node, alias.name)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        base = node.module or ""
+        if node.level:
+            # Relative import: resolve against this module's package.
+            pkg_parts = self.info.name.split(".")[: -node.level]
+            base = ".".join(pkg_parts + ([node.module] if node.module else []))
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            local = alias.asname or alias.name
+            target = f"{base}.{alias.name}" if base else alias.name
+            self.info.imports.setdefault(local, target)
+            if alias.name == "register_cache_reset":
+                self.info.references_cache_registry = True
+        if base:
+            self._add_edge(node, base)
+        self.generic_visit(node)
+
+    # -- module-level state ------------------------------------------------
+
+    def _record_global(self, target: ast.expr, node: ast.stmt, mutable: bool) -> None:
+        if not isinstance(target, ast.Name) or self._scope:
+            return
+        name = target.id
+        existing = self.info.globals.get(name)
+        if existing is None or (mutable and not existing.mutable):
+            self.info.globals[name] = GlobalVar(
+                module=self.info.name,
+                name=name,
+                lineno=node.lineno,
+                col=node.col_offset,
+                mutable=mutable,
+            )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._record_global(target, node, _value_is_mutable(node.value))
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        mutable = _value_is_mutable(node.value) or (
+            node.value is None and _annotation_is_mutable(node.annotation)
+        )
+        self._record_global(node.target, node, mutable)
+        self.generic_visit(node)
+
+    # -- scoping -----------------------------------------------------------
+
+    def visit_If(self, node: ast.If) -> None:
+        is_type_checking = (
+            isinstance(node.test, ast.Name) and node.test.id == "TYPE_CHECKING"
+        ) or (
+            isinstance(node.test, ast.Attribute)
+            and node.test.attr == "TYPE_CHECKING"
+        )
+        if is_type_checking:
+            self._type_checking_depth += 1
+            for child in node.body:
+                self.visit(child)
+            self._type_checking_depth -= 1
+            for child in node.orelse:
+                self.visit(child)
+        else:
+            self.generic_visit(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if not self._scope:  # only index top-level classes
+            self.info.classes.setdefault(node.name, {})
+            bases = []
+            for base in node.bases:
+                dotted = _dotted(base)
+                if dotted:
+                    bases.append(dotted)
+            self.info.class_bases[node.name] = bases
+        self._scope.append(f"class:{node.name}")
+        self.generic_visit(node)
+        self._scope.pop()
+
+    def _visit_function(self, node: ast.AST) -> None:
+        assert isinstance(node, _FunctionNode)
+        class_name = self._enclosing_class()
+        nested = "function" in self._scope
+        if not nested:
+            args = node.args
+            params = [
+                Param(a.arg, a.annotation)
+                for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+            ]
+            qual = (
+                f"{self.info.name}.{class_name}.{node.name}"
+                if class_name
+                else f"{self.info.name}.{node.name}"
+            )
+            info = FunctionInfo(
+                module=self.info.name,
+                qualname=qual,
+                name=node.name,
+                class_name=class_name,
+                node=node,
+                params=params,
+                returns=node.returns,
+                lineno=node.lineno,
+            )
+            self.info.functions.append(info)
+            if class_name:
+                self.info.classes.setdefault(class_name, {})[node.name] = info
+        self._scope.append("function")
+        self.generic_visit(node)
+        self._scope.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if node.id == "register_cache_reset":
+            self.info.references_cache_registry = True
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if node.attr == "register_cache_reset":
+            self.info.references_cache_registry = True
+        self.generic_visit(node)
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class ProjectIndex:
+    """The whole-program index the deep passes query."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.methods_by_name: Dict[str, List[FunctionInfo]] = {}
+        #: caller qualname -> set of callee qualnames
+        self.calls: Dict[str, Set[str]] = {}
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def build(cls, paths: Iterable[str]) -> "ProjectIndex":
+        """Index every Python file under the given files/directories."""
+        sources = []
+        for path in iter_python_files(paths):
+            try:
+                sources.append((str(path), path.read_text()))
+            except OSError:
+                continue
+        return cls.build_from_sources(sources)
+
+    @classmethod
+    def build_from_sources(
+        cls, sources: Sequence[Tuple[str, str]]
+    ) -> "ProjectIndex":
+        """Index in-memory ``(path, source)`` pairs (corpus/test entry)."""
+        index = cls()
+        for path, source in sources:
+            try:
+                tree = ast.parse(source, filename=path)
+            except SyntaxError:
+                continue
+            name = module_name_for_path(path)
+            info = ModuleInfo(name=name, path=path, tree=tree)
+            _ModuleScanner(info).visit(tree)
+            index.modules[name] = info
+            for fn in info.functions:
+                index.functions[fn.qualname] = fn
+                index.methods_by_name.setdefault(fn.name, []).append(fn)
+        index._build_call_graph()
+        return index
+
+    # -- call resolution ---------------------------------------------------
+
+    def resolve_callable(
+        self, module: ModuleInfo, call: ast.Call, caller: Optional[FunctionInfo]
+    ) -> Optional[FunctionInfo]:
+        """Best-effort resolution of a call expression to a FunctionInfo."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            # Module-level function in the same module.
+            fn = self.functions.get(f"{module.name}.{func.id}")
+            if fn is not None and fn.class_name is None:
+                return fn
+            # Class constructor in the same module -> its __init__.
+            if func.id in module.classes:
+                return module.classes[func.id].get("__init__")
+            target = module.imports.get(func.id)
+            if target is not None:
+                resolved = self.functions.get(target)
+                if resolved is not None:
+                    return resolved
+                # Imported class -> constructor.
+                mod, _, cls_name = target.rpartition(".")
+                mod_info = self.modules.get(mod)
+                if mod_info is not None and cls_name in mod_info.classes:
+                    return mod_info.classes[cls_name].get("__init__")
+            return None
+        if isinstance(func, ast.Attribute):
+            dotted = _dotted(func)
+            if dotted is not None:
+                head, _, rest = dotted.partition(".")
+                target = module.imports.get(head)
+                if target is not None and rest:
+                    resolved = self.functions.get(f"{target}.{rest}")
+                    if resolved is not None:
+                        return resolved
+            # self.method() within the defining class.
+            if (
+                caller is not None
+                and caller.class_name is not None
+                and isinstance(func.value, ast.Name)
+                and func.value.id in ("self", "cls")
+            ):
+                methods = self.modules[caller.module].classes.get(
+                    caller.class_name, {}
+                )
+                if func.attr in methods:
+                    return methods[func.attr]
+            # Unique method name anywhere in the project.
+            candidates = self.methods_by_name.get(func.attr, [])
+            if len(candidates) == 1:
+                return candidates[0]
+        return None
+
+    def _build_call_graph(self) -> None:
+        for mod in self.modules.values():
+            for fn in mod.functions:
+                edges = self.calls.setdefault(fn.qualname, set())
+                for sub in ast.walk(fn.node):
+                    if not isinstance(sub, ast.Call):
+                        continue
+                    callee = self.resolve_callable(mod, sub, fn)
+                    if callee is not None and callee.qualname != fn.qualname:
+                        edges.add(callee.qualname)
+
+    def reachable_from(self, roots: Iterable[str]) -> Set[str]:
+        """Transitive closure of the call graph from the given qualnames."""
+        seen: Set[str] = set()
+        stack = [r for r in roots if r in self.functions]
+        while stack:
+            qual = stack.pop()
+            if qual in seen:
+                continue
+            seen.add(qual)
+            stack.extend(self.calls.get(qual, ()))
+        return seen

@@ -110,7 +110,16 @@ _DETERMINISM_EXEMPT_SUFFIXES: Tuple[str, ...] = ("util/rng.py",)
 WALL_CLOCK_ALLOWLIST: Tuple[str, ...] = ("obs/profile.py",)
 
 #: Package subtrees whose public functions must be fully annotated.
-_ANNOTATION_SCOPES: Tuple[str, ...] = ("core", "mac", "obs", "sim")
+_ANNOTATION_SCOPES: Tuple[str, ...] = (
+    "core",
+    "experiments",
+    "geometry",
+    "mac",
+    "obs",
+    "phy",
+    "routing",
+    "sim",
+)
 
 #: Module-level names treated as process-global caches (RPR401).
 _CACHE_NAME = re.compile(r"cache", re.IGNORECASE)

@@ -1,0 +1,387 @@
+"""Deep pass 2 — determinism race detection (rules RPR6xx).
+
+:mod:`repro.experiments.parallel` promises byte-identical output for
+any worker count, which only holds if trial functions are pure
+functions of their task tuple.  This pass walks the call graph from
+the *worker entrypoints* — every function handed to ``run_trials`` plus
+every ``on_*`` engine/observatory hook — and flags hidden process-wide
+state on those paths:
+
+* **RPR601** — a reachable function writes module-level mutable state
+  whose module neither registers with
+  :func:`repro.util.caches.register_cache_reset` nor belongs to the
+  approved merge machinery (the parallel pool itself and the metrics
+  registry, whose snapshots are folded back deterministically via
+  ``MetricsRegistry.merge_snapshot``).  Such state silently diverges
+  between forked workers and the parent.
+* **RPR602** — iteration over a ``set`` (literal, comprehension,
+  ``set()``/``frozenset()`` call, set algebra, or a ``Set``-annotated
+  parameter) without ``sorted()`` inside verdict/audit code
+  (``repro.core``/``repro.obs``).  Set order is hash-seed dependent;
+  any verdict derived from it is not reproducible.
+* **RPR603** — mutating ``os.environ`` (anywhere): environment writes
+  leak across trials and workers and are invisible to the manifest.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.checks.index import FunctionInfo, ModuleInfo, ProjectIndex
+from repro.checks.lint import Finding
+
+#: Functions whose first argument is executed in pool workers.
+WORKER_DISPATCHERS = frozenset({"run_trials"})
+
+#: Modules allowed to keep process-wide state: the pool machinery
+#: itself and the metrics plumbing whose snapshots are merged back in
+#: task order (``MetricsRegistry.merge_snapshot``).
+APPROVED_STATE_MODULES = frozenset(
+    {
+        "repro.util.caches",
+        "repro.experiments.parallel",
+        "repro.obs.runtime",
+        "repro.obs.registry",
+    }
+)
+
+#: Method calls that mutate their receiver in place.
+_MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "clear",
+        "extend",
+        "insert",
+        "remove",
+        "discard",
+        "appendleft",
+        "__setitem__",
+    }
+)
+
+#: Environ methods that mutate the process environment.
+_ENVIRON_MUTATORS = frozenset({"update", "setdefault", "pop", "popitem", "clear"})
+
+#: Module prefixes whose iteration order feeds verdicts/audit trails.
+_ORDER_SENSITIVE_PREFIXES = ("repro.core", "repro.obs")
+
+_SET_METHODS = frozenset(
+    {"difference", "union", "intersection", "symmetric_difference", "copy"}
+)
+
+
+def _is_environ(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == "environ"
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "os"
+    )
+
+
+class RacePass:
+    """Runs the RPR6xx determinism analysis over a project index."""
+
+    def __init__(self, index: ProjectIndex) -> None:
+        self.index = index
+        self.findings: List[Finding] = []
+
+    # -- reporting ---------------------------------------------------------
+
+    def _add(self, module: ModuleInfo, node: ast.AST, code: str, message: str) -> None:
+        self.findings.append(
+            Finding(
+                path=module.path,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0),
+                code=code,
+                message=message,
+            )
+        )
+
+    # -- worker entrypoints ------------------------------------------------
+
+    def worker_roots(self) -> Set[str]:
+        """Qualnames executed inside pool workers or engine hooks."""
+        roots: Set[str] = set()
+        for module in self.index.modules.values():
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                name = (
+                    func.id
+                    if isinstance(func, ast.Name)
+                    else func.attr
+                    if isinstance(func, ast.Attribute)
+                    else None
+                )
+                if name not in WORKER_DISPATCHERS or not node.args:
+                    continue
+                arg = node.args[0]
+                if isinstance(arg, ast.Name):
+                    qual = self._resolve_function_name(module, arg.id)
+                    if qual is not None:
+                        roots.add(qual)
+        for qual, fn in self.index.functions.items():
+            if fn.name.startswith("on_") and fn.is_method:
+                roots.add(qual)
+        return roots
+
+    def _resolve_function_name(self, module: ModuleInfo, name: str) -> Optional[str]:
+        local = f"{module.name}.{name}"
+        if local in self.index.functions:
+            return local
+        target = module.imports.get(name)
+        if target is not None and target in self.index.functions:
+            return target
+        return None
+
+    # -- RPR601: shared mutable state -------------------------------------
+
+    def _module_exempt(self, module: ModuleInfo) -> bool:
+        return (
+            module.name in APPROVED_STATE_MODULES
+            or module.references_cache_registry
+        )
+
+    def _local_names(self, fn: FunctionInfo) -> Tuple[Set[str], Set[str]]:
+        """(names declared ``global``, names bound locally) in ``fn``."""
+        declared: Set[str] = set()
+        local: Set[str] = {p.name for p in fn.params}
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Global):
+                declared.update(node.names)
+            elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    for sub in ast.walk(target):
+                        if isinstance(sub, ast.Name):
+                            local.add(sub.id)
+            elif isinstance(node, (ast.For, ast.comprehension)):
+                for sub in ast.walk(node.target):
+                    if isinstance(sub, ast.Name):
+                        local.add(sub.id)
+        return declared, local - declared
+
+    def _global_writes(
+        self, module: ModuleInfo, fn: FunctionInfo
+    ) -> Iterator[Tuple[ast.AST, str, str]]:
+        """Yield (node, global name, kind) for writes to module state."""
+        declared, local = self._local_names(fn)
+
+        def is_shared(name: str) -> bool:
+            if name in declared:
+                return True
+            return name in module.globals and name not in local
+
+        for node in ast.walk(fn.node):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Name) and target.id in declared:
+                        yield node, target.id, "rebinding"
+                    elif isinstance(target, ast.Subscript) and isinstance(
+                        target.value, ast.Name
+                    ):
+                        if is_shared(target.value.id):
+                            yield node, target.value.id, "item assignment"
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    base = target
+                    if isinstance(base, ast.Subscript):
+                        base = base.value
+                    if isinstance(base, ast.Name) and is_shared(base.id):
+                        yield node, base.id, "deletion"
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _MUTATING_METHODS
+                    and isinstance(func.value, ast.Name)
+                    and is_shared(func.value.id)
+                    and func.value.id in module.globals
+                    and module.globals[func.value.id].mutable
+                ):
+                    yield node, func.value.id, f".{func.attr}() mutation"
+
+    def _check_shared_state(self) -> None:
+        roots = self.worker_roots()
+        reachable = self.index.reachable_from(roots)
+        by_qual: Dict[str, FunctionInfo] = self.index.functions
+        for qual in sorted(reachable):
+            fn = by_qual[qual]
+            module = self.index.modules.get(fn.module)
+            if module is None or self._module_exempt(module):
+                continue
+            for node, name, kind in self._global_writes(module, fn):
+                self._add(
+                    module,
+                    node,
+                    "RPR601",
+                    f"{fn.qualname} is reachable from a parallel worker "
+                    f"entrypoint but performs {kind} of module-level state "
+                    f"`{name}`; register it with repro.util.caches."
+                    "register_cache_reset or merge results explicitly",
+                )
+
+    # -- RPR602: unordered iteration --------------------------------------
+
+    def _set_annotated_params(self, fn: FunctionInfo) -> Set[str]:
+        names: Set[str] = set()
+        for param in fn.params:
+            if param.annotation is None:
+                continue
+            for sub in ast.walk(param.annotation):
+                label = None
+                if isinstance(sub, ast.Name):
+                    label = sub.id
+                elif isinstance(sub, ast.Attribute):
+                    label = sub.attr
+                elif isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+                    label = sub.value
+                if label in ("Set", "FrozenSet", "set", "frozenset", "AbstractSet"):
+                    names.add(param.name)
+                    break
+        return names
+
+    def _is_set_expr(self, node: ast.expr, set_names: Set[str]) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in set_names
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+                return True
+            if isinstance(func, ast.Attribute) and func.attr in _SET_METHODS:
+                return self._is_set_expr(func.value, set_names)
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self._is_set_expr(node.left, set_names) or self._is_set_expr(
+                node.right, set_names
+            )
+        return False
+
+    def _check_unordered_iteration(self) -> None:
+        for mod_name in sorted(self.index.modules):
+            if not mod_name.startswith(_ORDER_SENSITIVE_PREFIXES):
+                continue
+            module = self.index.modules[mod_name]
+            for fn in module.functions:
+                set_names = self._set_annotated_params(fn)
+                # Track local names bound to set-producing expressions.
+                for node in ast.walk(fn.node):
+                    if isinstance(node, ast.Assign):
+                        if self._is_set_expr(node.value, set_names):
+                            for target in node.targets:
+                                if isinstance(target, ast.Name):
+                                    set_names.add(target.id)
+                for node in ast.walk(fn.node):
+                    iters: List[ast.expr] = []
+                    if isinstance(node, ast.For):
+                        iters.append(node.iter)
+                    elif isinstance(
+                        node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+                    ):
+                        iters.extend(gen.iter for gen in node.generators)
+                    for iter_expr in iters:
+                        if self._is_set_expr(iter_expr, set_names):
+                            self._add(
+                                module,
+                                iter_expr,
+                                "RPR602",
+                                f"{fn.qualname} iterates over a set on a "
+                                "verdict/audit path; set order is hash-seed "
+                                "dependent — wrap the iterable in sorted()",
+                            )
+
+    # -- RPR603: environment mutation --------------------------------------
+
+    def _check_environ(self) -> None:
+        for mod_name in sorted(self.index.modules):
+            module = self.index.modules[mod_name]
+            for node in ast.walk(module.tree):
+                if isinstance(node, (ast.Assign, ast.AugAssign)):
+                    targets = (
+                        node.targets
+                        if isinstance(node, ast.Assign)
+                        else [node.target]
+                    )
+                    for target in targets:
+                        if isinstance(target, ast.Subscript) and _is_environ(
+                            target.value
+                        ):
+                            self._add(
+                                module,
+                                node,
+                                "RPR603",
+                                "os.environ assignment leaks across trials "
+                                "and forked workers; pass configuration "
+                                "through task tuples instead",
+                            )
+                elif isinstance(node, ast.Delete):
+                    for target in node.targets:
+                        if isinstance(target, ast.Subscript) and _is_environ(
+                            target.value
+                        ):
+                            self._add(
+                                module,
+                                node,
+                                "RPR603",
+                                "del os.environ[...] mutates process-wide "
+                                "state shared with forked workers",
+                            )
+                elif isinstance(node, ast.Call):
+                    func = node.func
+                    if (
+                        isinstance(func, ast.Attribute)
+                        and func.attr in _ENVIRON_MUTATORS
+                        and _is_environ(func.value)
+                    ):
+                        self._add(
+                            module,
+                            node,
+                            "RPR603",
+                            f"os.environ.{func.attr}() mutates process-wide "
+                            "state shared with forked workers",
+                        )
+                    elif (
+                        isinstance(func, ast.Attribute)
+                        and func.attr == "putenv"
+                        and isinstance(func.value, ast.Name)
+                        and func.value.id == "os"
+                    ):
+                        self._add(
+                            module,
+                            node,
+                            "RPR603",
+                            "os.putenv() mutates process-wide state shared "
+                            "with forked workers",
+                        )
+
+    # -- entry -------------------------------------------------------------
+
+    def run(self) -> List[Finding]:
+        self._check_shared_state()
+        self._check_unordered_iteration()
+        self._check_environ()
+        return sorted(
+            self.findings, key=lambda f: (f.path, f.line, f.col, f.code)
+        )

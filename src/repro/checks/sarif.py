@@ -1,0 +1,167 @@
+"""SARIF 2.1.0 export for repro.checks findings.
+
+SARIF (Static Analysis Results Interchange Format) is what code-scanning
+UIs ingest; emitting it lets CI upload the deep pass's findings as a
+reviewable artifact.  Only the small, stable core of the spec is
+produced: one run, one driver, one result per finding with a single
+physical location.
+
+Because the container has no SARIF toolchain to validate against,
+:func:`validate_sarif` re-implements the handful of structural
+invariants the consumers we target actually rely on; CI runs it over
+the emitted file so a malformed document fails the build rather than
+uploading garbage.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from repro.checks.lint import Finding, LintRule
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+TOOL_NAME = "repro.checks"
+TOOL_URI = "https://example.invalid/repro-checks"
+
+
+def to_sarif(
+    findings: Sequence[Finding], rules: Sequence[LintRule], tool_version: str = "2.0.0"
+) -> Dict[str, Any]:
+    """Build a SARIF 2.1.0 document from findings + the rule catalogue."""
+    rule_ids = [rule.code for rule in rules]
+    rule_index = {code: i for i, code in enumerate(rule_ids)}
+    results: List[Dict[str, Any]] = []
+    for finding in findings:
+        result: Dict[str, Any] = {
+            "ruleId": finding.code,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/"),
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": max(finding.line, 1),
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if finding.code in rule_index:
+            result["ruleIndex"] = rule_index[finding.code]
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": TOOL_URI,
+                        "version": tool_version,
+                        "rules": [
+                            {
+                                "id": rule.code,
+                                "shortDescription": {"text": rule.summary},
+                                "defaultConfiguration": {"level": "error"},
+                            }
+                            for rule in rules
+                        ],
+                    }
+                },
+                "columnKind": "unicodeCodePoints",
+                "results": results,
+            }
+        ],
+    }
+
+
+def write_sarif(path: str, document: Dict[str, Any]) -> None:
+    """Serialize a SARIF document to disk (trailing newline, sorted keys)."""
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def validate_sarif(document: Any) -> List[str]:
+    """Structural validation; returns a list of problems (empty = valid)."""
+    problems: List[str] = []
+    if not isinstance(document, dict):
+        return ["document is not a JSON object"]
+    if document.get("version") != SARIF_VERSION:
+        problems.append(f"version must be {SARIF_VERSION!r}")
+    runs = document.get("runs")
+    if not isinstance(runs, list) or not runs:
+        problems.append("runs must be a non-empty array")
+        return problems
+    for run_index, run in enumerate(runs):
+        label = f"runs[{run_index}]"
+        if not isinstance(run, dict):
+            problems.append(f"{label} is not an object")
+            continue
+        driver = run.get("tool", {}).get("driver") if isinstance(run.get("tool"), dict) else None
+        if not isinstance(driver, dict) or not driver.get("name"):
+            problems.append(f"{label}.tool.driver.name is required")
+            continue
+        rule_ids = set()
+        for rule in driver.get("rules", []):
+            if not isinstance(rule, dict) or not rule.get("id"):
+                problems.append(f"{label}: rule without an id")
+                continue
+            rule_ids.add(rule["id"])
+        results = run.get("results")
+        if not isinstance(results, list):
+            problems.append(f"{label}.results must be an array")
+            continue
+        for i, result in enumerate(results):
+            rlabel = f"{label}.results[{i}]"
+            if not isinstance(result, dict):
+                problems.append(f"{rlabel} is not an object")
+                continue
+            rule_id = result.get("ruleId")
+            if not rule_id:
+                problems.append(f"{rlabel}.ruleId is required")
+            elif rule_ids and rule_id not in rule_ids:
+                problems.append(
+                    f"{rlabel}.ruleId {rule_id!r} is not in the driver's rules"
+                )
+            message = result.get("message")
+            if not isinstance(message, dict) or not isinstance(
+                message.get("text"), str
+            ):
+                problems.append(f"{rlabel}.message.text is required")
+            for j, location in enumerate(result.get("locations", [])):
+                phys = (
+                    location.get("physicalLocation")
+                    if isinstance(location, dict)
+                    else None
+                )
+                if not isinstance(phys, dict):
+                    problems.append(
+                        f"{rlabel}.locations[{j}].physicalLocation is required"
+                    )
+                    continue
+                artifact = phys.get("artifactLocation")
+                if not isinstance(artifact, dict) or not artifact.get("uri"):
+                    problems.append(
+                        f"{rlabel}.locations[{j}]: artifactLocation.uri is required"
+                    )
+                region = phys.get("region")
+                if isinstance(region, dict):
+                    start = region.get("startLine")
+                    if not isinstance(start, int) or start < 1:
+                        problems.append(
+                            f"{rlabel}.locations[{j}]: region.startLine must be >= 1"
+                        )
+    return problems

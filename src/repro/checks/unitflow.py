@@ -1,0 +1,599 @@
+"""Deep pass 1 — unit-flow analysis (rules RPR5xx).
+
+The engine's verdicts hinge on slot-exact integer timing: a single
+``slots``-vs-``µs`` mix-up silently corrupts every rank-sum window built
+on top of it.  This pass propagates *units* through assignments, calls
+and arithmetic, whole-program:
+
+* **sources** — parameter/return annotations using the
+  :mod:`repro.util.units` NewTypes (``Slots``, ``Microseconds``,
+  ``Seconds``, ``Meters``), plus a conservative name-suffix convention
+  (``*_slots``/``*_slot`` -> slots, ``*_us`` -> microseconds,
+  ``*_seconds``/``*_s`` -> seconds, ``*_meters``/``*_range`` -> meters)
+  for code the annotations have not reached yet;
+* **propagation** — assignments carry units; ``+``/``-`` of like units
+  stays that unit; multiplying by a dimensionless value (or by a slot
+  *count*) keeps the other operand's unit; dividing like units cancels
+  to dimensionless; anything else degrades to *unknown*, never to a
+  guess;
+* **sinks** — mixed-unit arithmetic, call arguments whose unit differs
+  from the callee's declared parameter unit (resolved through the
+  project index, so the check crosses module boundaries), float-tainted
+  expressions flowing into slot-typed targets, and returns that violate
+  the declared return unit.
+
+Rules
+-----
+
+==========  ============================================================
+``RPR501``  arithmetic or comparison mixing two different units
+``RPR502``  call argument whose unit differs from the parameter's
+``RPR503``  float-producing expression bound to a slot-typed target
+``RPR504``  return value whose unit differs from the declared return
+==========  ============================================================
+
+Unknown units never fire: the pass only reports when *both* sides carry
+a confidently inferred, conflicting unit.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.checks.index import FunctionInfo, ModuleInfo, ProjectIndex
+from repro.checks.lint import Finding
+
+SLOTS = "slots"
+MICROSECONDS = "us"
+SECONDS = "seconds"
+METERS = "meters"
+#: Dimensionless values (literals, counts); mixes freely with any unit.
+SCALAR = "scalar"
+
+#: NewType names (repro.util.units) -> unit.
+UNIT_TYPE_NAMES: Dict[str, str] = {
+    "Slots": SLOTS,
+    "Microseconds": MICROSECONDS,
+    "Seconds": SECONDS,
+    "Meters": METERS,
+}
+
+_HUMAN = {
+    SLOTS: "slots",
+    MICROSECONDS: "microseconds",
+    SECONDS: "seconds",
+    METERS: "meters",
+}
+
+#: Identifier-suffix conventions, checked in order (first match wins).
+_SUFFIX_RULES: Tuple[Tuple[re.Pattern, str], ...] = (
+    (re.compile(r"(?:^|_)slots?$", re.IGNORECASE), SLOTS),
+    (re.compile(r"(?:^|_)us$|(?:^|_)microseconds$", re.IGNORECASE), MICROSECONDS),
+    # `_s` needs a stem of >= 2 chars: `time_s` is seconds, `d_s` is
+    # "distance to sender".
+    (re.compile(r"(?:^|_)seconds$|[a-z0-9]{2}_s$", re.IGNORECASE), SECONDS),
+    (re.compile(r"(?:^|_)meters$|._ranges?$", re.IGNORECASE), METERS),
+)
+
+#: Calls that keep their (single) argument's unit.
+_UNIT_PRESERVING_CALLS = frozenset(
+    {"int", "round", "abs", "float", "max", "min", "sum", "sorted"}
+)
+
+#: Calls whose result is integral (stops float-taint propagation).
+_INT_COERCING_CALLS = frozenset({"int", "round", "len", "floor", "ceil"})
+
+_ARITH_OPS = (ast.Add, ast.Sub)
+_ORDER_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+
+
+def annotation_unit(annotation: Optional[ast.expr]) -> Optional[str]:
+    """The unit an annotation expression declares, if exactly one."""
+    if annotation is None:
+        return None
+    found = set()
+    for sub in ast.walk(annotation):
+        name: Optional[str] = None
+        if isinstance(sub, ast.Name):
+            name = sub.id
+        elif isinstance(sub, ast.Attribute):
+            name = sub.attr
+        elif isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            # String annotations: "Slots", "Optional[Slots]", ...
+            for type_name in UNIT_TYPE_NAMES:
+                if re.search(rf"\b{type_name}\b", sub.value):
+                    found.add(UNIT_TYPE_NAMES[type_name])
+        if name in UNIT_TYPE_NAMES:
+            found.add(UNIT_TYPE_NAMES[name])
+    if len(found) == 1:
+        return found.pop()
+    return None
+
+
+def name_unit(identifier: str) -> Optional[str]:
+    """The unit an identifier's suffix conventionally declares."""
+    for pattern, unit in _SUFFIX_RULES:
+        if pattern.search(identifier):
+            return unit
+    return None
+
+
+def _literal_value(node: ast.expr) -> Optional[float]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        return float(node.value)
+    return None
+
+
+def _conversion_unit(node: ast.BinOp, left: Optional[str], right: Optional[str]) -> Optional[str]:
+    """Recognize literal 1e6 factors as µs <-> seconds conversions."""
+    if isinstance(node.op, ast.Div):
+        if left == MICROSECONDS and _literal_value(node.right) == 1e6:
+            return SECONDS
+        if left == SECONDS and _literal_value(node.right) == 1e-6:
+            return MICROSECONDS
+    if isinstance(node.op, ast.Mult):
+        if left == SECONDS and _literal_value(node.right) == 1e6:
+            return MICROSECONDS
+        if right == SECONDS and _literal_value(node.left) == 1e6:
+            return MICROSECONDS
+    return None
+
+
+def _combine(op: ast.operator, left: Optional[str], right: Optional[str]) -> Optional[str]:
+    """Resulting unit of ``left <op> right`` (None = unknown)."""
+    if isinstance(op, _ARITH_OPS) or isinstance(op, ast.Mod):
+        if left == SCALAR:
+            return right
+        if right == SCALAR:
+            return left
+        if left is not None and left == right:
+            return left
+        return None
+    if isinstance(op, ast.Mult):
+        operands = {left, right}
+        if SCALAR in operands:
+            operands.discard(SCALAR)
+            return operands.pop() if operands else SCALAR
+        # A slot count acts as a dimensionless multiplier
+        # (slots * slot_time_us -> microseconds).
+        if SLOTS in operands and len(operands) > 1:
+            operands.discard(SLOTS)
+            return operands.pop()
+        return None
+    if isinstance(op, (ast.Div, ast.FloorDiv)):
+        if right == SCALAR:
+            return left
+        if left is not None and left is not SCALAR and left == right:
+            return SCALAR  # like units cancel
+        return None
+    return None
+
+
+class _ScopeAnalyzer:
+    """Unit dataflow over one function body (or a module body)."""
+
+    def __init__(
+        self,
+        pass_: "UnitFlowPass",
+        module: ModuleInfo,
+        function: Optional[FunctionInfo],
+    ) -> None:
+        self.pass_ = pass_
+        self.module = module
+        self.function = function
+        self.env: Dict[str, Optional[str]] = {}
+        self.declared_return: Optional[str] = None
+        if function is not None:
+            for param in function.params:
+                unit = annotation_unit(param.annotation) or name_unit(param.name)
+                if unit is not None:
+                    self.env[param.name] = unit
+            self.declared_return = annotation_unit(function.returns)
+
+    # -- reporting ---------------------------------------------------------
+
+    def _add(self, node: ast.AST, code: str, message: str) -> None:
+        scope = self.function.qualname if self.function else self.module.name
+        self.pass_.add(self.module, node, code, message, scope)
+
+    # -- expression units --------------------------------------------------
+
+    def lookup_name(self, name: str) -> Optional[str]:
+        if name in self.env:
+            return self.env[name]
+        target = self.module.imports.get(name)
+        if target is not None:
+            # Imported constant: unit from its name in the source module.
+            tail = target.rsplit(".", 1)[-1]
+            unit = name_unit(tail)
+            if unit is not None:
+                return unit
+        if name in self.module.globals:
+            return name_unit(name)
+        return name_unit(name)
+
+    def _call_unit(self, node: ast.Call) -> Optional[str]:
+        callee = self.pass_.index.resolve_callable(
+            self.module, node, self.function
+        )
+        self._check_call(node, callee)
+        func = node.func
+        func_name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if callee is not None:
+            unit = annotation_unit(callee.returns)
+            if unit is not None:
+                return unit
+            if callee.name == "__init__":
+                return None
+        if func_name in _UNIT_PRESERVING_CALLS and node.args:
+            arg_units = {self.expr_unit(a) for a in node.args}
+            arg_units.discard(SCALAR)
+            if not arg_units:
+                return SCALAR
+            if len(arg_units) == 1:
+                return arg_units.pop()
+            return None
+        # Evaluate remaining arguments for nested findings.
+        for arg in node.args:
+            self.expr_unit(arg)
+        for kw in node.keywords:
+            if kw.value is not None:
+                self.expr_unit(kw.value)
+        if callee is not None:
+            return name_unit(callee.name)
+        if func_name is not None and func_name not in ("range",):
+            return name_unit(func_name)
+        return None
+
+    def expr_unit(self, node: Optional[ast.expr]) -> Optional[str]:
+        """Infer a unit, emitting findings for conflicts along the way."""
+        if node is None:
+            return None
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool):
+                return None
+            if isinstance(node.value, (int, float)):
+                return SCALAR
+            return None
+        if isinstance(node, ast.Name):
+            return self.lookup_name(node.id)
+        if isinstance(node, ast.Attribute):
+            self.expr_unit(node.value)
+            prop_unit = self.pass_.property_unit(node.attr)
+            if prop_unit is not None:
+                return prop_unit
+            return name_unit(node.attr)
+        if isinstance(node, ast.UnaryOp):
+            return self.expr_unit(node.operand)
+        if isinstance(node, ast.BinOp):
+            left = self.expr_unit(node.left)
+            right = self.expr_unit(node.right)
+            converted = _conversion_unit(node, left, right)
+            if converted is not None:
+                return converted
+            if (
+                isinstance(node.op, _ARITH_OPS)
+                and left is not None
+                and right is not None
+                and SCALAR not in (left, right)
+                and left != right
+            ):
+                self._add(
+                    node,
+                    "RPR501",
+                    f"mixed-unit arithmetic: {_HUMAN[left]} "
+                    f"{'+' if isinstance(node.op, ast.Add) else '-'} "
+                    f"{_HUMAN[right]} (convert explicitly via repro.util.units)",
+                )
+                return None
+            return _combine(node.op, left, right)
+        if isinstance(node, ast.Compare):
+            operands = [node.left, *node.comparators]
+            units = [self.expr_unit(o) for o in operands]
+            for op, (lu, ru) in zip(node.ops, zip(units, units[1:])):
+                if (
+                    isinstance(op, _ORDER_OPS)
+                    and lu is not None
+                    and ru is not None
+                    and SCALAR not in (lu, ru)
+                    and lu != ru
+                ):
+                    self._add(
+                        node,
+                        "RPR501",
+                        f"mixed-unit comparison: {_HUMAN[lu]} vs {_HUMAN[ru]} "
+                        "(convert explicitly via repro.util.units)",
+                    )
+            return None
+        if isinstance(node, ast.Call):
+            return self._call_unit(node)
+        if isinstance(node, ast.IfExp):
+            self.expr_unit(node.test)
+            a = self.expr_unit(node.body)
+            b = self.expr_unit(node.orelse)
+            return a if a == b else None
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            for elt in node.elts:
+                self.expr_unit(elt)
+            return None
+        if isinstance(node, ast.Starred):
+            return self.expr_unit(node.value)
+        # Comprehensions, subscripts, lambdas, f-strings...: walk nested
+        # expressions so conflicts inside still surface, result unknown.
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.expr_unit(child)
+            elif isinstance(child, ast.comprehension):
+                self.expr_unit(child.iter)
+                for cond in child.ifs:
+                    self.expr_unit(cond)
+        return None
+
+    # -- float taint -------------------------------------------------------
+
+    def is_float_tainted(self, node: ast.expr) -> bool:
+        """True when the expression's value is structurally float."""
+        if isinstance(node, ast.Constant):
+            return type(node.value) is float
+        if isinstance(node, ast.UnaryOp):
+            return self.is_float_tainted(node.operand)
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, ast.Div):
+                return True
+            return self.is_float_tainted(node.left) or self.is_float_tainted(
+                node.right
+            )
+        if isinstance(node, ast.Call):
+            func = node.func
+            func_name = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else None
+            )
+            if func_name in _INT_COERCING_CALLS:
+                return False
+            if func_name == "float":
+                return True
+            if func_name in _UNIT_PRESERVING_CALLS:
+                return any(self.is_float_tainted(a) for a in node.args)
+            callee = self.pass_.index.resolve_callable(
+                self.module, node, self.function
+            )
+            if callee is not None and callee.returns is not None:
+                ret = callee.returns
+                if isinstance(ret, ast.Name):
+                    if ret.id in ("float", "Microseconds", "Seconds", "Meters"):
+                        return True
+            return False
+        if isinstance(node, ast.IfExp):
+            return self.is_float_tainted(node.body) or self.is_float_tainted(
+                node.orelse
+            )
+        return False
+
+    def _check_slot_taint(self, node: ast.AST, value: ast.expr, label: str) -> None:
+        if self.is_float_tainted(value):
+            self._add(
+                node,
+                "RPR503",
+                f"float-contaminated expression flows into slot-typed {label}: "
+                "slot counts are integers (use // or "
+                "repro.util.units.microseconds_to_slots)",
+            )
+
+    # -- calls -------------------------------------------------------------
+
+    def _check_call(self, node: ast.Call, callee: Optional[FunctionInfo]) -> None:
+        if callee is None:
+            return
+        params = callee.positional_params()
+        if any(isinstance(a, ast.Starred) for a in node.args):
+            return
+        pairs: List[Tuple[str, Optional[ast.expr], ast.expr]] = []
+        for param, arg in zip(params, node.args):
+            pairs.append((param.name, param.annotation, arg))
+        by_name = {p.name: p for p in params}
+        for kw in node.keywords:
+            if kw.arg is not None and kw.arg in by_name:
+                param = by_name[kw.arg]
+                pairs.append((param.name, param.annotation, kw.value))
+        for param_name, param_annotation, arg in pairs:
+            param_unit = annotation_unit(param_annotation) or name_unit(param_name)
+            if param_unit is None:
+                continue
+            arg_unit = self.expr_unit(arg)
+            if (
+                arg_unit is not None
+                and SCALAR not in (arg_unit, param_unit)
+                and arg_unit != param_unit
+            ):
+                self._add(
+                    arg,
+                    "RPR502",
+                    f"unit mismatch in call to {callee.name}(): argument "
+                    f"`{param_name}` expects {_HUMAN[param_unit]} but the "
+                    f"value carries {_HUMAN[arg_unit]}",
+                )
+            if param_unit == SLOTS:
+                self._check_slot_taint(arg, arg, f"parameter `{param_name}`")
+
+    # -- statements --------------------------------------------------------
+
+    def _bind(self, target: ast.expr, unit: Optional[str], value: Optional[ast.expr]) -> None:
+        if isinstance(target, ast.Name):
+            declared = self.env.get(target.id) or name_unit(target.id)
+            if (
+                value is not None
+                and declared is not None
+                and unit is not None
+                and SCALAR not in (declared, unit)
+                and declared != unit
+            ):
+                self._add(
+                    value,
+                    "RPR504",
+                    f"`{target.id}` carries {_HUMAN[declared]} but is assigned "
+                    f"a value in {_HUMAN[unit]}",
+                )
+                self.env[target.id] = declared
+                return
+            self.env[target.id] = unit if unit is not None else declared
+            if declared == SLOTS and value is not None:
+                self._check_slot_taint(value, value, f"name `{target.id}`")
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind(elt, None, None)
+
+    def handle_statements(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            self.handle_statement(stmt)
+
+    def handle_statement(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            unit = self.expr_unit(stmt.value)
+            for target in stmt.targets:
+                self._bind(target, unit, stmt.value)
+            return
+        if isinstance(stmt, ast.AnnAssign):
+            declared = annotation_unit(stmt.annotation)
+            unit = self.expr_unit(stmt.value) if stmt.value else None
+            if isinstance(stmt.target, ast.Name):
+                if (
+                    declared is not None
+                    and unit is not None
+                    and SCALAR not in (declared, unit)
+                    and declared != unit
+                    and stmt.value is not None
+                ):
+                    self._add(
+                        stmt.value,
+                        "RPR504",
+                        f"`{stmt.target.id}` is declared "
+                        f"{_HUMAN[declared]} but assigned a value in "
+                        f"{_HUMAN[unit]}",
+                    )
+                self.env[stmt.target.id] = declared or unit
+                if declared == SLOTS and stmt.value is not None:
+                    self._check_slot_taint(
+                        stmt.value, stmt.value, f"name `{stmt.target.id}`"
+                    )
+            return
+        if isinstance(stmt, ast.AugAssign):
+            target_unit = None
+            if isinstance(stmt.target, ast.Name):
+                target_unit = self.lookup_name(stmt.target.id)
+            elif isinstance(stmt.target, ast.Attribute):
+                target_unit = name_unit(stmt.target.attr)
+            value_unit = self.expr_unit(stmt.value)
+            if (
+                isinstance(stmt.op, _ARITH_OPS)
+                and target_unit is not None
+                and value_unit is not None
+                and SCALAR not in (target_unit, value_unit)
+                and target_unit != value_unit
+            ):
+                self._add(
+                    stmt,
+                    "RPR501",
+                    f"mixed-unit arithmetic: {_HUMAN[target_unit]} "
+                    f"augmented with {_HUMAN[value_unit]}",
+                )
+            if target_unit == SLOTS:
+                self._check_slot_taint(stmt, stmt.value, "augmented target")
+            return
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                unit = self.expr_unit(stmt.value)
+                if (
+                    self.declared_return is not None
+                    and unit is not None
+                    and SCALAR not in (unit, self.declared_return)
+                    and unit != self.declared_return
+                ):
+                    self._add(
+                        stmt,
+                        "RPR504",
+                        f"return declared {_HUMAN[self.declared_return]} but "
+                        f"the value carries {_HUMAN[unit]}",
+                    )
+                if self.declared_return == SLOTS:
+                    self._check_slot_taint(stmt, stmt.value, "return value")
+            return
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested scopes are analyzed via the function table
+        if isinstance(stmt, ast.For):
+            self.expr_unit(stmt.iter)
+            self._bind(stmt.target, None, None)
+            self.handle_statements(stmt.body)
+            self.handle_statements(stmt.orelse)
+            return
+        if isinstance(stmt, (ast.While, ast.If)):
+            self.expr_unit(stmt.test)
+            self.handle_statements(stmt.body)
+            self.handle_statements(stmt.orelse)
+            return
+        if isinstance(stmt, ast.With):
+            for item in stmt.items:
+                self.expr_unit(item.context_expr)
+            self.handle_statements(stmt.body)
+            return
+        if isinstance(stmt, ast.Try):
+            self.handle_statements(stmt.body)
+            for handler in stmt.handlers:
+                self.handle_statements(handler.body)
+            self.handle_statements(stmt.orelse)
+            self.handle_statements(stmt.finalbody)
+            return
+        # Generic statements: evaluate their direct expressions.
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self.expr_unit(child)
+
+
+class UnitFlowPass:
+    """Runs the RPR5xx unit-flow analysis over a project index."""
+
+    def __init__(self, index: ProjectIndex) -> None:
+        self.index = index
+        self.findings: List[Finding] = []
+        self._property_units: Optional[Dict[str, Optional[str]]] = None
+
+    def add(
+        self, module: ModuleInfo, node: ast.AST, code: str, message: str, scope: str
+    ) -> None:
+        self.findings.append(
+            Finding(
+                path=module.path,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0),
+                code=code,
+                message=f"{message} [in {scope}]",
+            )
+        )
+
+    def property_unit(self, attr: str) -> Optional[str]:
+        """Unit of ``x.attr`` when every def of ``attr`` agrees on one."""
+        if self._property_units is None:
+            table: Dict[str, Optional[str]] = {}
+            for name, fns in self.index.methods_by_name.items():
+                units = {annotation_unit(fn.returns) for fn in fns}
+                if len(units) == 1:
+                    table[name] = units.pop()
+                else:
+                    table[name] = None
+            self._property_units = table
+        return self._property_units.get(attr)
+
+    def run(self) -> List[Finding]:
+        for mod_name in sorted(self.index.modules):
+            module = self.index.modules[mod_name]
+            _ScopeAnalyzer(self, module, None).handle_statements(module.tree.body)
+            for fn in module.functions:
+                analyzer = _ScopeAnalyzer(self, module, fn)
+                body = getattr(fn.node, "body", [])
+                analyzer.handle_statements(body)
+        return sorted(
+            self.findings, key=lambda f: (f.path, f.line, f.col, f.code)
+        )

@@ -436,8 +436,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"profile: wall time {duration:.3f} s")
 
     if args.json_out:
-        from repro.experiments.runner import fidelity_scale
         from repro.obs.manifest import RunManifest
+        from repro.util.fidelity import fidelity_scale
 
         manifest = RunManifest(
             name=args.command,

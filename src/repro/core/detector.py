@@ -52,6 +52,7 @@ from repro.mac.prng import VerifiableBackoffPrng
 from repro.obs.audit import AuditRecord, DecisionAuditLog
 from repro.sim.listeners import SimulationListener
 from repro.util.caches import register_cache_reset
+from repro.util.units import Slots
 
 if TYPE_CHECKING:  # pragma: no cover - import-time only
     from repro.core.deterministic import DeterministicViolation
@@ -256,7 +257,7 @@ class BackoffMisbehaviorDetector(SimulationListener):
     # -- listener plumbing -------------------------------------------------
 
     def on_transmission_start(
-        self, slot: int, transmission: "Transmission", medium: "Medium"
+        self, slot: Slots, transmission: "Transmission", medium: "Medium"
     ) -> None:
         if self._subscribed:
             raise RuntimeError(
@@ -267,7 +268,7 @@ class BackoffMisbehaviorDetector(SimulationListener):
 
     def on_positions_updated(
         self,
-        slot: int,
+        slot: Slots,
         positions: Dict[int, Tuple[float, float]],
         medium: "Medium",
     ) -> None:
@@ -312,7 +313,7 @@ class BackoffMisbehaviorDetector(SimulationListener):
 
     def on_transmission_end(
         self,
-        slot: int,
+        slot: Slots,
         transmission: "Transmission",
         success: bool,
         medium: "Medium",
@@ -341,7 +342,7 @@ class BackoffMisbehaviorDetector(SimulationListener):
 
     # -- online state ------------------------------------------------------
 
-    def _advance_arma(self, slot: int) -> None:
+    def _advance_arma(self, slot: Slots) -> None:
         # Busy intervals are recorded when transmissions *end*, so slots
         # closer than one full exchange to the present may still gain
         # busy mass from in-flight transmissions.  Only slots older than
@@ -619,7 +620,7 @@ class BackoffMisbehaviorDetector(SimulationListener):
             detail=violation.detail,
         )
 
-    def _evaluate(self, slot: int) -> None:
+    def _evaluate(self, slot: Slots) -> None:
         decision, result = self.test.evaluate()
         if decision is TestDecision.NOT_ENOUGH_SAMPLES:
             return

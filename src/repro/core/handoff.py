@@ -32,6 +32,7 @@ from repro.core.deterministic import DeterministicViolation
 from repro.core.records import BackoffObservation, Verdict
 from repro.geometry.vectors import distance
 from repro.sim.listeners import SimulationListener
+from repro.util.units import Slots
 
 if TYPE_CHECKING:  # pragma: no cover - import-time only
     from repro.core.observatory import SharedChannelObservatory
@@ -133,7 +134,7 @@ class MonitorHandoff(SimulationListener):
     # -- listener plumbing ------------------------------------------------------
 
     def on_transmission_start(
-        self, slot: int, transmission: "Transmission", medium: "Medium"
+        self, slot: Slots, transmission: "Transmission", medium: "Medium"
     ) -> None:
         # Observatory mode: the subscription receives events directly;
         # this forwarding path only exists for the listener mode (the
@@ -142,7 +143,7 @@ class MonitorHandoff(SimulationListener):
 
     def on_transmission_end(
         self,
-        slot: int,
+        slot: Slots,
         transmission: "Transmission",
         success: bool,
         medium: "Medium",
@@ -151,7 +152,7 @@ class MonitorHandoff(SimulationListener):
 
     def on_positions_updated(
         self,
-        slot: int,
+        slot: Slots,
         positions: Dict[int, Tuple[float, float]],
         medium: "Medium",
     ) -> None:
@@ -177,7 +178,7 @@ class MonitorHandoff(SimulationListener):
         new_monitor: int,
         positions: Dict[int, Tuple[float, float]],
         medium: "Medium",
-        slot: int,
+        slot: Slots,
     ) -> None:
         self.retired_detectors.append(self.detector)
         self.handoffs += 1

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.sim.listeners import SimulationListener
+from repro.util.units import Slots
 
 if TYPE_CHECKING:  # pragma: no cover - import-time only
     from repro.faults.schedule import FaultSchedule
@@ -44,8 +45,8 @@ class ObservedTransmission:
     labels those ``"undecodable"`` when it quarantines them.
     """
 
-    start_slot: int
-    end_slot: int
+    start_slot: Slots
+    end_slot: Slots
     rts: "Optional[RtsFrame]"    # the decoded RtsFrame, or None if not decodable
     success: bool
     receiver: int
@@ -55,8 +56,8 @@ class ObservedTransmission:
 def joint_state_counts(
     observer_r: "ChannelViewBase",
     observer_s: "ChannelViewBase",
-    start: int,
-    end: int,
+    start: Slots,
+    end: Slots,
 ) -> Dict[str, int]:
     """Slot counts of the joint (R state, S state) channel view.
 
@@ -125,7 +126,7 @@ class ChannelViewBase:
 
     # -- busy/idle accounting ----------------------------------------------------
 
-    def _add_busy_interval(self, start: int, end: int) -> None:
+    def _add_busy_interval(self, start: Slots, end: Slots) -> None:
         """Insert [start, end) and merge with overlapping neighbors."""
         if end <= start:
             return
@@ -143,13 +144,13 @@ class ChannelViewBase:
         self._busy_starts.insert(i, start)
         self._busy_ends.insert(i, end)
 
-    def _add_own_interval(self, start: int, end: int) -> None:
+    def _add_own_interval(self, start: Slots, end: Slots) -> None:
         """Record one of the monitor's own tx periods (arrive in order)."""
         self.monitor_tx_slots += end - start
         self._own_starts.append(start)
         self._own_ends.append(end)
 
-    def busy_slots_in(self, start: int, end: int) -> int:
+    def busy_slots_in(self, start: Slots, end: Slots) -> Slots:
         """Number of busy slots the monitor saw in [start, end)."""
         if end <= start:
             return 0
@@ -164,7 +165,7 @@ class ChannelViewBase:
             i += 1
         return total
 
-    def busy_intervals_in(self, start: int, end: int) -> List[Tuple[int, int]]:
+    def busy_intervals_in(self, start: Slots, end: Slots) -> List[Tuple[int, int]]:
         """Busy sub-intervals clipped to [start, end), sorted, disjoint."""
         clipped: List[Tuple[int, int]] = []
         if end <= start:
@@ -181,12 +182,12 @@ class ChannelViewBase:
             i += 1
         return clipped
 
-    def idle_busy_counts(self, start: int, end: int) -> Tuple[int, int]:
+    def idle_busy_counts(self, start: Slots, end: Slots) -> Tuple[int, int]:
         """(idle, busy) slot counts at the monitor over [start, end)."""
         busy = self.busy_slots_in(start, end)
         return (end - start) - busy, busy
 
-    def idle_stretches_in(self, start: int, end: int) -> int:
+    def idle_stretches_in(self, start: Slots, end: Slots) -> int:
         """Number of maximal idle stretches within [start, end).
 
         Each stretch costs the sender a DIFS before it may resume its
@@ -205,7 +206,7 @@ class ChannelViewBase:
             stretches += 1
         return stretches
 
-    def own_tx_slots_in(self, start: int, end: int) -> int:
+    def own_tx_slots_in(self, start: Slots, end: Slots) -> Slots:
         """Slots in [start, end) spent transmitting by the monitor itself.
 
         The tagged neighbor certainly freezes during these (it senses
@@ -228,7 +229,7 @@ class ChannelViewBase:
             i += 1
         return total
 
-    def traffic_intensity(self, start: int, end: int) -> float:
+    def traffic_intensity(self, start: Slots, end: Slots) -> float:
         """Fraction of busy slots over [start, end) (the paper's rho)."""
         if end <= start:
             return 0.0
@@ -273,7 +274,7 @@ class ChannelObserver(ChannelViewBase, SimulationListener):
     # -- listener callbacks ----------------------------------------------------
 
     def on_transmission_start(
-        self, slot: int, transmission: "Transmission", medium: "Medium"
+        self, slot: Slots, transmission: "Transmission", medium: "Medium"
     ) -> None:
         key = id(transmission)
         sender = transmission.sender
@@ -290,7 +291,7 @@ class ChannelObserver(ChannelViewBase, SimulationListener):
 
     def on_transmission_end(
         self,
-        slot: int,
+        slot: Slots,
         transmission: "Transmission",
         success: bool,
         medium: "Medium",

@@ -39,6 +39,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 from repro.core.detector import BackoffMisbehaviorDetector, DetectorConfig
 from repro.core.observation import ChannelViewBase, ObservedTransmission
 from repro.sim.listeners import SimulationListener
+from repro.util.units import Slots
 
 if TYPE_CHECKING:  # pragma: no cover - import-time only
     from repro.core.arma import ArmaTrafficEstimator
@@ -76,7 +77,7 @@ class _ArmaFeed:
         self.detectors: List[BackoffMisbehaviorDetector] = []
 
     def advance(
-        self, slot: int, transmission: "Transmission", channel: "MonitorChannel"
+        self, slot: Slots, transmission: "Transmission", channel: "MonitorChannel"
     ) -> None:
         """Ingest finalized slots up to ``slot - exchange_slots``."""
         if self.birth_slot is None:
@@ -153,22 +154,22 @@ class ObservatorySubscription:
 
     # -- ChannelObserver-compatible query surface --------------------------
 
-    def busy_slots_in(self, start: int, end: int) -> int:
+    def busy_slots_in(self, start: Slots, end: Slots) -> int:
         return self.channel.busy_slots_in(start, end)
 
-    def busy_intervals_in(self, start: int, end: int) -> List[Tuple[int, int]]:
+    def busy_intervals_in(self, start: Slots, end: Slots) -> List[Tuple[int, int]]:
         return self.channel.busy_intervals_in(start, end)
 
-    def idle_busy_counts(self, start: int, end: int) -> Tuple[int, int]:
+    def idle_busy_counts(self, start: Slots, end: Slots) -> Tuple[int, int]:
         return self.channel.idle_busy_counts(start, end)
 
-    def idle_stretches_in(self, start: int, end: int) -> int:
+    def idle_stretches_in(self, start: Slots, end: Slots) -> int:
         return self.channel.idle_stretches_in(start, end)
 
-    def own_tx_slots_in(self, start: int, end: int) -> int:
+    def own_tx_slots_in(self, start: Slots, end: Slots) -> int:
         return self.channel.own_tx_slots_in(start, end)
 
-    def traffic_intensity(self, start: int, end: int) -> float:
+    def traffic_intensity(self, start: Slots, end: Slots) -> float:
         return self.channel.traffic_intensity(start, end)
 
     @property
@@ -200,7 +201,7 @@ class ObservatorySubscription:
             self._decodable_keys.clear()
 
     def on_positions_updated(
-        self, slot: int, positions: Dict[int, Position], medium: "Medium"
+        self, slot: Slots, positions: Dict[int, Position], medium: "Medium"
     ) -> None:
         """No-op: the shared channel needs no per-epoch work."""
 
@@ -356,7 +357,7 @@ class SharedChannelObservatory(SimulationListener):
     # -- engine listener callbacks -----------------------------------------
 
     def on_transmission_start(
-        self, slot: int, transmission: "Transmission", medium: "Medium"
+        self, slot: Slots, transmission: "Transmission", medium: "Medium"
     ) -> None:
         key = id(transmission)
         sender = transmission.sender
@@ -384,7 +385,7 @@ class SharedChannelObservatory(SimulationListener):
 
     def on_transmission_end(
         self,
-        slot: int,
+        slot: Slots,
         transmission: "Transmission",
         success: bool,
         medium: "Medium",
@@ -457,7 +458,7 @@ class SharedChannelObservatory(SimulationListener):
                 detector._process_new_observations(medium)
 
     def on_positions_updated(
-        self, slot: int, positions: Dict[int, Position], medium: "Medium"
+        self, slot: Slots, positions: Dict[int, Position], medium: "Medium"
     ) -> None:
         for unit in self._position_units:
             unit.on_positions_updated(slot, positions, medium)

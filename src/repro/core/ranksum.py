@@ -149,8 +149,11 @@ def rank_sum_test(
     u_y = w_y - n_y * (n_y + 1) / 2.0
 
     # Tie group sizes for the variance correction / exact-method gate.
+    # sorted(): set order is hash-seed dependent, and tie_sizes feeds
+    # the float tie correction in _normal_p where summation order
+    # changes the last bits of the variance.
     tie_sizes = []
-    for value in set(combined):
+    for value in sorted(set(combined)):
         t = combined.count(value)
         if t > 1:
             tie_sizes.append(t)

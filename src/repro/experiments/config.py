@@ -7,6 +7,8 @@ verbatim alongside the values actually used by this reproduction.
 
 from __future__ import annotations
 
+from typing import List, Tuple
+
 from dataclasses import dataclass, field
 
 
@@ -33,7 +35,7 @@ class Table1Config:
     routing_protocol: str = "AODV"
     transport_protocol: str = "UDP"
 
-    def rows(self):
+    def rows(self) -> List[Tuple[str, str]]:
         """The table rows as (parameter, value) string pairs."""
         return [
             ("Simulator", self.simulator),
@@ -68,7 +70,7 @@ class Table1Config:
             ("Transport protocol", self.transport_protocol),
         ]
 
-    def render(self):
+    def render(self) -> str:
         """The table as printable text."""
         rows = self.rows()
         width = max(len(name) for name, _value in rows)

@@ -10,12 +10,14 @@ index — so the starvation claim is itself reproducible.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.sim.listeners import SimulationListener
+from repro.util.units import Microseconds, Seconds, Slots
 from repro.util.validation import check_positive
 
 
-def jain_fairness_index(values):
+def jain_fairness_index(values: Iterable[float]) -> float:
     """Jain's index: 1.0 = perfectly fair, 1/n = one node takes all."""
     values = [float(v) for v in values]
     if not values:
@@ -30,13 +32,13 @@ def jain_fairness_index(values):
 class GoodputTracker(SimulationListener):
     """Delivered payload bits per node, measured on the air."""
 
-    def __init__(self, payload_bytes=512):
+    def __init__(self, payload_bytes: int = 512) -> None:
         self.payload_bytes = int(check_positive(payload_bytes, "payload_bytes"))
-        self.delivered_packets = {}
-        self.first_slot = None
-        self.last_slot = 0
+        self.delivered_packets: Dict[int, int] = {}
+        self.first_slot: Optional[Slots] = None
+        self.last_slot: Slots = 0
 
-    def on_transmission_end(self, slot, transmission, success, medium):
+    def on_transmission_end(self, slot: Slots, transmission: Any, success: bool, medium: Any) -> None:
         if self.first_slot is None:
             self.first_slot = transmission.start_slot
         self.last_slot = max(self.last_slot, transmission.end_slot)
@@ -46,7 +48,7 @@ class GoodputTracker(SimulationListener):
                 self.delivered_packets.get(sender, 0) + 1
             )
 
-    def goodput_bps(self, node_id, slot_time_us=20.0):
+    def goodput_bps(self, node_id: int, slot_time_us: Microseconds = 20.0) -> float:
         """Delivered payload bits/second for one node."""
         if self.first_slot is None:
             return 0.0
@@ -54,7 +56,7 @@ class GoodputTracker(SimulationListener):
         packets = self.delivered_packets.get(node_id, 0)
         return packets * self.payload_bytes * 8 / span_s
 
-    def share_of(self, node_id, population):
+    def share_of(self, node_id: int, population: Iterable[int]) -> float:
         """Node's fraction of the packets delivered by ``population``."""
         total = sum(self.delivered_packets.get(n, 0) for n in population)
         if total == 0:
@@ -74,7 +76,12 @@ class StarvationPoint:
     neighbor_packets_mean: float
 
 
-def measure_starvation(scenario_factory, pm, seed, duration_s=8.0):
+def measure_starvation(
+    scenario_factory: Callable[[int], Any],
+    pm: int,
+    seed: int,
+    duration_s: Seconds = 8.0,
+) -> StarvationPoint:
     """Run one scenario and measure the cheater's bandwidth grab.
 
     The share is computed over the cheater and the flow sources inside
@@ -113,14 +120,19 @@ def measure_starvation(scenario_factory, pm, seed, duration_s=8.0):
     )
 
 
-def _starvation_trial(task):
+def _starvation_trial(task: Tuple[Any, ...]) -> StarvationPoint:
     """One PM level, as a picklable task for ``run_trials``."""
     scenario_factory, pm, seed, duration_s = task
     return measure_starvation(scenario_factory, pm, seed, duration_s)
 
 
-def run_starvation_sweep(scenario_factory, pm_values=(0, 25, 50, 80, 100),
-                         seed=201, duration_s=8.0, jobs=None):
+def run_starvation_sweep(
+    scenario_factory: Callable[[int], Any],
+    pm_values: Tuple[int, ...] = (0, 25, 50, 80, 100),
+    seed: int = 201,
+    duration_s: Seconds = 8.0,
+    jobs: Optional[int] = None,
+) -> List[StarvationPoint]:
     """The cheater's share and the fairness index across PM levels.
 
     PM levels are independent runs, so they execute on the process

@@ -22,7 +22,7 @@ is deterministic for any ``--jobs`` value.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.parallel import run_trials
 from repro.experiments.reporting import format_series
@@ -32,6 +32,7 @@ from repro.experiments.runner import (
     windowed_detection_rate,
 )
 from repro.experiments.scenarios import GridScenario
+from repro.util.units import Seconds
 
 #: Monitor-side decode-failure probabilities swept by default.
 DEFAULT_DECODE_SWEEP = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5)
@@ -66,14 +67,14 @@ class FaultSweepPoint:
     quarantine_reasons: Tuple[Tuple[str, int], ...]
 
 
-def fault_spec_text(decode: float, fault_seed: int = DEFAULT_FAULT_SEED):
+def fault_spec_text(decode: float, fault_seed: int = DEFAULT_FAULT_SEED) -> Optional[str]:
     """The ``--faults`` spec string for one sweep intensity (None = clean)."""
     if decode <= 0:
         return None
     return f"decode={decode:.4f},seed={fault_seed}"
 
 
-def fault_trial(task):
+def fault_trial(task: Tuple[Any, ...]) -> Dict[str, Any]:
     """One seeded run under an installed fault spec (picklable task).
 
     ``task`` is ``(load, pm, seed, spec_text, target_samples,
@@ -115,7 +116,7 @@ def fault_trial(task):
 
 
 def run_fault_sweep(
-    decode_probs=DEFAULT_DECODE_SWEEP,
+    decode_probs: Sequence[float] = DEFAULT_DECODE_SWEEP,
     pm: int = 60,
     load: float = 0.6,
     sample_size: int = 25,
@@ -124,9 +125,9 @@ def run_fault_sweep(
     fault_seed: int = DEFAULT_FAULT_SEED,
     runs: Optional[int] = None,
     target_samples: Optional[int] = None,
-    max_duration_s: float = 120.0,
+    max_duration_s: Seconds = 120.0,
     jobs: Optional[int] = None,
-):
+) -> List[FaultSweepPoint]:
     """One :class:`FaultSweepPoint` per decode-failure probability.
 
     At every intensity the same seeds run twice — once honest, once
@@ -183,7 +184,7 @@ def run_fault_sweep(
     return points
 
 
-def _pooled(summaries, key):
+def _pooled(summaries: Sequence[Dict[str, Any]], key: str) -> float:
     """Window-weighted pooling of a per-run rate (nan if no windows)."""
     hits = 0.0
     total = 0
@@ -194,7 +195,7 @@ def _pooled(summaries, key):
     return hits / total if total else float("nan")
 
 
-def render_sweep(points, title="Fault sweep: detection vs. impairment"):
+def render_sweep(points: Sequence[FaultSweepPoint], title: str = "Fault sweep: detection vs. impairment") -> str:
     decode_values = [p.decode for p in points]
     pm = points[0].pm if points else 0
     series = {
@@ -204,7 +205,7 @@ def render_sweep(points, title="Fault sweep: detection vs. impairment"):
     return format_series(title, "decode", decode_values, series)
 
 
-def main():
+def main() -> List[FaultSweepPoint]:
     points = run_fault_sweep()
     print(render_sweep(points))
     return points

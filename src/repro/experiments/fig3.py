@@ -15,6 +15,7 @@ axis is the realized rho — the quantity the equations are defined on.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.core.observation import ChannelObserver, joint_state_counts
 from repro.core.sysstate import SystemStateEstimator
@@ -23,6 +24,9 @@ from repro.experiments.reporting import format_table
 from repro.experiments.runner import scaled, split_seeds
 from repro.experiments.scenarios import GridScenario, RandomScenario
 from repro.geometry.regions import RegionModel
+from repro.util.units import Meters, Slots
+
+ScenarioFactory = Callable[[float, int], Any]
 
 #: Offered per-flow loads chosen so measured intensity spans ~0.1-0.85.
 DEFAULT_LOAD_SWEEP = (0.005, 0.01, 0.02, 0.04, 0.08, 0.15, 0.3, 0.6)
@@ -40,7 +44,7 @@ class ProbabilityPoint:
     ana_p_idle_given_busy: float
 
 
-def _measure_seed(task):
+def _measure_seed(task: Tuple[Any, ...]) -> Optional[Tuple[float, float, float]]:
     """One seeded observation run: measured (rho, p(B|I), p(I|B)).
 
     ``task`` is ``(scenario_factory, load, seed, observe_slots)``.
@@ -64,7 +68,13 @@ def _measure_seed(task):
     return (r_busy / total, counts["IB"] / r_idle, counts["BI"] / r_busy)
 
 
-def _aggregate_point(load, samples, n=5, k=5, separation=240.0):
+def _aggregate_point(
+    load: float,
+    samples: Sequence[Optional[Tuple[float, float, float]]],
+    n: int = 5,
+    k: int = 5,
+    separation: Meters = 240.0,
+) -> ProbabilityPoint:
     """Average per-seed samples (in seed order) into a ProbabilityPoint."""
     estimator = SystemStateEstimator(RegionModel(separation=separation))
     sums = {"rho": 0.0, "sbi": 0.0, "sib": 0.0}
@@ -91,17 +101,31 @@ def _aggregate_point(load, samples, n=5, k=5, separation=240.0):
     )
 
 
-def measure_point(scenario_factory, load, seeds, observe_slots=50_000,
-                  n=5, k=5, separation=240.0, jobs=None):
+def measure_point(
+    scenario_factory: ScenarioFactory,
+    load: float,
+    seeds: Sequence[int],
+    observe_slots: Slots = 50_000,
+    n: int = 5,
+    k: int = 5,
+    separation: Meters = 240.0,
+    jobs: Optional[int] = None,
+) -> ProbabilityPoint:
     """Average the measured and analytical probabilities over seeds."""
     tasks = [(scenario_factory, load, seed, observe_slots) for seed in seeds]
     samples = run_trials(_measure_seed, tasks, jobs=jobs)
     return _aggregate_point(load, samples, n=n, k=k, separation=separation)
 
 
-def run_probability_sweep(scenario_factory, loads=DEFAULT_LOAD_SWEEP,
-                          runs=None, observe_slots=None, base_seed=3,
-                          separation=240.0, jobs=None):
+def run_probability_sweep(
+    scenario_factory: ScenarioFactory,
+    loads: Sequence[float] = DEFAULT_LOAD_SWEEP,
+    runs: Optional[int] = None,
+    observe_slots: Optional[Slots] = None,
+    base_seed: int = 3,
+    separation: Meters = 240.0,
+    jobs: Optional[int] = None,
+) -> List[ProbabilityPoint]:
     """The full Figure 3/4 sweep; returns a list of ProbabilityPoint.
 
     All (load, seed) trials are flattened into one task list so the
@@ -114,7 +138,7 @@ def run_probability_sweep(scenario_factory, loads=DEFAULT_LOAD_SWEEP,
     observe_slots = observe_slots if observe_slots is not None else scaled(
         25_000, minimum=5_000
     )
-    tasks = []
+    tasks: List[Tuple[Any, ...]] = []
     spans = []
     for load in loads:
         seeds = split_seeds(base_seed + int(load * 10_000), runs)
@@ -130,16 +154,16 @@ def run_probability_sweep(scenario_factory, loads=DEFAULT_LOAD_SWEEP,
     ]
 
 
-def grid_poisson_factory(load, seed):
+def grid_poisson_factory(load: float, seed: int) -> GridScenario:
     return GridScenario(load=load, traffic="poisson", seed=seed)
 
 
-def run_fig3(**kwargs):
+def run_fig3(**kwargs: Any) -> List[ProbabilityPoint]:
     """Figure 3 (both panels): Poisson traffic, grid topology."""
     return run_probability_sweep(grid_poisson_factory, **kwargs)
 
 
-def render_points(title, points):
+def render_points(title: str, points: Sequence[ProbabilityPoint]) -> str:
     rows = [
         (
             p.offered_load,
@@ -158,7 +182,7 @@ def render_points(title, points):
     )
 
 
-def main():
+def main() -> List[ProbabilityPoint]:
     points = run_fig3()
     print(render_points("Figure 3: grid topology, Poisson traffic", points))
     return points

@@ -9,19 +9,22 @@ distance per seed's scenario.
 
 from __future__ import annotations
 
+from typing import Any, List, Sequence
+
 from repro.experiments.fig3 import (
     DEFAULT_LOAD_SWEEP,
+    ProbabilityPoint,
     render_points,
     run_probability_sweep,
 )
 from repro.experiments.scenarios import RandomScenario
 
 
-def random_cbr_factory(load, seed):
+def random_cbr_factory(load: float, seed: int) -> RandomScenario:
     return RandomScenario(load=load, traffic="cbr", seed=seed)
 
 
-def run_fig4(loads=DEFAULT_LOAD_SWEEP, **kwargs):
+def run_fig4(loads: Sequence[float] = DEFAULT_LOAD_SWEEP, **kwargs: Any) -> List[ProbabilityPoint]:
     """Figure 4 (both panels): CBR traffic, random topology."""
     # The pair separation differs per placement; use the first scenario's
     # realized separation for the analytical geometry (it is re-measured
@@ -34,7 +37,7 @@ def run_fig4(loads=DEFAULT_LOAD_SWEEP, **kwargs):
     )
 
 
-def main():
+def main() -> List[ProbabilityPoint]:
     points = run_fig4()
     print(render_points("Figure 4: random topology, CBR traffic", points))
     return points

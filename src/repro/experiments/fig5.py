@@ -13,6 +13,7 @@ S — the paper's per-run detection probability.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.experiments.parallel import run_trials
 from repro.experiments.reporting import format_series
@@ -22,6 +23,9 @@ from repro.experiments.runner import (
     windowed_detection_rate,
 )
 from repro.experiments.scenarios import GridScenario, RandomScenario
+from repro.util.units import Seconds
+
+ScenarioFactory = Callable[[float, int], Any]
 
 SAMPLE_SIZES = (10, 25, 50, 100)
 DEFAULT_PM_SWEEP = (10, 25, 40, 50, 65, 80, 100)
@@ -47,10 +51,18 @@ class DetectionPoint:
     violations: int
 
 
-def run_detection_curve(scenario_factory, load, pm_values=DEFAULT_PM_SWEEP,
-                        sample_sizes=SAMPLE_SIZES, windows=None,
-                        alpha=0.05, base_seed=17, max_duration_s=300.0,
-                        runs=None, jobs=None):
+def run_detection_curve(
+    scenario_factory: ScenarioFactory,
+    load: float,
+    pm_values: Sequence[int] = DEFAULT_PM_SWEEP,
+    sample_sizes: Sequence[int] = SAMPLE_SIZES,
+    windows: Optional[int] = None,
+    alpha: float = 0.05,
+    base_seed: int = 17,
+    max_duration_s: Seconds = 300.0,
+    runs: Optional[int] = None,
+    jobs: Optional[int] = None,
+) -> List[DetectionPoint]:
     """Detection probabilities for one load across PM and sample sizes.
 
     Pools non-overlapping windows across ``runs`` independent seeds, as
@@ -114,27 +126,32 @@ def run_detection_curve(scenario_factory, load, pm_values=DEFAULT_PM_SWEEP,
     return points
 
 
-def grid_factory(load, seed):
+def grid_factory(load: float, seed: int) -> GridScenario:
     return GridScenario(load=load, traffic="poisson", seed=seed)
 
 
-def mobile_factory(load, seed):
+def mobile_factory(load: float, seed: int) -> RandomScenario:
     return RandomScenario(load=load, traffic="cbr", mobile=True, seed=seed)
 
 
-def run_fig5_static(loads=DEFAULT_LOADS, **kwargs):
+def run_fig5_static(loads: Sequence[float] = DEFAULT_LOADS, **kwargs: Any) -> Dict[float, List[DetectionPoint]]:
     """Panels (a)-(c): one detection curve per load, static grid."""
     return {load: run_detection_curve(grid_factory, load, **kwargs) for load in loads}
 
 
-def run_fig5_mobile(load=0.6, **kwargs):
+def run_fig5_mobile(load: float = 0.6, **kwargs: Any) -> List[DetectionPoint]:
     """Panel (d): the mobile scenario at load 0.6."""
     return run_detection_curve(mobile_factory, load, **kwargs)
 
 
-def render_curve(title, points, sample_sizes=SAMPLE_SIZES, combined=False):
+def render_curve(
+    title: str,
+    points: Sequence[DetectionPoint],
+    sample_sizes: Sequence[int] = SAMPLE_SIZES,
+    combined: bool = False,
+) -> str:
     pm_values = sorted({p.pm for p in points})
-    series = {}
+    series: Dict[str, List[float]] = {}
     for size in sample_sizes:
         by_pm = {
             p.pm: (
@@ -147,7 +164,7 @@ def render_curve(title, points, sample_sizes=SAMPLE_SIZES, combined=False):
     return format_series(title, "PM", pm_values, series)
 
 
-def main():
+def main() -> Dict[float, List[DetectionPoint]]:
     results = run_fig5_static()
     for load, points in results.items():
         print(render_curve(f"Figure 5: P(correct diagnosis), load={load}", points))

@@ -10,8 +10,14 @@ below 0.01 at sample size 10, falling with larger windows.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
-from repro.experiments.fig5 import SAMPLE_SIZES, grid_factory, mobile_factory
+from repro.experiments.fig5 import (
+    SAMPLE_SIZES,
+    ScenarioFactory,
+    grid_factory,
+    mobile_factory,
+)
 from repro.experiments.parallel import run_trials
 from repro.experiments.reporting import format_series
 from repro.experiments.runner import (
@@ -19,6 +25,7 @@ from repro.experiments.runner import (
     scaled,
     windowed_detection_rate,
 )
+from repro.util.units import Seconds
 
 DEFAULT_LOADS = (0.3, 0.6, 0.9)
 
@@ -33,9 +40,17 @@ class MisdiagnosisPoint:
     windows: int
 
 
-def run_misdiagnosis_curve(scenario_factory, load, sample_sizes=SAMPLE_SIZES,
-                           windows=None, alpha=0.05, base_seed=23,
-                           max_duration_s=300.0, runs=None, jobs=None):
+def run_misdiagnosis_curve(
+    scenario_factory: ScenarioFactory,
+    load: float,
+    sample_sizes: Sequence[int] = SAMPLE_SIZES,
+    windows: Optional[int] = None,
+    alpha: float = 0.05,
+    base_seed: int = 23,
+    max_duration_s: Seconds = 300.0,
+    runs: Optional[int] = None,
+    jobs: Optional[int] = None,
+) -> List[MisdiagnosisPoint]:
     """Misdiagnosis probability across sample sizes for one load.
 
     Pools windows across ``runs`` independent seeds (the paper's
@@ -80,7 +95,7 @@ def run_misdiagnosis_curve(scenario_factory, load, sample_sizes=SAMPLE_SIZES,
     return points
 
 
-def run_fig6_static(loads=DEFAULT_LOADS, **kwargs):
+def run_fig6_static(loads: Sequence[float] = DEFAULT_LOADS, **kwargs: Any) -> Dict[float, List[MisdiagnosisPoint]]:
     """Panel (a): static grid, one curve per load."""
     return {
         load: run_misdiagnosis_curve(grid_factory, load, **kwargs)
@@ -88,21 +103,21 @@ def run_fig6_static(loads=DEFAULT_LOADS, **kwargs):
     }
 
 
-def run_fig6_mobile(load=0.6, **kwargs):
+def run_fig6_mobile(load: float = 0.6, **kwargs: Any) -> List[MisdiagnosisPoint]:
     """Panel (b): mobile scenario at load 0.6."""
     return run_misdiagnosis_curve(mobile_factory, load, **kwargs)
 
 
-def render_curves(title, curves):
+def render_curves(title: str, curves: Mapping[float, Sequence[MisdiagnosisPoint]]) -> str:
     sizes = sorted({p.sample_size for points in curves.values() for p in points})
-    series = {}
+    series: Dict[str, List[float]] = {}
     for load, points in curves.items():
         by_size = {p.sample_size: p.misdiagnosis_probability for p in points}
         series[f"load={load}"] = [by_size.get(s, float("nan")) for s in sizes]
     return format_series(title, "sample size", sizes, series)
 
 
-def main():
+def main() -> Dict[float, List[MisdiagnosisPoint]]:
     static = run_fig6_static()
     print(render_curves("Figure 6(a): P(misdiagnosis), static grid", static))
     mobile = run_fig6_mobile()

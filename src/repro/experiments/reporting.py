@@ -7,8 +7,10 @@ their output verbatim).
 
 from __future__ import annotations
 
+from typing import Any, Dict, List, Mapping, Sequence
 
-def format_table(title, headers, rows):
+
+def format_table(title: str, headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
     """A fixed-width text table."""
     columns = len(headers)
     widths = [len(h) for h in headers]
@@ -27,7 +29,12 @@ def format_table(title, headers, rows):
     return "\n".join(lines)
 
 
-def format_series(title, x_label, x_values, series):
+def format_series(
+    title: str,
+    x_label: str,
+    x_values: Sequence[Any],
+    series: Mapping[str, Sequence[Any]],
+) -> str:
     """A multi-series table: one x column plus one column per series.
 
     ``series`` maps label -> list of y values aligned with ``x_values``.
@@ -39,7 +46,7 @@ def format_series(title, x_label, x_values, series):
     return format_table(title, headers, rows)
 
 
-def table_records(headers, rows):
+def table_records(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> List[Dict[str, Any]]:
     """The same rows as a list of dicts (for run-manifest ``results``).
 
     Each row becomes ``{header: cell}`` with the raw (unformatted)
@@ -54,7 +61,7 @@ def table_records(headers, rows):
     return records
 
 
-def _fmt(value):
+def _fmt(value: Any) -> str:
     if isinstance(value, float):
         return f"{value:.4f}"
     return str(value)

@@ -5,57 +5,36 @@ The paper averages over 20 runs (probability curves) and 10,000 runs
 the whole suite completes in minutes; set ``REPRO_SCALE`` (a float
 multiplier, default 1.0) to raise trial counts and durations toward the
 paper's, e.g. ``REPRO_SCALE=10 pytest benchmarks/``.
+
+The fidelity helpers themselves live in :mod:`repro.util.fidelity`
+(``obs`` needs them too and sits below ``experiments`` in the layering
+DAG); they are re-exported here for compatibility.
 """
 
 from __future__ import annotations
 
-import math
-import os
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.detector import BackoffMisbehaviorDetector, DetectorConfig
 from repro.core.ranksum import rank_sum_test
-from repro.util.caches import register_cache_reset
+from repro.util.fidelity import (  # noqa: F401  (re-exported)
+    fidelity_scale,
+    reset_fidelity_cache,
+    scaled,
+)
+from repro.util.units import Seconds
 
 
-#: (raw env string, parsed value) of the last fidelity_scale() call.
-#: scaled() runs inside trial loops, so the env re-parse is cached;
-#: keying on the raw string keeps monkeypatched REPRO_SCALE working
-#: without an explicit reset.
-_fidelity_cache = None
-
-
-def fidelity_scale():
-    """The REPRO_SCALE multiplier (>= 0.1)."""
-    global _fidelity_cache
-    raw = os.environ.get("REPRO_SCALE", "1.0")
-    cached = _fidelity_cache
-    if cached is not None and cached[0] == raw:
-        return cached[1]
-    try:
-        scale = float(raw)
-    except ValueError as exc:
-        raise ValueError(f"REPRO_SCALE must be a float, got {raw!r}") from exc
-    value = max(scale, 0.1)
-    _fidelity_cache = (raw, value)
-    return value
-
-
-@register_cache_reset
-def reset_fidelity_cache():
-    """Forget the cached REPRO_SCALE parse (test isolation)."""
-    global _fidelity_cache
-    _fidelity_cache = None
-
-
-def scaled(value, minimum=1):
-    """``value`` scaled by REPRO_SCALE, floored at ``minimum``."""
-    return max(int(round(value * fidelity_scale())), minimum)
-
-
-def collect_detection_samples(scenario, pm, detector_config=None,
-                              target_samples=500, max_duration_s=240.0,
-                              policies=None, audit=None,
-                              use_observatory=True):
+def collect_detection_samples(
+    scenario: Any,
+    pm: float,
+    detector_config: Optional[DetectorConfig] = None,
+    target_samples: int = 500,
+    max_duration_s: Seconds = 240.0,
+    policies: Optional[Dict[int, Any]] = None,
+    audit: Optional[Any] = None,
+    use_observatory: bool = True,
+) -> Any:
     """Run one scenario with a (possibly misbehaving) sender and collect
     the detector's raw sample stream.
 
@@ -133,7 +112,7 @@ def collect_detection_samples(scenario, pm, detector_config=None,
     return detector
 
 
-def detection_trial(task):
+def detection_trial(task: Tuple[Any, ...]) -> Any:
     """One seeded detection run, as a picklable task for ``run_trials``.
 
     ``task`` is ``(scenario_factory, load, pm, seed, target_samples,
@@ -151,9 +130,15 @@ def detection_trial(task):
     )
 
 
-def windowed_detection_rate(detector, sample_size, alpha=0.05,
-                            alternative="less", include_deterministic=True,
-                            max_attempt=None, guard_band=None):
+def windowed_detection_rate(
+    detector: Any,
+    sample_size: int,
+    alpha: float = 0.05,
+    alternative: str = "less",
+    include_deterministic: bool = True,
+    max_attempt: Optional[int] = None,
+    guard_band: Optional[float] = None,
+) -> Tuple[float, int]:
     """Fraction of non-overlapping windows diagnosing the sender malicious.
 
     This mirrors the paper's per-run semantics: each window of
@@ -197,6 +182,6 @@ def _norm(observation):
     return window + 1.0
 
 
-def split_seeds(base_seed, count):
+def split_seeds(base_seed: int, count: int) -> List[int]:
     """Deterministic distinct seeds for repeated trials."""
     return [base_seed * 10_007 + i for i in range(count)]

@@ -12,9 +12,10 @@ mobile variant runs the random waypoint model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.geometry.vectors import distance
+from repro.geometry.vectors import Point, distance
 from repro.sim.network import Flow, Simulation, SimulationConfig
 from repro.topology.mobility import RandomWaypoint
 from repro.topology.placement import (
@@ -23,9 +24,17 @@ from repro.topology.placement import (
     random_positions,
 )
 from repro.util.rng import RngStream
+from repro.util.units import Meters
+
+#: (simulation, sender, monitor) — what single-pair builders return.
+BuildResult = Tuple[Simulation, int, int]
+Policies = Optional[Dict[int, Any]]
+MacOptions = Optional[Dict[str, Any]]
 
 
-def _flow_sources(n_nodes, n_pairs, sender, monitor, rng):
+def _flow_sources(
+    n_nodes: int, n_pairs: int, sender: int, monitor: int, rng: RngStream
+) -> List[int]:
     """Pick ``n_pairs`` distinct flow sources, always including the
     monitored sender, never the monitor (it must be free to observe)."""
     candidates = [i for i in range(n_nodes) if i not in (sender, monitor)]
@@ -39,13 +48,13 @@ class GridScenario:
 
     rows: int = 7
     cols: int = 8
-    spacing: float = 240.0
+    spacing: Meters = 240.0
     n_pairs: int = 30
     load: float = 0.6
     traffic: str = "poisson"      # "poisson" | "cbr"
     seed: int = 1
 
-    def build(self, policies=None, mac_options=None):
+    def build(self, policies: Policies = None, mac_options: MacOptions = None) -> BuildResult:
         """Returns ``(simulation, sender, monitor)``."""
         positions = grid_positions(self.rows, self.cols, self.spacing)
         sender, monitor = center_pair_indices(self.rows, self.cols)
@@ -72,7 +81,7 @@ class GridScenario:
         return sim, sender, monitor
 
     @property
-    def separation(self):
+    def separation(self) -> Meters:
         return self.spacing
 
 
@@ -81,8 +90,8 @@ class RandomScenario:
     """The paper's second setup: random placement, optionally mobile."""
 
     n_nodes: int = 112
-    width: float = 3000.0
-    height: float = 3000.0
+    width: Meters = 3000.0
+    height: Meters = 3000.0
     n_pairs: int = 30
     load: float = 0.6
     traffic: str = "cbr"
@@ -91,7 +100,7 @@ class RandomScenario:
     pause_time: float = 0.0
     seed: int = 1
 
-    def build(self, policies=None, mac_options=None):
+    def build(self, policies: Policies = None, mac_options: MacOptions = None) -> BuildResult:
         """Returns ``(simulation, sender, monitor)``."""
         place_rng = RngStream(self.seed, "random-placement")
         positions = random_positions(
@@ -136,7 +145,7 @@ class RandomScenario:
         self._positions = positions
         return sim, sender, monitor
 
-    def _center_pair(self, positions):
+    def _center_pair(self, positions: Sequence[Point]) -> Tuple[int, int]:
         """Sender nearest the field center; monitor its nearest neighbor
         within decode range (falls back to nearest node outright)."""
         center = (self.width / 2.0, self.height / 2.0)
@@ -153,7 +162,7 @@ class RandomScenario:
         return sender, others[0][1]
 
     @property
-    def separation(self):
+    def separation(self) -> Meters:
         return getattr(self, "pair_separation", 240.0)
 
 
@@ -177,17 +186,17 @@ class MultiMonitorGridScenario:
 
     rows: int = 7
     cols: int = 8
-    spacing: float = 110.0
+    spacing: Meters = 110.0
     n_pairs: int = 30
     load: float = 0.6
     traffic: str = "poisson"
     seed: int = 1
     #: tagged node indices; () picks the central 2x2 block
-    tagged: tuple = ()
+    tagged: Tuple[int, ...] = ()
     #: monitor node indices; () picks the rows flanking the block
-    monitors: tuple = ()
+    monitors: Tuple[int, ...] = ()
 
-    def tagged_nodes(self):
+    def tagged_nodes(self) -> List[int]:
         """The tagged (monitored) node indices."""
         if self.tagged:
             return list(self.tagged)
@@ -196,7 +205,7 @@ class MultiMonitorGridScenario:
             rr * self.cols + cc for rr in (r - 1, r) for cc in (c - 1, c)
         )
 
-    def monitor_nodes(self):
+    def monitor_nodes(self) -> List[int]:
         """The monitor node indices."""
         if self.monitors:
             return list(self.monitors)
@@ -205,7 +214,7 @@ class MultiMonitorGridScenario:
             rr * self.cols + cc for rr in (r - 2, r + 1) for cc in (c - 1, c)
         )
 
-    def monitor_pairs(self):
+    def monitor_pairs(self) -> List[Tuple[int, int]]:
         """All (monitor, tagged) pairs, grouped by monitor node."""
         taggeds = self.tagged_nodes()
         return [
@@ -214,7 +223,9 @@ class MultiMonitorGridScenario:
             for tagged in taggeds
         ]
 
-    def build(self, policies=None, mac_options=None):
+    def build(
+        self, policies: Policies = None, mac_options: MacOptions = None
+    ) -> Tuple[Simulation, List[Tuple[int, int]]]:
         """Returns ``(simulation, pairs)``; tagged node i streams to
         monitor i % M, background flows fill up to ``n_pairs``."""
         positions = grid_positions(self.rows, self.cols, self.spacing)
@@ -248,19 +259,30 @@ class MultiMonitorGridScenario:
         return sim, pairs
 
     @property
-    def separation(self):
+    def separation(self) -> Meters:
         return self.spacing
 
 
-def build_grid_simulation(load=0.6, traffic="poisson", seed=1, policies=None,
-                          n_pairs=30):
+def build_grid_simulation(
+    load: float = 0.6,
+    traffic: str = "poisson",
+    seed: int = 1,
+    policies: Policies = None,
+    n_pairs: int = 30,
+) -> BuildResult:
     """Convenience wrapper returning ``(sim, sender, monitor)``."""
     scenario = GridScenario(load=load, traffic=traffic, seed=seed, n_pairs=n_pairs)
     return scenario.build(policies=policies)
 
 
-def build_random_simulation(load=0.6, traffic="cbr", seed=1, policies=None,
-                            mobile=False, n_pairs=30):
+def build_random_simulation(
+    load: float = 0.6,
+    traffic: str = "cbr",
+    seed: int = 1,
+    policies: Policies = None,
+    mobile: bool = False,
+    n_pairs: int = 30,
+) -> BuildResult:
     """Convenience wrapper returning ``(sim, sender, monitor)``."""
     scenario = RandomScenario(
         load=load, traffic=traffic, seed=seed, mobile=mobile, n_pairs=n_pairs

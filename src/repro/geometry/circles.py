@@ -10,16 +10,17 @@ from __future__ import annotations
 
 import math
 
+from repro.util.units import Meters
 from repro.util.validation import check_non_negative, check_positive
 
 
-def circle_area(radius):
+def circle_area(radius: Meters) -> float:
     """Area of a circle of the given radius."""
     check_non_negative(radius, "radius")
     return math.pi * radius * radius
 
 
-def circle_intersection_area(r1, r2, d):
+def circle_intersection_area(r1: Meters, r2: Meters, d: Meters) -> float:
     """Area of the lens formed by two circles of radii ``r1``, ``r2``
     whose centers are ``d`` apart.
 
@@ -48,7 +49,7 @@ def circle_intersection_area(r1, r2, d):
     )
 
 
-def crescent_area(r1, r2, d):
+def crescent_area(r1: Meters, r2: Meters, d: Meters) -> float:
     """Area of circle 1 *excluding* its overlap with circle 2.
 
     This is the region a node at the center of circle 1 covers

@@ -39,11 +39,12 @@ DESIGN.md §2 and the ablation benchmark):
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
 
 from repro.geometry.circles import circle_area, circle_intersection_area, crescent_area
-from repro.geometry.vectors import distance
+from repro.geometry.vectors import Point, distance
+from repro.util.units import Meters
 from repro.util.validation import check_positive
 
 #: Region labels, left to right as in Figure 1.
@@ -60,29 +61,29 @@ class SensingRegions:
     a4: float
     a5: float
 
-    def as_dict(self):
+    def as_dict(self) -> Dict[str, float]:
         return {"A1": self.a1, "A2": self.a2, "A3": self.a3, "A4": self.a4, "A5": self.a5}
 
     @property
-    def left_exclusive_fraction(self):
+    def left_exclusive_fraction(self) -> float:
         """``A2 / (A1 + A2)`` — the ratio used in paper eq. 3."""
         total = self.a1 + self.a2
         return self.a2 / total if total > 0 else 0.0
 
     @property
-    def left_hidden_fraction(self):
+    def left_hidden_fraction(self) -> float:
         """``A1 / (A1 + A2)`` — the ratio used in paper eq. 4."""
         total = self.a1 + self.a2
         return self.a1 / total if total > 0 else 0.0
 
     @property
-    def right_exclusive_fraction(self):
+    def right_exclusive_fraction(self) -> float:
         """``A4 / (A4 + A5)`` — the ratio used in paper eq. 4."""
         total = self.a4 + self.a5
         return self.a4 / total if total > 0 else 0.0
 
     @property
-    def uniform_invisible_fraction(self):
+    def uniform_invisible_fraction(self) -> float:
         """``A4 / (A3 + A4)``: under uniform node density, the chance
         that a transmission the monitor senses comes from the region the
         sender cannot sense.  The occupancy correction compares the
@@ -112,13 +113,13 @@ class RegionModel:
         symmetric-to-A1 construction; kept for the ablation study).
     """
 
-    sensing_range: float = 550.0
-    separation: float = 240.0
-    interferer_offset: float = 450.0
-    far_interferer_offset: float = None
-    _regions: SensingRegions = field(init=False, repr=False, default=None)
+    sensing_range: Meters = 550.0
+    separation: Meters = 240.0
+    interferer_offset: Meters = 450.0
+    far_interferer_offset: Optional[Meters] = None
+    _regions: Optional[SensingRegions] = field(init=False, repr=False, default=None)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         check_positive(self.sensing_range, "sensing_range")
         check_positive(self.separation, "separation")
         check_positive(self.interferer_offset, "interferer_offset")
@@ -128,7 +129,7 @@ class RegionModel:
 
     # -- geometry ---------------------------------------------------------
 
-    def _compute_areas(self):
+    def _compute_areas(self) -> SensingRegions:
         rho = self.sensing_range
         d = self.separation
         lens_sr = circle_intersection_area(rho, rho, d)
@@ -143,13 +144,19 @@ class RegionModel:
         return SensingRegions(a1=a1, a2=exclusive, a3=lens_sr, a4=exclusive, a5=a5)
 
     @property
-    def regions(self):
+    def regions(self) -> SensingRegions:
         """The :class:`SensingRegions` areas for this geometry."""
+        assert self._regions is not None  # set in __post_init__
         return self._regions
 
     # -- point classification ---------------------------------------------
 
-    def classify(self, point, sender=(0.0, 0.0), monitor=None):
+    def classify(
+        self,
+        point: Point,
+        sender: Point = (0.0, 0.0),
+        monitor: Optional[Point] = None,
+    ) -> Optional[str]:
         """Assign ``point`` to one of A1..A5, or ``None`` if outside all.
 
         ``sender`` and ``monitor`` give the actual S and R positions; by
@@ -188,23 +195,29 @@ class RegionModel:
                 return "A5"
         return None
 
-    def _axis_unit(self, sender, monitor):
+    def _axis_unit(self, sender: Point, monitor: Point) -> Tuple[float, float]:
         d = distance(sender, monitor)
         if d == 0:
             raise ValueError("sender and monitor must not be coincident")
         return (monitor[0] - sender[0]) / d, (monitor[1] - sender[1]) / d
 
-    def _left_interferer_position(self, sender, monitor):
+    def _left_interferer_position(self, sender: Point, monitor: Point) -> Point:
         ux, uy = self._axis_unit(sender, monitor)
         off = self.interferer_offset
         return (sender[0] - ux * off, sender[1] - uy * off)
 
-    def _right_interferer_position(self, sender, monitor):
+    def _right_interferer_position(self, sender: Point, monitor: Point) -> Point:
         ux, uy = self._axis_unit(sender, monitor)
         off = self.far_interferer_offset
+        assert off is not None  # caller checks the construction mode
         return (monitor[0] + ux * off, monitor[1] + uy * off)
 
-    def count_nodes(self, positions, sender=(0.0, 0.0), monitor=None):
+    def count_nodes(
+        self,
+        positions: Iterable[Point],
+        sender: Point = (0.0, 0.0),
+        monitor: Optional[Point] = None,
+    ) -> Dict[str, int]:
         """Count nodes per region.
 
         Returns a dict ``{"A1": k, "A2": n, "A3": ..., "A4": m, "A5": j}``
@@ -219,7 +232,7 @@ class RegionModel:
                 counts[label] += 1
         return counts
 
-    def expected_counts(self, node_density):
+    def expected_counts(self, node_density: float) -> Dict[str, float]:
         """Expected node counts per region under a uniform density.
 
         ``node_density`` is nodes per square meter; this is the estimate

@@ -8,31 +8,37 @@ allocation-light and lets numpy batch operations where needed.
 from __future__ import annotations
 
 import math
+from typing import Tuple
+
+from repro.util.units import Meters
+
+#: A 2-D point in meters.
+Point = Tuple[Meters, Meters]
 
 
-def distance(a, b):
+def distance(a: Point, b: Point) -> Meters:
     """Euclidean distance between points ``a`` and ``b``."""
     return math.hypot(a[0] - b[0], a[1] - b[1])
 
 
-def distance_squared(a, b):
+def distance_squared(a: Point, b: Point) -> float:
     """Squared Euclidean distance (avoids the sqrt on hot paths)."""
     dx = a[0] - b[0]
     dy = a[1] - b[1]
     return dx * dx + dy * dy
 
 
-def midpoint(a, b):
+def midpoint(a: Point, b: Point) -> Point:
     """Midpoint of segment ``ab``."""
     return ((a[0] + b[0]) / 2.0, (a[1] + b[1]) / 2.0)
 
 
-def translate(point, dx, dy):
+def translate(point: Point, dx: Meters, dy: Meters) -> Point:
     """Point shifted by ``(dx, dy)``."""
     return (point[0] + dx, point[1] + dy)
 
 
-def unit_vector(a, b):
+def unit_vector(a: Point, b: Point) -> Tuple[float, float]:
     """Unit vector pointing from ``a`` to ``b``.
 
     Raises ``ValueError`` for coincident points, where the direction is

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.mac.prng import contention_window_for_attempt
+from repro.util.units import Slots
 
 
 def contention_window(attempt: int, cw_min: int, cw_max: int) -> int:
@@ -56,7 +57,7 @@ class BackoffScheduler:
 
     # -- transitions -----------------------------------------------------------
 
-    def start(self, slots: int) -> None:
+    def start(self, slots: Slots) -> None:
         """Begin a fresh back-off of ``slots`` (frozen until resumed)."""
         if slots < 0:
             raise ValueError(f"back-off must be non-negative, got {slots}")
@@ -67,7 +68,7 @@ class BackoffScheduler:
         self.draws += 1
         self._frozen_since = None
 
-    def resume(self, anchor_slot: int) -> int:
+    def resume(self, anchor_slot: Slots) -> int:
         """Medium usable from ``anchor_slot`` (a DIFS after it went idle);
         counting restarts there.  Returns the completion slot."""
         if self.remaining is None:
@@ -79,7 +80,7 @@ class BackoffScheduler:
         self.generation += 1
         return self.completion_slot
 
-    def freeze(self, now_slot: int) -> None:
+    def freeze(self, now_slot: Slots) -> None:
         """Medium turned busy at ``now_slot``; bank the slots counted.
 
         Freezing an already-frozen (or inactive) countdown is a no-op,
@@ -103,7 +104,7 @@ class BackoffScheduler:
         self._frozen_since = None
 
     @property
-    def completion_slot(self) -> int:
+    def completion_slot(self) -> Slots:
         """Slot at which the countdown reaches zero, if counting."""
         if not self.counting:
             raise RuntimeError("completion_slot on a non-counting back-off")

@@ -11,7 +11,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.util.units import DEFAULT_SLOT_TIME_US, microseconds_to_slots
+from repro.util.units import (
+    DEFAULT_SLOT_TIME_US,
+    Microseconds,
+    Slots,
+    microseconds_to_slots,
+)
 from repro.util.validation import check_non_negative, check_positive
 
 
@@ -28,12 +33,12 @@ class MacTiming:
     SeqOff#+Attempt# field and the 16-byte message digest of Figure 2.
     """
 
-    slot_time_us: float = DEFAULT_SLOT_TIME_US
-    sifs_us: float = 10.0
-    difs_us: float = 50.0
+    slot_time_us: Microseconds = DEFAULT_SLOT_TIME_US
+    sifs_us: Microseconds = 10.0
+    difs_us: Microseconds = 50.0
     basic_rate_bps: float = 1_000_000.0
     data_rate_bps: float = 2_000_000.0
-    phy_overhead_us: float = 192.0
+    phy_overhead_us: Microseconds = 192.0
     rts_bytes: int = 38          # modified RTS (Figure 2)
     cts_bytes: int = 14
     ack_bytes: int = 14
@@ -57,34 +62,34 @@ class MacTiming:
 
     # -- frame air times ----------------------------------------------------
 
-    def _frame_us(self, size_bytes: int, rate_bps: float) -> float:
+    def _frame_us(self, size_bytes: int, rate_bps: float) -> Microseconds:
         return self.phy_overhead_us + size_bytes * 8 * 1e6 / rate_bps
 
-    def _to_slots(self, us: float) -> int:
+    def _to_slots(self, us: Microseconds) -> Slots:
         return microseconds_to_slots(us, self.slot_time_us)
 
     @property
-    def sifs_slots(self) -> int:
+    def sifs_slots(self) -> Slots:
         return self._to_slots(self.sifs_us)
 
     @property
-    def difs_slots(self) -> int:
+    def difs_slots(self) -> Slots:
         return self._to_slots(self.difs_us)
 
     @property
-    def rts_slots(self) -> int:
+    def rts_slots(self) -> Slots:
         return self._to_slots(self._frame_us(self.rts_bytes, self.basic_rate_bps))
 
     @property
-    def cts_slots(self) -> int:
+    def cts_slots(self) -> Slots:
         return self._to_slots(self._frame_us(self.cts_bytes, self.basic_rate_bps))
 
     @property
-    def ack_slots(self) -> int:
+    def ack_slots(self) -> Slots:
         return self._to_slots(self._frame_us(self.ack_bytes, self.basic_rate_bps))
 
     @property
-    def data_slots(self) -> int:
+    def data_slots(self) -> Slots:
         return self._to_slots(
             self._frame_us(
                 self.payload_bytes + self.mac_data_header_bytes, self.data_rate_bps
@@ -94,7 +99,7 @@ class MacTiming:
     # -- exchange phases -----------------------------------------------------
 
     @property
-    def handshake_slots(self) -> int:
+    def handshake_slots(self) -> Slots:
         """Phase 1 of an exchange: RTS + SIFS + CTS.
 
         This is also the busy period a *failed* attempt occupies (the RTS
@@ -103,17 +108,17 @@ class MacTiming:
         return self.rts_slots + self.sifs_slots + self.cts_slots
 
     @property
-    def payload_phase_slots(self) -> int:
+    def payload_phase_slots(self) -> Slots:
         """Phase 2 of a successful exchange: SIFS + DATA + SIFS + ACK."""
         return self.sifs_slots + self.data_slots + self.sifs_slots + self.ack_slots
 
     @property
-    def exchange_slots(self) -> int:
+    def exchange_slots(self) -> Slots:
         """Total busy period of a successful RTS/CTS/DATA/ACK exchange."""
         return self.handshake_slots + self.payload_phase_slots
 
     @property
-    def mean_service_slots(self) -> int:
+    def mean_service_slots(self) -> Slots:
         """Approximate MAC service time: one successful exchange plus the
         mean initial back-off and a DIFS.  Used to normalize offered load
         to the paper's traffic intensity rho."""

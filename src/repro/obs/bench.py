@@ -36,7 +36,7 @@ def write_bench_manifest(
     ``results`` may be dataclasses/lists/dicts — anything
     :func:`repro.obs.manifest.to_jsonable` handles.
     """
-    from repro.experiments.runner import fidelity_scale
+    from repro.util.fidelity import fidelity_scale
 
     manifest = RunManifest(
         name=f"bench_{name}",

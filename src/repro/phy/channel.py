@@ -10,9 +10,11 @@ the sender's — so the channel model keeps both ranges first-class.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
-from repro.geometry.vectors import distance
-from repro.phy.propagation import FreeSpacePropagation
+from repro.geometry.vectors import Point, distance
+from repro.phy.propagation import FreeSpacePropagation, PropagationModel
+from repro.util.units import Meters
 from repro.util.validation import check_positive
 
 
@@ -20,7 +22,7 @@ from repro.util.validation import check_positive
 class LinkState:
     """Snapshot of one directed link's reachability."""
 
-    distance: float
+    distance: Meters
     decodable: bool
     sensed: bool
 
@@ -40,7 +42,12 @@ class Channel:
         deterministic free space (the paper's baseline).
     """
 
-    def __init__(self, transmission_range=250.0, sensing_range=550.0, propagation=None):
+    def __init__(
+        self,
+        transmission_range: Meters = 250.0,
+        sensing_range: Meters = 550.0,
+        propagation: Optional[PropagationModel] = None,
+    ) -> None:
         self.transmission_range = check_positive(transmission_range, "transmission_range")
         self.sensing_range = check_positive(sensing_range, "sensing_range")
         if sensing_range < transmission_range:
@@ -52,7 +59,7 @@ class Channel:
 
     # -- queries -----------------------------------------------------------
 
-    def link_state(self, a_id, a_pos, b_id, b_pos):
+    def link_state(self, a_id: int, a_pos: Point, b_id: int, b_pos: Point) -> LinkState:
         """Full :class:`LinkState` between two placed nodes."""
         d = distance(a_pos, b_pos)
         pair = (a_id, b_id)
@@ -62,18 +69,18 @@ class Channel:
             sensed=d <= self.propagation.effective_range(self.sensing_range, pair),
         )
 
-    def decodable(self, a_id, a_pos, b_id, b_pos):
+    def decodable(self, a_id: int, a_pos: Point, b_id: int, b_pos: Point) -> bool:
         """True if a frame sent by ``a`` can be decoded at ``b``."""
         d = distance(a_pos, b_pos)
         return d <= self.propagation.effective_range(
             self.transmission_range, (a_id, b_id)
         )
 
-    def sensed(self, a_id, a_pos, b_id, b_pos):
+    def sensed(self, a_id: int, a_pos: Point, b_id: int, b_pos: Point) -> bool:
         """True if ``b`` senses the medium busy while ``a`` transmits."""
         d = distance(a_pos, b_pos)
         return d <= self.propagation.effective_range(self.sensing_range, (a_id, b_id))
 
-    def refresh_fading(self):
+    def refresh_fading(self) -> None:
         """Redraw shadowing margins (call after mobility epochs)."""
         self.propagation.refresh()

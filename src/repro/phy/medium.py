@@ -40,6 +40,10 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 from types import MappingProxyType
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.phy.channel import Channel, Point
+from repro.util.units import Slots
 
 
 @dataclass
@@ -59,50 +63,50 @@ class Transmission:
 
     sender: int
     receiver: int
-    start_slot: int
-    end_slot: int
+    start_slot: Slots
+    end_slot: Slots
     kind: str = "data"
     frame: object = None
     packet: object = None
     corrupted: bool = field(default=False, compare=False)
 
     @property
-    def duration(self):
+    def duration(self) -> Slots:
         return self.end_slot - self.start_slot
 
 
 class Medium:
     """Tracks active transmissions and per-node carrier sensing."""
 
-    def __init__(self, channel):
+    def __init__(self, channel: Channel) -> None:
         self.channel = channel
-        self._positions = {}
+        self._positions: Dict[int, Point] = {}
         #: node_id -> set of node_ids whose transmissions it senses
-        self._sensed_from = {}
+        self._sensed_from: Dict[int, Set[int]] = {}
         #: node_id -> set of node_ids that sense *its* transmissions
-        self._sensed_by = {}
+        self._sensed_by: Dict[int, Set[int]] = {}
         #: node_id -> set of node_ids whose frames it can decode
-        self._decodes_from = {}
-        self._active = {}
+        self._decodes_from: Dict[int, Set[int]] = {}
+        self._active: Dict[int, Transmission] = {}
         self._next_tx_id = 0
         # -- incremental carrier-sense state --------------------------------
         #: node_id -> number of its own active transmissions
-        self._tx_count = {}
+        self._tx_count: Dict[int, int] = {}
         #: tx_id -> in-flight handshake-kind transmissions
-        self._handshakes = {}
+        self._handshakes: Dict[int, Transmission] = {}
         #: listener -> {tx_id: sender} for transmissions it senses,
         #: in start order (mirrors iterating ``_active`` filtered).
-        self._sensed_active = {}
+        self._sensed_active: Dict[int, Dict[int, int]] = {}
         #: listener -> max-heap [(-end_slot, tx_id), ...], lazily pruned
-        self._busy_heaps = {}
+        self._busy_heaps: Dict[int, List[Tuple[int, int]]] = {}
         # -- frozenset caches for the reachability accessors ----------------
-        self._neighbors_cache = {}
-        self._sensed_sources_cache = {}
-        self._sensors_cache = {}
+        self._neighbors_cache: Dict[int, FrozenSet[int]] = {}
+        self._sensed_sources_cache: Dict[int, FrozenSet[int]] = {}
+        self._sensors_cache: Dict[int, FrozenSet[int]] = {}
 
     # -- topology ----------------------------------------------------------
 
-    def update_positions(self, positions):
+    def update_positions(self, positions: Mapping[int, Point]) -> None:
         """Install new node positions and rebuild reachability sets.
 
         ``positions`` maps node id -> (x, y).  Call once at setup and
@@ -138,7 +142,7 @@ class Medium:
         self._sensors_cache.clear()
         self._rebuild_sensing_index()
 
-    def _rebuild_sensing_index(self):
+    def _rebuild_sensing_index(self) -> None:
         """Recompute the incremental indexes under the new adjacency."""
         self._tx_count = {}
         self._handshakes = {}
@@ -152,11 +156,11 @@ class Medium:
             self._index_transmission(tx_id, tx)
 
     @property
-    def positions(self):
+    def positions(self) -> Mapping[int, Point]:
         """Read-only view of node id -> (x, y); never copied."""
         return MappingProxyType(self._positions)
 
-    def neighbors(self, node_id):
+    def neighbors(self, node_id: int) -> FrozenSet[int]:
         """Nodes whose frames ``node_id`` can decode (one-hop neighbors)."""
         cached = self._neighbors_cache.get(node_id)
         if cached is None:
@@ -165,7 +169,7 @@ class Medium:
             )
         return cached
 
-    def sensed_sources(self, node_id):
+    def sensed_sources(self, node_id: int) -> FrozenSet[int]:
         """Nodes whose transmissions ``node_id`` senses as busy air."""
         cached = self._sensed_sources_cache.get(node_id)
         if cached is None:
@@ -174,7 +178,7 @@ class Medium:
             )
         return cached
 
-    def sensors_of(self, node_id):
+    def sensors_of(self, node_id: int) -> FrozenSet[int]:
         """Nodes that sense ``node_id``'s transmissions (cached frozenset)."""
         cached = self._sensors_cache.get(node_id)
         if cached is None:
@@ -183,10 +187,10 @@ class Medium:
             )
         return cached
 
-    def can_decode(self, sender, receiver):
+    def can_decode(self, sender: int, receiver: int) -> bool:
         return sender in self._decodes_from.get(receiver, ())
 
-    def clean_decode(self, sender, receiver):
+    def clean_decode(self, sender: int, receiver: int) -> bool:
         """True iff ``receiver`` can decode ``sender``'s frame right now.
 
         The full monitor-side decode predicate: in decode range, the
@@ -201,12 +205,12 @@ class Medium:
             and not self.interferers_at(receiver, exclude_sender=sender)
         )
 
-    def senses(self, transmitter, listener):
+    def senses(self, transmitter: int, listener: int) -> bool:
         return transmitter in self._sensed_from.get(listener, ())
 
     # -- transmissions -----------------------------------------------------
 
-    def _index_transmission(self, tx_id, tx):
+    def _index_transmission(self, tx_id: int, tx: Transmission) -> None:
         """Fold one transmission into the incremental indexes."""
         sender = tx.sender
         self._tx_count[sender] = self._tx_count.get(sender, 0) + 1
@@ -225,7 +229,7 @@ class Medium:
                 heap = busy_heaps[listener] = []
             heapq.heappush(heap, entry)
 
-    def _unindex_transmission(self, tx_id, tx):
+    def _unindex_transmission(self, tx_id: int, tx: Transmission) -> None:
         """Drop one transmission from the incremental indexes.
 
         Heap entries are left behind and pruned lazily by
@@ -249,7 +253,7 @@ class Medium:
                 if heap:
                     heap.clear()
 
-    def start_transmission(self, transmission):
+    def start_transmission(self, transmission: Transmission) -> int:
         """Register a transmission; returns its medium-assigned id."""
         if transmission.end_slot <= transmission.start_slot:
             raise ValueError("transmission must have positive duration")
@@ -259,13 +263,15 @@ class Medium:
         self._index_transmission(tx_id, transmission)
         return tx_id
 
-    def end_transmission(self, tx_id):
+    def end_transmission(self, tx_id: int) -> Transmission:
         """Remove a finished transmission; returns it."""
         tx = self._active.pop(tx_id)
         self._unindex_transmission(tx_id, tx)
         return tx
 
-    def extend_transmission(self, tx_id, end_slot, kind=None):
+    def extend_transmission(
+        self, tx_id: int, end_slot: Slots, kind: Optional[str] = None
+    ) -> Transmission:
         """Grow an in-flight transmission's busy period (never shrink).
 
         The engine uses this for the handshake -> exchange phase change:
@@ -296,31 +302,31 @@ class Medium:
                     heapq.heappush(heap, entry)
         return tx
 
-    def active_transmissions(self):
+    def active_transmissions(self) -> Iterable[Transmission]:
         """The in-flight transmissions, in start order (live view)."""
         return self._active.values()
 
-    def active_items(self):
+    def active_items(self) -> Iterable[Tuple[int, Transmission]]:
         """``(tx_id, transmission)`` pairs for all in-flight transmissions,
         in start order (live view — do not mutate the medium while
         iterating)."""
         return self._active.items()
 
-    def active_handshakes(self):
+    def active_handshakes(self) -> Iterable[Tuple[int, Transmission]]:
         """``(tx_id, transmission)`` pairs for in-flight *handshake*-kind
         transmissions only, in start order (live view)."""
         return self._handshakes.items()
 
-    def active_item(self, tx_id):
+    def active_item(self, tx_id: int) -> Transmission:
         """The in-flight transmission with medium id ``tx_id``."""
         return self._active[tx_id]
 
-    def is_transmitting(self, node_id):
+    def is_transmitting(self, node_id: int) -> bool:
         return node_id in self._tx_count
 
     # -- carrier sensing ---------------------------------------------------
 
-    def senses_busy(self, node_id):
+    def senses_busy(self, node_id: int) -> bool:
         """True if ``node_id`` currently senses the channel busy.
 
         A node's own transmission does not count: while transmitting it
@@ -330,7 +336,7 @@ class Medium:
         """
         return bool(self._sensed_active.get(node_id))
 
-    def busy_until(self, node_id):
+    def busy_until(self, node_id: int) -> Optional[Slots]:
         """Last end slot among transmissions ``node_id`` senses, or None."""
         if not self._sensed_active.get(node_id):
             return None
@@ -348,7 +354,7 @@ class Medium:
             heapq.heappop(heap)
         return None
 
-    def interferers_at(self, receiver, exclude_sender):
+    def interferers_at(self, receiver: int, exclude_sender: int) -> List[int]:
         """Active transmitters (other than ``exclude_sender``) that the
         receiver senses — i.e., sources of collision at ``receiver``."""
         tracked = self._sensed_active.get(receiver)

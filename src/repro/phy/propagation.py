@@ -20,12 +20,14 @@ the calibration to Table 1's ranges explicit.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Dict, Optional, Tuple
 
 from repro.util.rng import RngStream
+from repro.util.units import Meters
 from repro.util.validation import check_non_negative, check_positive
 
 
-def range_to_threshold_margin_db(margin_db, path_loss_exponent):
+def range_to_threshold_margin_db(margin_db: float, path_loss_exponent: float) -> float:
     """Range scale factor equivalent to a received-power margin in dB.
 
     Solving ``10 * beta * log10(scale) = margin_db`` for ``scale``: a link
@@ -40,7 +42,7 @@ class PropagationModel(ABC):
     """Interface: per-link shadowing margins and effective range scaling."""
 
     @abstractmethod
-    def link_margin_db(self, pair_key):
+    def link_margin_db(self, pair_key: Tuple[int, int]) -> float:
         """Shadowing margin (dB) for an unordered node pair.
 
         Margins are symmetric (the shadowing loss of a path does not
@@ -49,10 +51,10 @@ class PropagationModel(ABC):
         """
 
     @abstractmethod
-    def refresh(self):
+    def refresh(self) -> None:
         """Redraw all shadowing margins (e.g., after nodes moved)."""
 
-    def effective_range(self, nominal_range, pair_key):
+    def effective_range(self, nominal_range: Meters, pair_key: Tuple[int, int]) -> Meters:
         """Nominal range scaled by the pair's shadowing margin."""
         scale = range_to_threshold_margin_db(
             self.link_margin_db(pair_key), self.path_loss_exponent
@@ -61,7 +63,7 @@ class PropagationModel(ABC):
 
     @property
     @abstractmethod
-    def path_loss_exponent(self):
+    def path_loss_exponent(self) -> float:
         """The path-loss exponent beta."""
 
 
@@ -72,17 +74,17 @@ class FreeSpacePropagation(PropagationModel):
     baseline configuration.
     """
 
-    def __init__(self, path_loss_exponent=2.0):
+    def __init__(self, path_loss_exponent: float = 2.0) -> None:
         self._beta = check_positive(path_loss_exponent, "path_loss_exponent")
 
     @property
-    def path_loss_exponent(self):
+    def path_loss_exponent(self) -> float:
         return self._beta
 
-    def link_margin_db(self, pair_key):
+    def link_margin_db(self, pair_key: Tuple[int, int]) -> float:
         return 0.0
 
-    def refresh(self):
+    def refresh(self) -> None:
         pass
 
 
@@ -100,17 +102,22 @@ class LogNormalShadowing(PropagationModel):
         seed 0 (pass an explicit stream for reproducible experiments).
     """
 
-    def __init__(self, sigma_db, path_loss_exponent=2.0, rng=None):
+    def __init__(
+        self,
+        sigma_db: float,
+        path_loss_exponent: float = 2.0,
+        rng: Optional[RngStream] = None,
+    ) -> None:
         self.sigma_db = check_non_negative(sigma_db, "sigma_db")
         self._beta = check_positive(path_loss_exponent, "path_loss_exponent")
         self._rng = rng if rng is not None else RngStream(0, "shadowing")
-        self._margins = {}
+        self._margins: Dict[Tuple[int, int], float] = {}
 
     @property
-    def path_loss_exponent(self):
+    def path_loss_exponent(self) -> float:
         return self._beta
 
-    def link_margin_db(self, pair_key):
+    def link_margin_db(self, pair_key: Tuple[int, int]) -> float:
         key = self._normalize(pair_key)
         margin = self._margins.get(key)
         if margin is None:
@@ -118,10 +125,10 @@ class LogNormalShadowing(PropagationModel):
             self._margins[key] = margin
         return margin
 
-    def refresh(self):
+    def refresh(self) -> None:
         self._margins.clear()
 
     @staticmethod
-    def _normalize(pair_key):
+    def _normalize(pair_key: Tuple[int, int]) -> Tuple[int, int]:
         a, b = pair_key
         return (a, b) if a <= b else (b, a)

@@ -18,6 +18,9 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.util.units import Slots
 
 
 @dataclass
@@ -28,10 +31,10 @@ class RouteEntry:
     next_hop: int
     hop_count: int
     dest_seq: int
-    installed_slot: int = 0
+    installed_slot: Slots = 0
 
     @property
-    def is_direct(self):
+    def is_direct(self) -> bool:
         return self.hop_count == 1
 
 
@@ -45,12 +48,12 @@ class AodvRouter:
     MACs; per-node views stay strictly separate inside.
     """
 
-    def __init__(self, link_provider):
+    def __init__(self, link_provider: Any) -> None:
         self.links = link_provider
         #: node -> destination -> RouteEntry
-        self.tables = {}
+        self.tables: Dict[int, Dict[int, RouteEntry]] = {}
         #: destination -> its own monotonically increasing sequence number
-        self._dest_seq = {}
+        self._dest_seq: Dict[int, int] = {}
         self._rreq_id = 0
         self.control_messages = 0
         self.rreq_floods = 0
@@ -58,7 +61,7 @@ class AodvRouter:
 
     # -- queries ------------------------------------------------------------
 
-    def route(self, source, destination, slot=0):
+    def route(self, source: int, destination: int, slot: Slots = 0) -> Optional[RouteEntry]:
         """The :class:`RouteEntry` at ``source`` for ``destination``,
         discovering one on demand.  Returns None if unreachable."""
         if source == destination:
@@ -68,18 +71,18 @@ class AodvRouter:
             return entry
         return self._discover(source, destination, slot)
 
-    def next_hop(self, source, destination, slot=0):
+    def next_hop(self, source: int, destination: int, slot: Slots = 0) -> Optional[int]:
         """Next hop toward ``destination``, or None if unreachable."""
         entry = self.route(source, destination, slot)
         return entry.next_hop if entry is not None else None
 
     # -- route maintenance ----------------------------------------------------
 
-    def invalidate_all(self):
+    def invalidate_all(self) -> None:
         """Drop every cached route (e.g., after a mobility epoch)."""
         self.tables.clear()
 
-    def invalidate_link(self, a, b):
+    def invalidate_link(self, a: int, b: int) -> None:
         """Drop routes using the broken link ``a -> b`` (both directions).
 
         AODV would also propagate RERR messages; we charge one control
@@ -98,7 +101,7 @@ class AodvRouter:
 
     # -- discovery -------------------------------------------------------------
 
-    def _discover(self, source, destination, slot):
+    def _discover(self, source: int, destination: int, slot: Slots) -> Optional[RouteEntry]:
         """Flood an RREQ from ``source``; install forward/reverse routes."""
         self._rreq_id += 1
         self.rreq_floods += 1
@@ -136,7 +139,15 @@ class AodvRouter:
             self._install(path[i], source, path[i - 1], i, 0, slot)
         return self.tables[source][destination]
 
-    def _install(self, node, destination, next_hop, hop_count, dest_seq, slot):
+    def _install(
+        self,
+        node: int,
+        destination: int,
+        next_hop: int,
+        hop_count: int,
+        dest_seq: int,
+        slot: Slots,
+    ) -> None:
         table = self.tables.setdefault(node, {})
         existing = table.get(destination)
         # AODV freshness rule: prefer higher destination sequence numbers,

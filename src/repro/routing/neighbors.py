@@ -10,6 +10,9 @@ perfect knowledge.
 
 from __future__ import annotations
 
+from typing import Any, Dict, FrozenSet, Iterable, Optional
+
+from repro.util.units import Slots
 from repro.util.validation import check_non_negative
 
 
@@ -22,19 +25,19 @@ class NeighborTable:
     entries out.
     """
 
-    def __init__(self, node_id, expiry_slots=None):
+    def __init__(self, node_id: int, expiry_slots: Optional[Slots] = None) -> None:
         self.node_id = node_id
         self.expiry_slots = expiry_slots
-        self._last_seen = {}
+        self._last_seen: Dict[int, Slots] = {}
 
-    def refresh(self, neighbor_ids, slot=0):
+    def refresh(self, neighbor_ids: Iterable[int], slot: Slots = 0) -> None:
         """Confirm the given neighbors as reachable at ``slot``."""
         check_non_negative(slot, "slot")
         for neighbor in neighbor_ids:
             if neighbor != self.node_id:
                 self._last_seen[neighbor] = slot
 
-    def neighbors(self, slot=None):
+    def neighbors(self, slot: Optional[Slots] = None) -> FrozenSet[int]:
         """Current neighbor ids, dropping expired entries if aging is on."""
         if self.expiry_slots is None or slot is None:
             return frozenset(self._last_seen)
@@ -43,16 +46,18 @@ class NeighborTable:
             n for n, seen in self._last_seen.items() if seen >= horizon
         )
 
-    def forget(self, neighbor_id):
+    def forget(self, neighbor_id: int) -> None:
         self._last_seen.pop(neighbor_id, None)
 
-    def __contains__(self, neighbor_id):
+    def __contains__(self, neighbor_id: int) -> bool:
         return neighbor_id in self._last_seen
 
 
-def build_neighbor_tables(medium, expiry_slots=None, slot=0):
+def build_neighbor_tables(
+    medium: Any, expiry_slots: Optional[Slots] = None, slot: Slots = 0
+) -> Dict[int, NeighborTable]:
     """One :class:`NeighborTable` per node, seeded from the medium."""
-    tables = {}
+    tables: Dict[int, NeighborTable] = {}
     for node_id in medium.positions:
         table = NeighborTable(node_id, expiry_slots=expiry_slots)
         table.refresh(medium.neighbors(node_id), slot=slot)

@@ -9,15 +9,23 @@ is what makes multi-hop traffic load the medium realistically.
 
 from __future__ import annotations
 
+from typing import Any, Dict, Optional, Sequence
+
 from repro.routing.aodv import AodvRouter
 from repro.sim.listeners import SimulationListener
 from repro.traffic.queue import Packet
+from repro.util.units import Slots
 
 
 class MultiHopService(SimulationListener):
     """Forwards packets along AODV routes, one MAC hop at a time."""
 
-    def __init__(self, macs, router=None, link_provider=None):
+    def __init__(
+        self,
+        macs: Dict[int, Any],
+        router: Optional[AodvRouter] = None,
+        link_provider: Optional[Any] = None,
+    ) -> None:
         if router is None:
             if link_provider is None:
                 raise ValueError("MultiHopService needs a router or link_provider")
@@ -28,14 +36,14 @@ class MultiHopService(SimulationListener):
         self.forwarded = 0
         self.routing_failures = 0
 
-    def first_hop(self, source, final_destination, slot=0):
+    def first_hop(self, source: int, final_destination: int, slot: Slots = 0) -> Optional[int]:
         """MAC receiver for a packet leaving ``source``; None if no route."""
         hop = self.router.next_hop(source, final_destination, slot)
         if hop is None:
             self.routing_failures += 1
         return hop
 
-    def on_transmission_end(self, slot, transmission, success, medium):
+    def on_transmission_end(self, slot: Slots, transmission: Any, success: bool, medium: Any) -> None:
         if not success or transmission.packet is None:
             return
         packet = transmission.packet
@@ -58,6 +66,6 @@ class MultiHopService(SimulationListener):
         self.macs[transmission.receiver].enqueue(relay)
         self.forwarded += 1
 
-    def on_positions_updated(self, slot, positions, medium):
+    def on_positions_updated(self, slot: Slots, positions: Sequence[Any], medium: Any) -> None:
         # Topology changed: cached routes may now point at broken links.
         self.router.invalidate_all()

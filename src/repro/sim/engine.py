@@ -55,7 +55,7 @@ from typing import (
 from repro.phy.medium import Transmission
 from repro.sim.listeners import SimulationListener, overrides_hook
 from repro.traffic.queue import Packet
-from repro.util.units import seconds_to_slots
+from repro.util.units import Slots, seconds_to_slots
 
 if TYPE_CHECKING:  # pragma: no cover - import-time only
     from repro.checks.invariants import InvariantChecker
@@ -177,14 +177,14 @@ class SimulationEngine:
         self._tx_end_hooks = hooks("on_transmission_end")
         self._positions_hooks = hooks("on_positions_updated")
 
-    def schedule(self, slot: int, kind: int, data: Any = None) -> None:
+    def schedule(self, slot: Slots, kind: int, data: Any = None) -> None:
         if slot < self.now:
             raise ValueError(f"cannot schedule in the past ({slot} < {self.now})")
         heapq.heappush(self._heap, (int(slot), int(kind), next(self._seq), data))
 
     def run_until(
         self,
-        end_slot: int,
+        end_slot: Slots,
         stop_condition: Optional[Callable[[], bool]] = None,
     ) -> int:
         """Process events up to and including ``end_slot``.
@@ -233,7 +233,7 @@ class SimulationEngine:
 
     # -- event processing --------------------------------------------------
 
-    def _process_batch(self, slot: int, batch: List[_Event]) -> Set[int]:
+    def _process_batch(self, slot: Slots, batch: List[_Event]) -> Set[int]:
         """Handle one slot's events; returns the set of affected nodes."""
         affected: Set[int] = set()
         for _slot, kind, _seq, data in batch:
@@ -251,7 +251,7 @@ class SimulationEngine:
                 affected |= self._handle_countdown(slot, data)
         return affected
 
-    def _handle_phase(self, slot: int, tx_id: int) -> Set[int]:
+    def _handle_phase(self, slot: Slots, tx_id: int) -> Set[int]:
         tx = self.medium.active_item(tx_id)
         if tx.kind == "handshake" and not tx.corrupted:
             # CTS received: extend the busy period through DATA + ACK
@@ -268,7 +268,7 @@ class SimulationEngine:
             hook(slot, tx, success, self.medium)
         return self._neighborhood_of(tx.sender) | {tx.sender}
 
-    def _handle_epoch(self, slot: int) -> None:
+    def _handle_epoch(self, slot: Slots) -> None:
         time_s = slot * self.timing.slot_time_us / 1e6
         positions = self.mobility.positions_at(time_s)
         self.medium.update_positions(positions)
@@ -276,7 +276,7 @@ class SimulationEngine:
             hook(slot, positions, self.medium)
         self.schedule(slot + self.epoch_slots, EventKind.MOBILITY_EPOCH)
 
-    def _handle_arrival(self, slot: int, node_id: int) -> None:
+    def _handle_arrival(self, slot: Slots, node_id: int) -> None:
         source = self.traffic[node_id]
         destination = source.pick_destination(self.medium, node_id)
         if destination is not None and destination != node_id:
@@ -291,7 +291,7 @@ class SimulationEngine:
         if nxt is not None:
             self.schedule(nxt, EventKind.ARRIVAL, node_id)
 
-    def _handle_countdown(self, slot: int, data: Tuple[int, int]) -> Set[int]:
+    def _handle_countdown(self, slot: Slots, data: Tuple[int, int]) -> Set[int]:
         node_id, generation = data
         mac = self.macs[node_id]
         if mac.backoff.generation != generation or not mac.backoff.counting:
@@ -340,7 +340,7 @@ class SimulationEngine:
         it, they never mutate it."""
         return self.medium.sensors_of(node_id)
 
-    def _reconcile(self, slot: int, affected: Set[int]) -> None:
+    def _reconcile(self, slot: Slots, affected: Set[int]) -> None:
         # This pass runs for every affected node on every non-empty slot;
         # it reads MAC state through direct attributes (``transmitting``,
         # ``backoff.remaining``/``anchor``) rather than the enum-valued

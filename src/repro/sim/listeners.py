@@ -19,6 +19,8 @@ for the hooks it leaves as the base-class no-ops.
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+from repro.util.units import Slots
 from typing import TYPE_CHECKING, Any, Dict, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import-time only
@@ -46,13 +48,13 @@ class SimulationListener:
     """Base class: override the callbacks you need."""
 
     def on_transmission_start(
-        self, slot: int, transmission: "Transmission", medium: "Medium"
+        self, slot: Slots, transmission: "Transmission", medium: "Medium"
     ) -> None:
         """A node occupied the air at ``slot`` (RTS phase begins)."""
 
     def on_transmission_end(
         self,
-        slot: int,
+        slot: Slots,
         transmission: "Transmission",
         success: bool,
         medium: "Medium",
@@ -60,16 +62,16 @@ class SimulationListener:
         """The exchange finished (success) or the RTS failed."""
 
     def on_positions_updated(
-        self, slot: int, positions: Dict[int, Position], medium: "Medium"
+        self, slot: Slots, positions: Dict[int, Position], medium: "Medium"
     ) -> None:
         """A mobility epoch rebuilt the reachability sets."""
 
     def on_event(
-        self, slot: int, kind: int, data: Any, engine: "SimulationEngine"
+        self, slot: Slots, kind: int, data: Any, engine: "SimulationEngine"
     ) -> None:
         """A scheduled event is about to be dispatched (low-level hook)."""
 
-    def on_slot_end(self, slot: int, engine: "SimulationEngine") -> None:
+    def on_slot_end(self, slot: Slots, engine: "SimulationEngine") -> None:
         """A slot's event batch and reconcile pass completed (low-level)."""
 
 
@@ -90,7 +92,7 @@ class StatsCollector(SimulationListener):
         self.per_sender: Dict[int, _FlowStats] = {}
 
     def on_transmission_start(
-        self, slot: int, transmission: "Transmission", medium: "Medium"
+        self, slot: Slots, transmission: "Transmission", medium: "Medium"
     ) -> None:
         self.transmissions += 1
         stats = self.per_sender.setdefault(transmission.sender, _FlowStats())
@@ -98,7 +100,7 @@ class StatsCollector(SimulationListener):
 
     def on_transmission_end(
         self,
-        slot: int,
+        slot: Slots,
         transmission: "Transmission",
         success: bool,
         medium: "Medium",

@@ -22,7 +22,7 @@ from repro.topology.mobility import MobilityModel, StaticMobility
 from repro.sim.listeners import SimulationListener
 from repro.traffic.generators import CbrTrafficGenerator, PoissonTrafficGenerator, TrafficGenerator
 from repro.util.rng import RngStream
-from repro.util.units import seconds_to_slots
+from repro.util.units import Seconds, Slots, seconds_to_slots
 from repro.util.validation import check_positive
 
 
@@ -198,7 +198,7 @@ class Simulation:
 
     def run(
         self,
-        duration_s: float,
+        duration_s: Seconds,
         stop_condition: Optional[Callable[[], bool]] = None,
     ) -> int:
         """Run for ``duration_s`` simulated seconds (from the current
@@ -210,7 +210,7 @@ class Simulation:
 
     def run_slots(
         self,
-        slots: int,
+        slots: Slots,
         stop_condition: Optional[Callable[[], bool]] = None,
     ) -> int:
         """Run for an explicit number of slots."""

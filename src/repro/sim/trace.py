@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 
 from repro.sim.listeners import SimulationListener
-from repro.util.units import DEFAULT_SLOT_TIME_US
+from repro.util.units import DEFAULT_SLOT_TIME_US, Microseconds, Slots
 
 if TYPE_CHECKING:  # pragma: no cover - import-time only
     from repro.phy.medium import Medium, Transmission
@@ -22,13 +22,13 @@ if TYPE_CHECKING:  # pragma: no cover - import-time only
 class TraceRecord:
     """One traced event."""
 
-    slot: int
+    slot: Slots
     kind: str          # "start" | "success" | "failure" | "epoch"
     sender: int = -1
     receiver: int = -1
     detail: str = ""
 
-    def render(self, slot_time_us: float = DEFAULT_SLOT_TIME_US) -> str:
+    def render(self, slot_time_us: Microseconds = DEFAULT_SLOT_TIME_US) -> str:
         """ns-2-flavored single-line rendering."""
         time_s = self.slot * slot_time_us / 1e6
         symbol = {"start": "s", "success": "r", "failure": "d", "epoch": "M"}[
@@ -61,7 +61,7 @@ class TraceRecorder(SimulationListener):
         return self.senders is None or sender in self.senders
 
     def on_transmission_start(
-        self, slot: int, transmission: "Transmission", medium: "Medium"
+        self, slot: Slots, transmission: "Transmission", medium: "Medium"
     ) -> None:
         if not self._wanted(transmission.sender):
             return
@@ -81,7 +81,7 @@ class TraceRecorder(SimulationListener):
 
     def on_transmission_end(
         self,
-        slot: int,
+        slot: Slots,
         transmission: "Transmission",
         success: bool,
         medium: "Medium",
@@ -100,7 +100,7 @@ class TraceRecorder(SimulationListener):
 
     def on_positions_updated(
         self,
-        slot: int,
+        slot: Slots,
         positions: Dict[int, Tuple[float, float]],
         medium: "Medium",
     ) -> None:
@@ -110,11 +110,11 @@ class TraceRecorder(SimulationListener):
 
     # -- output ------------------------------------------------------------
 
-    def render(self, slot_time_us: float = DEFAULT_SLOT_TIME_US) -> str:
+    def render(self, slot_time_us: Microseconds = DEFAULT_SLOT_TIME_US) -> str:
         """The whole trace as text."""
         return "\n".join(r.render(slot_time_us) for r in self.records)
 
-    def write(self, path: str, slot_time_us: float = DEFAULT_SLOT_TIME_US) -> None:
+    def write(self, path: str, slot_time_us: Microseconds = DEFAULT_SLOT_TIME_US) -> None:
         """Write the trace to a file."""
         with open(path, "w", encoding="ascii") as handle:
             handle.write(self.render(slot_time_us))

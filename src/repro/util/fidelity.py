@@ -1,0 +1,54 @@
+"""The ``REPRO_SCALE`` fidelity multiplier.
+
+The paper averages over 20 runs (probability curves) and 10,000 runs
+(detection probabilities).  The default bench fidelity is far lower so
+the whole suite completes in minutes; set ``REPRO_SCALE`` (a float
+multiplier, default 1.0) to raise trial counts and durations toward the
+paper's, e.g. ``REPRO_SCALE=10 pytest benchmarks/``.
+
+This lives in ``util`` (not ``experiments``) because consumers span
+layers: experiment sweeps scale their trial counts, and the manifest
+writers in ``repro.obs`` record the active scale — ``obs`` sits below
+``experiments`` in the layering DAG and must not import it.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Tuple
+
+from repro.util.caches import register_cache_reset
+
+#: (raw env string, parsed value) of the last fidelity_scale() call.
+#: scaled() runs inside trial loops, so the env re-parse is cached;
+#: keying on the raw string keeps monkeypatched REPRO_SCALE working
+#: without an explicit reset.
+_fidelity_cache: Optional[Tuple[str, float]] = None
+
+
+def fidelity_scale() -> float:
+    """The REPRO_SCALE multiplier (>= 0.1)."""
+    global _fidelity_cache
+    raw = os.environ.get("REPRO_SCALE", "1.0")
+    cached = _fidelity_cache
+    if cached is not None and cached[0] == raw:
+        return cached[1]
+    try:
+        scale = float(raw)
+    except ValueError as exc:
+        raise ValueError(f"REPRO_SCALE must be a float, got {raw!r}") from exc
+    value = max(scale, 0.1)
+    _fidelity_cache = (raw, value)
+    return value
+
+
+@register_cache_reset
+def reset_fidelity_cache() -> None:
+    """Forget the cached REPRO_SCALE parse (test isolation)."""
+    global _fidelity_cache
+    _fidelity_cache = None
+
+
+def scaled(value: float, minimum: int = 1) -> int:
+    """``value`` scaled by REPRO_SCALE, floored at ``minimum``."""
+    return max(int(round(value * fidelity_scale())), minimum)

@@ -4,11 +4,46 @@ The simulator's fundamental unit is the IEEE 802.11 (DSSS PHY) slot of
 20 microseconds.  All MAC timing (DIFS, SIFS, frame durations) is rounded
 to integer numbers of slots; the helpers here centralize the conversions
 so experiments can be written in seconds while the engine runs in slots.
+
+Unit types
+----------
+
+:data:`Slots`, :data:`Microseconds`, :data:`Seconds` and :data:`Meters`
+are ``typing.NewType`` aliases used to annotate every API that carries a
+dimensioned quantity.  They exist for the *unit-flow* static pass
+(``python -m repro.checks --deep``, rules RPR5xx), which reads the
+annotations and propagates units through assignments, calls and
+arithmetic to flag mixed-unit expressions before they corrupt slot
+timing.
+
+Under mypy they deliberately degrade to plain ``int``/``float``
+aliases: nominal NewType checking would force a ``Slots(...)`` wrap
+around every piece of slot arithmetic (``NewType`` operations return
+the base type), which is exactly the noise that makes unit wrappers rot.
+The structural enforcement lives in ``repro.checks.unitflow`` instead.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, NewType
+
+if TYPE_CHECKING:
+    # Plain aliases for mypy: unit discipline is enforced by the
+    # repro.checks unit-flow pass, not nominally (see module docstring).
+    Slots = int
+    Microseconds = float
+    Seconds = float
+    Meters = float
+else:
+    #: An integer count of MAC slots (timestamps and durations alike).
+    Slots = NewType("Slots", int)
+    #: A duration in microseconds.
+    Microseconds = NewType("Microseconds", float)
+    #: A duration in seconds.
+    Seconds = NewType("Seconds", float)
+    #: A distance in meters.
+    Meters = NewType("Meters", float)
 
 MICROSECONDS_PER_SECOND = 1_000_000
 
@@ -17,8 +52,8 @@ DEFAULT_SLOT_TIME_US = 20.0
 
 
 def microseconds_to_slots(
-    us: float, slot_time_us: float = DEFAULT_SLOT_TIME_US
-) -> int:
+    us: Microseconds, slot_time_us: Microseconds = DEFAULT_SLOT_TIME_US
+) -> Slots:
     """Convert a duration in microseconds to a whole number of slots.
 
     Durations are rounded *up* so that a frame never occupies less air
@@ -33,8 +68,8 @@ def microseconds_to_slots(
 
 
 def slots_to_microseconds(
-    slots: int, slot_time_us: float = DEFAULT_SLOT_TIME_US
-) -> float:
+    slots: Slots, slot_time_us: Microseconds = DEFAULT_SLOT_TIME_US
+) -> Microseconds:
     """Convert a slot count to microseconds."""
     if slots < 0:
         raise ValueError(f"slot count must be non-negative, got {slots}")
@@ -42,15 +77,15 @@ def slots_to_microseconds(
 
 
 def seconds_to_slots(
-    seconds: float, slot_time_us: float = DEFAULT_SLOT_TIME_US
-) -> int:
+    seconds: Seconds, slot_time_us: Microseconds = DEFAULT_SLOT_TIME_US
+) -> Slots:
     """Convert seconds to a whole number of slots (rounded up)."""
     return microseconds_to_slots(seconds * MICROSECONDS_PER_SECOND, slot_time_us)
 
 
 def slots_to_seconds(
-    slots: int, slot_time_us: float = DEFAULT_SLOT_TIME_US
-) -> float:
+    slots: Slots, slot_time_us: Microseconds = DEFAULT_SLOT_TIME_US
+) -> Seconds:
     """Convert a slot count to seconds."""
     return slots_to_microseconds(slots, slot_time_us) / MICROSECONDS_PER_SECOND
 
@@ -64,8 +99,8 @@ class Duration:
     in simulator code.
     """
 
-    slots: int
-    slot_time_us: float = DEFAULT_SLOT_TIME_US
+    slots: Slots
+    slot_time_us: Microseconds = DEFAULT_SLOT_TIME_US
 
     def __post_init__(self) -> None:
         if self.slots < 0:
@@ -77,28 +112,35 @@ class Duration:
 
     @classmethod
     def from_microseconds(
-        cls, us: float, slot_time_us: float = DEFAULT_SLOT_TIME_US
+        cls, us: Microseconds, slot_time_us: Microseconds = DEFAULT_SLOT_TIME_US
     ) -> "Duration":
         return cls(microseconds_to_slots(us, slot_time_us), slot_time_us)
 
     @classmethod
     def from_seconds(
-        cls, seconds: float, slot_time_us: float = DEFAULT_SLOT_TIME_US
+        cls, seconds: Seconds, slot_time_us: Microseconds = DEFAULT_SLOT_TIME_US
     ) -> "Duration":
         return cls(seconds_to_slots(seconds, slot_time_us), slot_time_us)
 
     @property
-    def microseconds(self) -> float:
+    def microseconds(self) -> Microseconds:
         return slots_to_microseconds(self.slots, self.slot_time_us)
 
     @property
-    def seconds(self) -> float:
+    def seconds(self) -> Seconds:
         return slots_to_seconds(self.slots, self.slot_time_us)
 
     def __add__(self, other: object) -> "Duration":
         if isinstance(other, Duration):
+            # A slot count is only meaningful relative to its slot time:
+            # summing counts taken at different slot times would silently
+            # adopt the left operand's slot time and misstate the total.
             if other.slot_time_us != self.slot_time_us:
-                raise ValueError("cannot add Durations with different slot times")
+                raise ValueError(
+                    "cannot add Durations with different slot times "
+                    f"({self.slot_time_us} us vs {other.slot_time_us} us); "
+                    "convert one side explicitly via from_microseconds()"
+                )
             return Duration(self.slots + other.slots, self.slot_time_us)
         return NotImplemented
 

@@ -1,0 +1,15 @@
+# path: src/repro/core/corpus_core_bad.py
+# expect: RPR702
+"""Known-bad: detector code groping through the medium's private state."""
+
+
+def snoop_carrier(medium) -> int:
+    return len(medium._transmissions)        # RPR702: private medium attr
+
+
+class Detector:
+    def __init__(self, medium) -> None:
+        self.medium = medium
+
+    def busy(self) -> bool:
+        return bool(self.medium._active_count)  # RPR702: via self.medium

@@ -1,0 +1,16 @@
+# path: src/repro/core/corpus_core_good.py
+# expect: none
+"""Known-good: detector code using the medium's public surface only."""
+
+
+def carrier_busy(medium) -> bool:
+    return medium.is_busy()                  # public API: fine
+
+
+class Detector:
+    def __init__(self, medium) -> None:
+        self.medium = medium
+        self._history = []                   # own private attr: fine
+
+    def observe(self) -> None:
+        self._history.append(self.medium.active_transmissions())

@@ -1,0 +1,9 @@
+# path: src/repro/mac/corpus_layering_bad.py
+# expect: RPR701
+"""Known-bad: MAC-layer module importing upward into experiments."""
+
+from repro.experiments.scenarios import build_grid_simulation  # RPR701
+
+
+def shortcut(width_m, height_m):
+    return build_grid_simulation(width_m, height_m)

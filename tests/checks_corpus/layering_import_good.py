@@ -1,0 +1,18 @@
+# path: src/repro/experiments/corpus_layering_good.py
+# expect: none
+"""Known-good: downward imports, TYPE_CHECKING edges, lazy obs imports."""
+
+from typing import TYPE_CHECKING
+
+from repro.mac.backoff import BackoffPolicy     # downward: experiments -> mac
+from repro.util.units import Slots              # downward: experiments -> util
+
+if TYPE_CHECKING:
+    from repro.analysis.plots import SweepPlot  # upward but type-only: exempt
+
+
+def probe(policy: BackoffPolicy, horizon_slots: Slots) -> "SweepPlot":
+    from repro.obs.runtime import current_observatory  # lazy cross-cutting: exempt
+
+    obs = current_observatory()
+    return obs.plot(policy, horizon_slots)

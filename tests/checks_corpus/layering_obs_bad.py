@@ -1,0 +1,11 @@
+# path: src/repro/obs/corpus_obs_bad.py
+# expect: RPR703
+"""Known-bad: observation-plane code mutating simulation state."""
+
+
+class NudgingProbe:
+    def attach(self, engine) -> None:
+        engine.now = 0                       # RPR703: obs writes engine state
+
+    def throttle(self, mac) -> None:
+        mac.cw_min += 1                      # RPR703: obs writes mac state

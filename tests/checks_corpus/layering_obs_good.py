@@ -1,0 +1,14 @@
+# path: src/repro/obs/corpus_obs_good.py
+# expect: none
+"""Known-good: observation-plane code that only reads simulation state."""
+
+
+class PassiveProbe:
+    def __init__(self) -> None:
+        self.samples = []                    # own state: writable
+
+    def attach(self, engine) -> None:
+        self.engine_start = engine.now       # reading engine state: fine
+
+    def sample(self, engine, mac) -> None:
+        self.samples.append((engine.now, mac.cw_min))

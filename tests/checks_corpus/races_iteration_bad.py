@@ -1,0 +1,20 @@
+# path: src/repro/core/corpus_iteration_bad.py
+# expect: RPR602
+"""Known-bad: unsorted set iteration inside verdict-path code."""
+
+from typing import Set
+
+
+def verdict_over_neighbors(neighbors: Set[int]) -> list:
+    verdicts = []
+    for node in neighbors:                   # RPR602: Set param, unsorted
+        verdicts.append(node)
+    suspects = {n for n in verdicts if n > 0}
+    return [s * 2 for s in suspects]         # RPR602: set comprehension iterated
+
+
+def tie_groups(samples: list) -> list:
+    sizes = []
+    for value in set(samples):               # RPR602: set() call iterated
+        sizes.append(samples.count(value))
+    return sizes

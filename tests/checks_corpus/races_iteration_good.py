@@ -1,0 +1,33 @@
+# path: src/repro/core/corpus_iteration_good.py
+# expect: none
+"""Known-good: sorted set iteration and order-safe containers."""
+
+from typing import Dict, Set
+
+
+def verdict_over_neighbors(neighbors: Set[int]) -> list:
+    verdicts = []
+    for node in sorted(neighbors):           # sorted: deterministic
+        verdicts.append(node)
+    return verdicts
+
+
+def tie_groups(samples: list) -> list:
+    sizes = []
+    for value in sorted(set(samples)):       # sorted set: fine
+        sizes.append(samples.count(value))
+    return sizes
+
+
+def dict_iteration(counts: Dict[int, int]) -> int:
+    total = 0
+    for key in counts:                       # dicts preserve insertion order
+        total += counts[key]
+    return total
+
+
+def list_iteration(samples: list) -> float:
+    acc = 0.0
+    for value in samples:                    # lists are ordered
+        acc += value
+    return acc

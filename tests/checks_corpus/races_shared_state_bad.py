@@ -1,0 +1,22 @@
+# path: src/repro/experiments/corpus_races_bad.py
+# expect: RPR601,RPR603
+"""Known-bad: worker-reachable shared state + environ mutation."""
+
+import os
+
+from repro.experiments.parallel import run_trials
+
+_RESULTS = {}
+_hits = 0
+
+
+def trial(task):
+    global _hits
+    _hits += 1                               # RPR601: rebinding global
+    _RESULTS[task] = _hits                   # RPR601: item assignment
+    os.environ["REPRO_SCALE"] = "0.5"        # RPR603: environ write
+    return _hits
+
+
+def sweep(tasks):
+    return run_trials(trial, tasks)

@@ -1,0 +1,33 @@
+# path: src/repro/experiments/corpus_races_good.py
+# expect: none
+"""Known-good: pure trials, registered caches, environ reads only."""
+
+import os
+
+from repro.experiments.parallel import run_trials
+from repro.util.caches import register_cache_reset
+
+_SCALE_CACHE = None
+
+
+@register_cache_reset
+def _reset() -> None:
+    global _SCALE_CACHE
+    _SCALE_CACHE = None
+
+
+def scale() -> float:
+    global _SCALE_CACHE
+    if _SCALE_CACHE is None:
+        _SCALE_CACHE = float(os.environ.get("REPRO_SCALE", "1.0"))
+    return _SCALE_CACHE
+
+
+def trial(task):
+    local_counts = {}                        # local state: fine
+    local_counts[task] = scale()
+    return local_counts
+
+
+def sweep(tasks):
+    return run_trials(trial, tasks)

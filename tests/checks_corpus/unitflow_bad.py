@@ -1,0 +1,32 @@
+# path: src/repro/mac/corpus_unitflow_bad.py
+# expect: RPR501,RPR502,RPR503,RPR504
+"""Known-bad: every RPR5xx unit-flow rule fires in this file."""
+
+from repro.util.units import Microseconds, Seconds, Slots
+
+
+def mixed_arithmetic(timeout_slots: Slots, difs_us: Microseconds) -> None:
+    total = timeout_slots + difs_us          # RPR501: slots + microseconds
+    if timeout_slots > difs_us:              # RPR501: slots vs microseconds
+        pass
+
+
+def wrong_assignment(difs_us: Microseconds) -> None:
+    backoff_slots: Slots = difs_us           # RPR504: us bound to Slots name
+
+
+def float_slots(window_slots: Slots) -> Slots:
+    half_slots = window_slots / 2            # RPR503: true division -> float
+    return half_slots
+
+
+def to_seconds(us: Microseconds) -> Seconds:
+    return us / 1e6
+
+
+def caller(duration_s: Seconds) -> None:
+    to_seconds(duration_s)                   # RPR502: seconds into a us param
+
+
+def wrong_return(difs_us: Microseconds) -> Slots:
+    return difs_us                           # RPR504: returns us, declared Slots

@@ -1,0 +1,45 @@
+# path: src/repro/mac/corpus_unitflow_good.py
+# expect: none
+"""Known-good: unit-correct code the RPR5xx pass must stay quiet on."""
+
+from repro.util.units import (
+    Microseconds,
+    Seconds,
+    Slots,
+    microseconds_to_slots,
+    slots_to_microseconds,
+)
+
+
+def add_like_units(a_slots: Slots, b_slots: Slots) -> Slots:
+    return a_slots + b_slots                 # same unit: fine
+
+
+def scalar_mixes(timeout_slots: Slots, retries: int) -> Slots:
+    grown = timeout_slots * 2                # scalar multiplier keeps unit
+    return grown + retries                   # unknown int treated as scalar
+
+
+def explicit_conversion(difs_us: Microseconds) -> Slots:
+    return microseconds_to_slots(difs_us)    # conversion through the helper
+
+
+def slot_count_times_duration(n_slots: Slots, slot_time_us: Microseconds) -> Microseconds:
+    return n_slots * slot_time_us            # slot count is dimensionless
+
+
+def literal_seconds_conversion(span_us: Microseconds) -> Seconds:
+    return span_us / 1e6                     # recognized 1e6 factor
+
+
+def cancelling_division(a_us: Microseconds, b_us: Microseconds) -> float:
+    ratio = a_us / b_us                      # like units cancel to scalar
+    return ratio
+
+
+def integer_slot_division(window_slots: Slots) -> Slots:
+    return window_slots // 2                 # floor division keeps ints
+
+
+def round_trip(window_slots: Slots, slot_time_us: Microseconds) -> Microseconds:
+    return slots_to_microseconds(window_slots, slot_time_us)

@@ -1,0 +1,240 @@
+"""Tests for the whole-program deep analysis (``repro.checks --deep``).
+
+Covers:
+
+* the fixture corpus under ``tests/checks_corpus/`` — every known-bad
+  file triggers exactly its declared rule codes and every known-good
+  file stays clean (the false-positive guard);
+* the real ``src/`` tree is clean modulo the checked-in baseline;
+* SARIF generation and validation;
+* ``--explain`` coverage for every rule code;
+* baseline load/apply semantics;
+* CLI exit codes.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.checks import ALL_RULES, DEEP_RULES
+from repro.checks.__main__ import main
+from repro.checks.baseline import (
+    BaselineError,
+    apply_baseline,
+    baseline_key,
+    load_baseline,
+    render_baseline,
+)
+from repro.checks.deep import run_deep_on_index
+from repro.checks.explain import EXPLANATIONS, explain
+from repro.checks.index import ProjectIndex
+from repro.checks.lint import Finding
+from repro.checks.sarif import to_sarif, validate_sarif
+
+ROOT = Path(__file__).resolve().parents[1]
+CORPUS = ROOT / "tests" / "checks_corpus"
+
+
+def _parse_directives(text, fixture):
+    """Extract the ``# path:`` and ``# expect:`` header directives."""
+    path = None
+    expect = None
+    for line in text.splitlines()[:5]:
+        if line.startswith("# path:"):
+            path = line.split(":", 1)[1].strip()
+        elif line.startswith("# expect:"):
+            expect = line.split(":", 1)[1].strip()
+    if path is None or expect is None:
+        pytest.fail(f"{fixture.name}: missing '# path:' or '# expect:' directive")
+    codes = set() if expect == "none" else {c.strip() for c in expect.split(",")}
+    return path, codes
+
+
+def _corpus_fixtures():
+    fixtures = sorted(p for p in CORPUS.glob("*.py"))
+    assert fixtures, "corpus directory is empty"
+    return fixtures
+
+
+@pytest.mark.parametrize("fixture", _corpus_fixtures(), ids=lambda p: p.stem)
+def test_corpus_fixture(fixture):
+    text = fixture.read_text()
+    synthetic_path, expected = _parse_directives(text, fixture)
+    index = ProjectIndex.build_from_sources([(synthetic_path, text)])
+    findings = run_deep_on_index(index)
+    found = {f.code for f in findings}
+    rendered = "\n".join(f.render() for f in findings) or "<no findings>"
+    assert found == expected, (
+        f"{fixture.name}: expected codes {sorted(expected)}, "
+        f"got {sorted(found)}:\n{rendered}"
+    )
+
+
+def test_corpus_covers_every_deep_rule():
+    """Each deep rule code appears in at least one known-bad fixture."""
+    covered = set()
+    for fixture in _corpus_fixtures():
+        _, codes = _parse_directives(fixture.read_text(), fixture)
+        covered |= codes
+    missing = {rule.code for rule in DEEP_RULES} - covered
+    assert not missing, f"deep rules with no bad fixture: {sorted(missing)}"
+
+
+def test_src_clean_modulo_baseline(monkeypatch, capsys):
+    """The deep pass over the real tree yields only baselined findings."""
+    monkeypatch.chdir(ROOT)
+    rc = main(["--deep", "src"])
+    out = capsys.readouterr()
+    assert rc == 0, f"deep lint found new issues:\n{out.out}\n{out.err}"
+
+
+# -- SARIF -----------------------------------------------------------------
+
+
+def _sample_findings():
+    return [
+        Finding("src/repro/mac/backoff.py", 10, 4, "RPR501", "mixed units"),
+        Finding("src/repro/core/detector.py", 3, 0, "RPR602", "unsorted set"),
+    ]
+
+
+def test_sarif_roundtrip_is_valid(tmp_path):
+    doc = to_sarif(_sample_findings(), ALL_RULES)
+    assert validate_sarif(doc) == []
+    run = doc["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro.checks"
+    rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+    assert "RPR501" in rule_ids and "RPR602" in rule_ids
+    results = run["results"]
+    assert len(results) == 2
+    loc = results[0]["locations"][0]["physicalLocation"]
+    assert loc["artifactLocation"]["uri"] == "src/repro/mac/backoff.py"
+    assert loc["region"]["startLine"] == 10
+    # JSON-serializable end to end.
+    (tmp_path / "out.sarif").write_text(json.dumps(doc))
+
+
+def test_validate_sarif_rejects_broken_docs():
+    doc = to_sarif(_sample_findings(), ALL_RULES)
+    no_version = json.loads(json.dumps(doc))
+    del no_version["version"]
+    assert validate_sarif(no_version)
+
+    unknown_rule = json.loads(json.dumps(doc))
+    unknown_rule["runs"][0]["results"][0]["ruleId"] = "RPR999"
+    assert validate_sarif(unknown_rule)
+
+    bad_line = json.loads(json.dumps(doc))
+    bad_line["runs"][0]["results"][0]["locations"][0]["physicalLocation"][
+        "region"
+    ]["startLine"] = 0
+    assert validate_sarif(bad_line)
+
+
+def test_cli_writes_valid_sarif(tmp_path, monkeypatch):
+    monkeypatch.chdir(ROOT)
+    out = tmp_path / "checks.sarif"
+    rc = main(["--deep", "src", "--sarif", str(out)])
+    assert rc == 0
+    doc = json.loads(out.read_text())
+    assert validate_sarif(doc) == []
+
+
+# -- explain ---------------------------------------------------------------
+
+
+def test_every_rule_has_an_explanation():
+    rule_codes = {rule.code for rule in ALL_RULES}
+    assert set(EXPLANATIONS) == rule_codes
+
+
+def test_explain_lookup():
+    assert "RPR501" in explain("rpr501")
+    assert explain("RPR999") is None
+
+
+# -- baseline --------------------------------------------------------------
+
+
+def test_baseline_key_is_line_independent():
+    a = Finding("src/x.py", 10, 0, "RPR501", "mixed units")
+    b = Finding("src/x.py", 99, 7, "RPR501", "mixed units")
+    assert baseline_key(a) == baseline_key(b)
+
+
+def test_load_baseline_missing_file_is_empty(tmp_path):
+    assert load_baseline(str(tmp_path / "absent.json")) == {}
+
+
+def test_load_baseline_rejects_empty_justification(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(
+        json.dumps(
+            {
+                "version": 1,
+                "entries": [{"key": "RPR501:src/x.py:m", "justification": ""}],
+            }
+        )
+    )
+    with pytest.raises(BaselineError):
+        load_baseline(str(path))
+
+
+def test_apply_baseline_splits_and_reports_stale():
+    findings = _sample_findings()
+    baseline = {
+        baseline_key(findings[0]): "known and accepted",
+        "RPR701:src/gone.py:stale entry": "module was deleted",
+    }
+    new, suppressed, stale = apply_baseline(findings, baseline)
+    assert [f.code for f in new] == ["RPR602"]
+    assert [f.code for f in suppressed] == ["RPR501"]
+    assert stale == ["RPR701:src/gone.py:stale entry"]
+
+
+def test_render_baseline_needs_justification(tmp_path):
+    body = render_baseline(_sample_findings())
+    doc = json.loads(body)
+    assert doc["version"] == 1
+    assert len(doc["entries"]) == 2
+    # Rendered entries carry TODO justifications and must be filled in
+    # before the file loads cleanly.
+    path = tmp_path / "baseline.json"
+    path.write_text(body)
+    with pytest.raises(BaselineError):
+        load_baseline(str(path))
+
+
+def test_checked_in_baseline_loads_and_is_justified():
+    baseline = load_baseline(str(ROOT / "checks_baseline.json"))
+    assert baseline, "checked-in baseline should not be empty"
+    for key, justification in baseline.items():
+        assert justification.strip()
+        assert not justification.startswith("TODO")
+
+
+# -- CLI exit codes --------------------------------------------------------
+
+
+def test_cli_explain_known_code(capsys):
+    assert main(["--explain", "RPR501"]) == 0
+    assert "RPR501" in capsys.readouterr().out
+
+
+def test_cli_explain_unknown_code(capsys):
+    assert main(["--explain", "RPR999"]) == 2
+
+
+def test_cli_list_rules_tags_deep(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "RPR501" in out and "[--deep]" in out
+
+
+def test_cli_missing_path_fails():
+    assert main(["definitely/not/a/path"]) == 2
+
+
+def test_cli_unknown_select_fails():
+    assert main(["--select", "RPR999", "src"]) == 2

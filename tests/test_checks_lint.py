@@ -291,11 +291,14 @@ def test_self_and_cls_exempt():
     assert codes(src) == []
 
 
-def test_annotation_rule_scoped_to_core_mac_sim():
+def test_annotation_rule_scoped_to_simulation_packages():
     src = "def helper(x):\n    return x\n"
     assert "RPR301" in codes(src, path="repro/mac/helper.py")
     assert "RPR301" in codes(src, path="repro/sim/helper.py")
-    assert codes(src, path="repro/experiments/helper.py") == []
+    assert "RPR301" in codes(src, path="repro/routing/helper.py")
+    assert "RPR301" in codes(src, path="repro/experiments/helper.py")
+    assert codes(src, path="repro/analysis/helper.py") == []
+    assert codes(src, path="repro/cli.py") == []
 
 
 # -- machinery ---------------------------------------------------------------

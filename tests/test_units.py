@@ -64,6 +64,15 @@ class TestDuration:
         with pytest.raises(ValueError):
             Duration(1, 20.0) + Duration(1, 10.0)
 
+    def test_addition_mismatch_error_names_both_slot_times(self):
+        # Regression: the error must name both slot times and point at
+        # the explicit conversion path, so the mismatch is debuggable
+        # instead of a bare "ValueError".
+        with pytest.raises(ValueError, match=r"20\.0 us vs 10\.0 us"):
+            Duration(1, 20.0) + Duration(1, 10.0)
+        with pytest.raises(ValueError, match="from_microseconds"):
+            Duration(3, 20.0) + Duration(2, 10.0)
+
     def test_int_conversion(self):
         assert int(Duration(7)) == 7
 
