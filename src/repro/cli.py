@@ -33,8 +33,19 @@ Observability (``repro.obs``) flags, accepted by every subcommand:
     metrics snapshots, manifests — are identical for any value; see
     :mod:`repro.experiments.parallel`.
 
+``--trace OUT``
+    switch on the deterministic slot-clocked span tracer
+    (:mod:`repro.obs.trace`) and write the flight recorder's Chrome
+    trace-event JSON to ``OUT`` (load it in Perfetto or
+    ``chrome://tracing``); same-seed runs produce byte-identical traces
+    and verdict streams are unchanged with tracing on;
+``--metrics-out OUT``
+    write the metric snapshot in Prometheus text exposition format to
+    ``OUT`` (implies ``--metrics``).
+
 ``demo`` additionally accepts ``--audit OUT`` to export the detector's
-decision audit log as JSONL.
+decision audit log as JSONL, and ``--provenance OUT`` to export each
+verdict's full evidence chain (:mod:`repro.obs.provenance`) as JSONL.
 
 Everything still prints the same plain-text tables the benchmarks emit.
 """
@@ -55,6 +66,9 @@ _INTERNAL_ARGS = frozenset(
         "json_out",
         "profile",
         "audit_out",
+        "trace_out",
+        "metrics_out",
+        "provenance_out",
         "results",
         "audit_records",
         "profile_report",
@@ -191,11 +205,17 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     policies = {sender: PercentageMisbehavior(args.pm)} if args.pm else None
     sim, sender, monitor = scenario.build(policies=policies)
     audit = DecisionAuditLog()
+    provenance = None
+    if args.provenance_out:
+        from repro.obs.provenance import ProvenanceLog
+
+        provenance = ProvenanceLog()
     detector = BackoffMisbehaviorDetector(
         monitor,
         sender,
         config=DetectorConfig(sample_size=25, known_n=5, known_k=5),
         audit=audit,
+        provenance=provenance,
     )
     sim.add_listener(detector)
     profiler = None
@@ -248,6 +268,12 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     if args.audit_out:
         path = audit.write_jsonl(args.audit_out)
         print(f"wrote audit log to {path}", file=sys.stderr)
+    if provenance is not None:
+        path = provenance.write_jsonl(args.provenance_out)
+        print(
+            f"wrote {len(provenance)} provenance records to {path}",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -278,6 +304,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write a machine-readable run manifest (seed, config, "
         "REPRO_SCALE, metrics, audit, results) to OUT",
+    )
+    obs.add_argument(
+        "--trace",
+        dest="trace_out",
+        metavar="OUT",
+        default=None,
+        help="record a deterministic slot-clocked trace and write it as "
+        "Chrome trace-event JSON (Perfetto-loadable) to OUT",
+    )
+    obs.add_argument(
+        "--metrics-out",
+        dest="metrics_out",
+        metavar="OUT",
+        default=None,
+        help="write the metric snapshot in Prometheus text format to OUT "
+        "(implies --metrics)",
     )
     obs.add_argument(
         "--profile",
@@ -353,6 +395,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="export the detector decision audit log as JSONL to OUT",
     )
+    demo.add_argument(
+        "--provenance",
+        dest="provenance_out",
+        metavar="OUT",
+        default=None,
+        help="export each verdict's evidence chain (observations, window "
+        "bounds, rank-sum inputs, ARMA state) as JSONL to OUT",
+    )
     demo.set_defaults(func=_cmd_demo)
     return parser
 
@@ -386,12 +436,22 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         set_fault_spec(args.faults)
 
+    if getattr(args, "metrics_out", None):
+        args.metrics = True
+
     registry = None
     if args.metrics:
         from repro.obs.runtime import enable_metrics, reset_metrics
 
         registry = reset_metrics()
         enable_metrics()
+
+    tracer = None
+    if getattr(args, "trace_out", None):
+        from repro.obs.trace import enable_tracing, reset_tracer
+
+        tracer = reset_tracer()
+        enable_tracing()
 
     watch = None
     if args.json_out or args.profile:
@@ -406,6 +466,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             from repro.obs.runtime import disable_metrics
 
             disable_metrics()
+        if tracer is not None:
+            from repro.obs.trace import disable_tracing
+
+            disable_tracing()
         if getattr(args, "faults", None) is not None:
             from repro.faults.runtime import set_fault_spec
 
@@ -417,6 +481,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         snapshot = registry.snapshot()
         print()
         print(registry.render())
+        if getattr(args, "metrics_out", None):
+            from pathlib import Path
+
+            Path(args.metrics_out).write_text(
+                registry.render_prometheus(), encoding="ascii"
+            )
+            print(f"wrote metrics to {args.metrics_out}", file=sys.stderr)
+
+    if tracer is not None:
+        path = tracer.write(args.trace_out)
+        print(
+            f"wrote trace ({len(tracer)} events, {tracer.dropped} dropped) "
+            f"to {path}",
+            file=sys.stderr,
+        )
 
     profile_dict = None
     report = getattr(args, "profile_report", None)

@@ -29,8 +29,9 @@ its timers).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
 
 from repro.core.arma import ArmaTrafficEstimator
 from repro.core.bianchi import CompetingTerminalEstimator
@@ -50,6 +51,8 @@ from repro.mac.constants import DEFAULT_TIMING
 from repro.mac.frames import SEQ_OFF_MODULUS
 from repro.mac.prng import VerifiableBackoffPrng
 from repro.obs.audit import AuditRecord, DecisionAuditLog
+from repro.obs.provenance import ProvenanceLog, ProvenanceRecord
+from repro.obs.trace import PID_DETECTION, active_tracer
 from repro.sim.listeners import SimulationListener
 from repro.util.caches import register_cache_reset
 from repro.util.units import Slots
@@ -182,6 +185,7 @@ class BackoffMisbehaviorDetector(SimulationListener):
         audit: Optional[DecisionAuditLog] = None,
         metrics: "Optional[MetricsRegistry]" = None,
         observer: "Optional[ObservatorySubscription]" = None,
+        provenance: Optional[ProvenanceLog] = None,
     ) -> None:
         self.config = config if config is not None else DetectorConfig()
         self.timing = timing if timing is not None else DEFAULT_TIMING
@@ -189,6 +193,8 @@ class BackoffMisbehaviorDetector(SimulationListener):
         self.tagged_id = tagged_id
         #: structured decision audit log (see repro.obs.audit); optional.
         self.audit = audit
+        #: per-verdict evidence chains (see repro.obs.provenance); optional.
+        self.provenance = provenance
         if metrics is None:
             from repro.obs.runtime import metrics_enabled, shared_registry
 
@@ -248,6 +254,16 @@ class BackoffMisbehaviorDetector(SimulationListener):
         self._arma_cursor = 0
         self._processed = 0          # observer.observed entries consumed
         self._samples_since_test = 0
+        #: (observation index, slot, ranked x, ranked y) of the samples
+        #: currently inside the statistical window — mirrors the
+        #: hypothesis test's sample deque so a verdict's provenance can
+        #: name the exact observations it ranked.  Pure bookkeeping: no
+        #: RNG draws, no float effects on the detection path.
+        self._window_meta: Deque[Tuple[int, int, float, float]] = deque(
+            maxlen=cfg.sample_size
+        )
+        self._verdict_seq = 0
+        self._tracer = active_tracer()
         #: first slot this detector saw
         self._birth_slot: Optional[int] = None
         #: P(sender invisible to tagged | sensed)
@@ -521,14 +537,15 @@ class BackoffMisbehaviorDetector(SimulationListener):
         if rts.attempt > self.config.max_test_attempt:
             return
         if self.config.normalize_by_cw:
-            self.test.add_sample(
-                dictated / (window + 1.0),
-                estimated / (window + 1.0) + self.config.guard_band,
-            )
+            x = dictated / (window + 1.0)
+            y = estimated / (window + 1.0) + self.config.guard_band
         else:
-            self.test.add_sample(
-                dictated, estimated + self.config.guard_band * (window + 1.0)
-            )
+            x = float(dictated)
+            y = estimated + self.config.guard_band * (window + 1.0)
+        self.test.add_sample(x, y)
+        self._window_meta.append(
+            (len(self.observations) - 1, current.start_slot, x, y)
+        )
         self._samples_since_test += 1
         if (
             self.test.window_full
@@ -556,6 +573,15 @@ class BackoffMisbehaviorDetector(SimulationListener):
         self.quarantine_counts[reason] = (
             self.quarantine_counts.get(reason, 0) + 1
         )
+        if self._tracer is not None:
+            self._tracer.instant(
+                "detector.quarantine",
+                slot=current.start_slot,
+                tid=self.monitor_id,
+                pid=PID_DETECTION,
+                category="detector",
+                args={"tagged": self.tagged_id, "reason": reason},
+            )
         if not self._quarantine_audit:
             return
         if self.metrics is not None:
@@ -605,6 +631,69 @@ class BackoffMisbehaviorDetector(SimulationListener):
             self.metrics.inc(f"detector.rule.{rule}")
             layer = "deterministic" if verdict.deterministic else "statistical"
             self.metrics.inc(f"detector.verdicts.{layer}")
+        if self.provenance is None and self._tracer is None:
+            return
+        verdict_id = (
+            f"{self.monitor_id}-{self.tagged_id}-{verdict.slot}"
+            f"-{rule}-{self._verdict_seq}"
+        )
+        self._verdict_seq += 1
+        meta = list(self._window_meta) if rule == "rank_sum" else []
+        if self.provenance is not None:
+            self.provenance.record(
+                ProvenanceRecord(
+                    verdict_id=verdict_id,
+                    slot=verdict.slot,
+                    monitor=self.monitor_id,
+                    tagged=self.tagged_id,
+                    rule=rule,
+                    diagnosis=verdict.diagnosis.value,
+                    deterministic=verdict.deterministic,
+                    detail=detail,
+                    observation_ids=[m[0] for m in meta],
+                    observation_slots=[m[1] for m in meta],
+                    window_start=meta[0][1] if meta else None,
+                    window_end=meta[-1][1] if meta else None,
+                    dictated=[m[2] for m in meta],
+                    estimated=[m[3] for m in meta],
+                    statistic=verdict.statistic,
+                    p_value=verdict.p_value,
+                    threshold=threshold,
+                    sample_size=verdict.sample_size,
+                    rho=self.rho,
+                    arma_alpha=self.config.arma_alpha,
+                    quarantine_drops=dict(sorted(self.quarantine_counts.items())),
+                    skipped_samples=self.skipped_samples,
+                )
+            )
+        tracer = self._tracer
+        if tracer is not None:
+            if meta:
+                tracer.span(
+                    "detector.rank_sum",
+                    meta[0][1],
+                    verdict.slot,
+                    tid=self.monitor_id,
+                    pid=PID_DETECTION,
+                    category="detector",
+                    args={
+                        "tagged": self.tagged_id,
+                        "samples": verdict.sample_size,
+                        "p_value": verdict.p_value,
+                    },
+                )
+            tracer.instant(
+                f"verdict.{verdict.diagnosis.value}",
+                slot=verdict.slot,
+                tid=self.monitor_id,
+                pid=PID_DETECTION,
+                category="detector",
+                args={
+                    "tagged": self.tagged_id,
+                    "rule": rule,
+                    "verdict_id": verdict_id,
+                },
+            )
 
     def _record_violation(self, violation: "DeterministicViolation") -> None:
         self.violations.append(violation)
@@ -665,4 +754,5 @@ class BackoffMisbehaviorDetector(SimulationListener):
     def reset_window(self) -> None:
         """Clear the statistical window (e.g., after a monitor hand-off)."""
         self.test.reset()
+        self._window_meta.clear()
         self._samples_since_test = 0

@@ -38,6 +38,7 @@ if TYPE_CHECKING:  # pragma: no cover - import-time only
     from repro.core.observatory import SharedChannelObservatory
     from repro.mac.constants import MacTiming
     from repro.obs.audit import DecisionAuditLog
+    from repro.obs.provenance import ProvenanceLog
     from repro.phy.medium import Medium, Transmission
     from repro.util.rng import RngStream
 
@@ -55,6 +56,7 @@ class MonitorHandoff(SimulationListener):
         separation: Optional[float] = None,
         audit: "Optional[DecisionAuditLog]" = None,
         observatory: "Optional[SharedChannelObservatory]" = None,
+        provenance: "Optional[ProvenanceLog]" = None,
     ) -> None:
         if rng is None:
             raise ValueError("MonitorHandoff requires an RngStream")
@@ -64,6 +66,8 @@ class MonitorHandoff(SimulationListener):
         self._rng = rng
         #: one audit log spans every monitor of this tagged node
         self.audit = audit
+        #: one provenance log spans every monitor of this tagged node
+        self.provenance = provenance
         #: shared observation plane, or None for the listener path
         self.observatory = observatory
         if observatory is not None:
@@ -74,6 +78,7 @@ class MonitorHandoff(SimulationListener):
                 timing=timing,
                 separation=separation,
                 audit=audit,
+                provenance=provenance,
                 position_unit=False,
             )
             observatory.add_position_listener(self)
@@ -85,6 +90,7 @@ class MonitorHandoff(SimulationListener):
                 timing=timing,
                 separation=separation,
                 audit=audit,
+                provenance=provenance,
             )
         self.handoffs = 0
         self.retired_detectors: List[BackoffMisbehaviorDetector] = []
@@ -196,6 +202,7 @@ class MonitorHandoff(SimulationListener):
                 timing=self.timing,
                 separation=separation,
                 audit=self.audit,
+                provenance=self.provenance,
                 fresh_channel=True,
                 position_unit=False,
             )
@@ -207,5 +214,6 @@ class MonitorHandoff(SimulationListener):
                 timing=self.timing,
                 separation=separation,
                 audit=self.audit,
+                provenance=self.provenance,
             )
         self.detector.on_positions_updated(slot, positions, medium)

@@ -38,6 +38,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from repro.core.detector import BackoffMisbehaviorDetector, DetectorConfig
 from repro.core.observation import ChannelViewBase, ObservedTransmission
+from repro.obs.trace import PID_ENGINE, active_tracer
 from repro.sim.listeners import SimulationListener
 from repro.util.units import Slots
 
@@ -47,6 +48,7 @@ if TYPE_CHECKING:  # pragma: no cover - import-time only
     from repro.faults.schedule import FaultSchedule
     from repro.mac.constants import MacTiming
     from repro.obs.audit import DecisionAuditLog
+    from repro.obs.provenance import ProvenanceLog
     from repro.obs.registry import MetricsRegistry
     from repro.phy.medium import Medium, Transmission
 
@@ -230,6 +232,8 @@ class SharedChannelObservatory(SimulationListener):
         self._position_units: List[SimulationListener] = []
         #: live detectors in attach order
         self.detectors: List[BackoffMisbehaviorDetector] = []
+        #: the process tracer when tracing is on (ingest/demux instants)
+        self._tracer = active_tracer()
 
     # -- subscription management -------------------------------------------
 
@@ -242,6 +246,7 @@ class SharedChannelObservatory(SimulationListener):
         separation: Optional[float] = None,
         audit: "Optional[DecisionAuditLog]" = None,
         metrics: "Optional[MetricsRegistry]" = None,
+        provenance: "Optional[ProvenanceLog]" = None,
         fresh_channel: bool = False,
         position_unit: bool = True,
     ) -> BackoffMisbehaviorDetector:
@@ -272,6 +277,7 @@ class SharedChannelObservatory(SimulationListener):
             audit=audit,
             metrics=metrics,
             observer=subscription,
+            provenance=provenance,
         )
         subscription._detector = detector
         channel.subscribers += 1
@@ -419,6 +425,18 @@ class SharedChannelObservatory(SimulationListener):
             for feed in channel.arma_feeds:
                 feed.advance(slot, transmission, channel)
         subs = self._subs_by_tagged.get(sender)
+        if self._tracer is not None:
+            self._tracer.instant(
+                "observatory.ingest",
+                slot=slot,
+                pid=PID_ENGINE,
+                category="observatory",
+                args={
+                    "sender": sender,
+                    "channels": len(self._channel_list),
+                    "subscriptions": len(subs) if subs else 0,
+                },
+            )
         if not subs:
             return
         frame = transmission.frame

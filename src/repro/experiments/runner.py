@@ -33,6 +33,7 @@ def collect_detection_samples(
     max_duration_s: Seconds = 240.0,
     policies: Optional[Dict[int, Any]] = None,
     audit: Optional[Any] = None,
+    provenance: Optional[Any] = None,
     use_observatory: bool = True,
 ) -> Any:
     """Run one scenario with a (possibly misbehaving) sender and collect
@@ -45,7 +46,9 @@ def collect_detection_samples(
 
     ``audit`` is an optional :class:`repro.obs.DecisionAuditLog` that
     receives one structured record per verdict (shared across monitor
-    hand-offs in the mobile case).
+    hand-offs in the mobile case); ``provenance`` is an optional
+    :class:`repro.obs.ProvenanceLog` that receives the full evidence
+    chain behind each of those verdicts.
 
     ``use_observatory`` selects the shared observation plane (one
     :class:`repro.core.observatory.SharedChannelObservatory` engine
@@ -85,6 +88,7 @@ def collect_detection_samples(
             separation=getattr(scenario, "separation", None),
             audit=audit,
             observatory=observatory,
+            provenance=provenance,
         )
         if observatory is None:
             sim.add_listener(detector)
@@ -95,6 +99,7 @@ def collect_detection_samples(
             config=detector_config,
             separation=getattr(scenario, "separation", None),
             audit=audit,
+            provenance=provenance,
         )
     else:
         detector = BackoffMisbehaviorDetector(
@@ -103,6 +108,7 @@ def collect_detection_samples(
             config=detector_config,
             separation=getattr(scenario, "separation", None),
             audit=audit,
+            provenance=provenance,
         )
         sim.add_listener(detector)
     sim.run(

@@ -19,6 +19,15 @@ Four cooperating pieces:
   record written next to experiment/bench output: seed, config,
   ``REPRO_SCALE``, package version, wall-clock duration and the final
   metric snapshot.
+* :mod:`repro.obs.trace` — :class:`SpanTracer`, the deterministic
+  slot-clocked flight recorder behind the CLI ``--trace`` flag; exports
+  Chrome trace-event JSON (Perfetto-loadable).
+* :mod:`repro.obs.provenance` — :class:`ProvenanceLog` and
+  :func:`explain`: the full evidence chain (observations, window
+  bounds, rank-sum inputs, ARMA state, quarantine drops) behind every
+  detector verdict.
+* :mod:`repro.obs.history` — the ``BENCH_HISTORY.jsonl`` perf-trajectory
+  ledger and its ``python -m repro.obs.history check`` regression gate.
 
 :mod:`repro.obs.profile` (the only module besides nothing else allowed
 to read the host clock — see the RPR003 allowlist in
@@ -43,6 +52,14 @@ from repro.obs.manifest import (
     package_version,
     to_jsonable,
 )
+from repro.obs.provenance import (
+    PROVENANCE_FIELDS,
+    PROVENANCE_SCHEMA,
+    ProvenanceLog,
+    ProvenanceRecord,
+    explain,
+    render_explanation,
+)
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.runtime import (
     disable_metrics,
@@ -50,6 +67,17 @@ from repro.obs.runtime import (
     metrics_enabled,
     reset_metrics,
     shared_registry,
+)
+from repro.obs.trace import (
+    SpanTracer,
+    TraceEvent,
+    TraceListener,
+    active_tracer,
+    disable_tracing,
+    enable_tracing,
+    reset_tracer,
+    shared_tracer,
+    tracing_enabled,
 )
 
 __all__ = [
@@ -64,12 +92,27 @@ __all__ = [
     "MANIFEST_SCHEMA",
     "MetricsListener",
     "MetricsRegistry",
+    "PROVENANCE_FIELDS",
+    "PROVENANCE_SCHEMA",
+    "ProvenanceLog",
+    "ProvenanceRecord",
     "RunManifest",
+    "SpanTracer",
+    "TraceEvent",
+    "TraceListener",
+    "active_tracer",
     "disable_metrics",
+    "disable_tracing",
     "enable_metrics",
+    "enable_tracing",
+    "explain",
     "metrics_enabled",
     "package_version",
+    "render_explanation",
     "reset_metrics",
+    "reset_tracer",
     "shared_registry",
+    "shared_tracer",
     "to_jsonable",
+    "tracing_enabled",
 ]

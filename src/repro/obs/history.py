@@ -1,0 +1,291 @@
+"""The benchmark perf-trajectory ledger and its regression gate.
+
+Every benchmark writes a ``BENCH_<name>.json`` manifest
+(:mod:`repro.obs.bench`), but a single manifest is a point, not a
+trajectory.  This module accumulates the throughput headline of each
+manifest as one JSONL line in ``BENCH_HISTORY.jsonl`` — committed to
+the repository, so the perf story of the reproduction (PR 3's 1.55x
+engine speedup, PR 4's 2.76x detection speedup, ...) is a first-class,
+diffable artifact instead of scrollback.
+
+``python -m repro.obs.history`` is the gate:
+
+* ``append MANIFEST [MANIFEST ...] [--history PATH]`` extracts each
+  manifest's throughput metrics (``*_per_sec``/``*_per_second`` keys
+  and ``speedup``, found recursively in the results) and appends one
+  entry per manifest;
+* ``check [--history PATH] [--tolerance T]`` compares, per benchmark
+  name, the newest entry against the baseline (oldest) entry recorded
+  at the *same* ``repro_scale`` — cross-fidelity numbers are not
+  comparable — and exits nonzero when any shared throughput metric
+  regressed by more than ``tolerance`` (default 15%).
+
+Wall-clock throughput is host-dependent, which is why entries compare
+only within one history lineage: the committed baseline was measured
+where the history is maintained, and CI re-checks the committed file's
+internal consistency on every run (the benchmark-smoke job also appends
+its own low-fidelity manifests to a scratch copy and gates on those).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+HISTORY_SCHEMA = "repro.obs/history/v1"
+
+#: The committed trajectory ledger, at the repository root.
+DEFAULT_HISTORY_PATH = "BENCH_HISTORY.jsonl"
+
+#: Maximum tolerated fractional throughput drop newest-vs-baseline.
+DEFAULT_TOLERANCE = 0.15
+
+#: Result keys treated as throughput (higher is better).
+_THROUGHPUT_SUFFIXES = ("_per_sec", "_per_second")
+_THROUGHPUT_NAMES = frozenset(
+    {"slots_per_second", "events_per_second", "speedup"}
+)
+
+
+def _is_throughput_key(key: str) -> bool:
+    return key in _THROUGHPUT_NAMES or key.endswith(_THROUGHPUT_SUFFIXES)
+
+
+def throughput_metrics(results: object, prefix: str = "") -> Dict[str, float]:
+    """Extract throughput metrics from a manifest's results, recursively.
+
+    Nested dict keys are joined with ``.`` (``m4x4.speedup``); only
+    finite numeric values are kept.  Deterministic: keys come out
+    sorted.
+    """
+    found: Dict[str, float] = {}
+    if isinstance(results, dict):
+        for key in sorted(results, key=str):
+            value = results[key]
+            path = f"{prefix}.{key}" if prefix else str(key)
+            if isinstance(value, (dict, list)):
+                found.update(throughput_metrics(value, path))
+            elif (
+                _is_throughput_key(str(key))
+                and isinstance(value, (int, float))
+                and not isinstance(value, bool)
+            ):
+                found[path] = float(value)
+    elif isinstance(results, list):
+        for index, value in enumerate(results):
+            if isinstance(value, (dict, list)):
+                found.update(throughput_metrics(value, f"{prefix}[{index}]"))
+    return dict(sorted(found.items()))
+
+
+def entry_from_manifest(manifest: Union[Dict[str, object], str, Path]) -> Dict[str, object]:
+    """One history entry (a plain dict) from a bench manifest.
+
+    ``manifest`` is a loaded manifest dict or a path to a
+    ``BENCH_*.json`` file.
+    """
+    if not isinstance(manifest, dict):
+        data = json.loads(Path(manifest).read_text(encoding="ascii"))
+    else:
+        data = manifest
+    for key in ("name", "repro_scale"):
+        if key not in data:
+            raise ValueError(f"manifest missing required key {key!r}")
+    return {
+        "schema": HISTORY_SCHEMA,
+        "name": data["name"],
+        "seed": data.get("seed"),
+        "repro_scale": data["repro_scale"],
+        "version": data.get("version", ""),
+        "duration_s": data.get("duration_s"),
+        "throughput": throughput_metrics(data.get("results")),
+    }
+
+
+def load_history(path: Union[str, Path]) -> List[Dict[str, object]]:
+    """Parse a history JSONL file into entry dicts (validating schema)."""
+    entries: List[Dict[str, object]] = []
+    for lineno, line in enumerate(
+        Path(path).read_text(encoding="ascii").splitlines(), start=1
+    ):
+        if not line.strip():
+            continue
+        entry = json.loads(line)
+        schema = entry.get("schema")
+        if schema != HISTORY_SCHEMA:
+            raise ValueError(
+                f"{path}:{lineno}: entry key 'schema': unsupported value "
+                f"{schema!r} (expected {HISTORY_SCHEMA!r})"
+            )
+        entries.append(entry)
+    return entries
+
+
+def append_entries(
+    history_path: Union[str, Path],
+    manifests: Sequence[Union[Dict[str, object], str, Path]],
+) -> List[Dict[str, object]]:
+    """Append one entry per manifest to the history file; returns them."""
+    entries = [entry_from_manifest(m) for m in manifests]
+    target = Path(history_path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with open(target, "a", encoding="ascii") as handle:
+        for entry in entries:
+            handle.write(
+                json.dumps(entry, sort_keys=True, separators=(",", ":")) + "\n"
+            )
+    return entries
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Newest-vs-baseline for one (benchmark, scale, metric) triple."""
+
+    name: str
+    repro_scale: float
+    metric: str
+    baseline: float
+    newest: float
+
+    @property
+    def change(self) -> float:
+        """Fractional change (+0.10 = 10% faster, -0.20 = 20% slower)."""
+        if self.baseline == 0:
+            return 0.0
+        return self.newest / self.baseline - 1.0
+
+    def regressed(self, tolerance: float) -> bool:
+        return self.baseline > 0 and self.newest < self.baseline * (1.0 - tolerance)
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one history regression check."""
+
+    tolerance: float
+    comparisons: List[Comparison] = field(default_factory=list)
+    failures: List[Comparison] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def render(self) -> str:
+        lines = [
+            f"perf history: {len(self.comparisons)} comparisons, "
+            f"tolerance {self.tolerance:.0%}"
+        ]
+        for comp in self.comparisons:
+            verdict = "REGRESSED" if comp in self.failures else "ok"
+            lines.append(
+                f"  {verdict:>9s}  {comp.name} @scale {comp.repro_scale:g}: "
+                f"{comp.metric} {comp.baseline:,.2f} -> {comp.newest:,.2f} "
+                f"({comp.change:+.1%})"
+            )
+        if not self.comparisons:
+            lines.append("  (no comparable entry pairs)")
+        return "\n".join(lines)
+
+
+def check_history(
+    path: Union[str, Path], tolerance: float = DEFAULT_TOLERANCE
+) -> CheckResult:
+    """Compare each benchmark's newest entry against its baseline.
+
+    Entries group by ``(name, repro_scale)``; within a group the oldest
+    entry is the committed baseline and the newest is the candidate.
+    Every throughput metric present in both is compared; a metric more
+    than ``tolerance`` below baseline is a failure.
+    """
+    entries = load_history(path)
+    result = CheckResult(tolerance=tolerance)
+    groups: Dict[Tuple[str, float], List[Dict[str, object]]] = {}
+    for entry in entries:
+        key = (str(entry["name"]), float(entry["repro_scale"]))  # type: ignore[arg-type]
+        groups.setdefault(key, []).append(entry)
+    for (name, scale) in sorted(groups):
+        group = groups[(name, scale)]
+        if len(group) < 2:
+            continue
+        baseline, newest = group[0], group[-1]
+        base_metrics = baseline.get("throughput") or {}
+        new_metrics = newest.get("throughput") or {}
+        for metric in sorted(set(base_metrics) & set(new_metrics)):
+            comp = Comparison(
+                name=name,
+                repro_scale=scale,
+                metric=metric,
+                baseline=float(base_metrics[metric]),  # type: ignore[arg-type]
+                newest=float(new_metrics[metric]),  # type: ignore[arg-type]
+            )
+            result.comparisons.append(comp)
+            if comp.regressed(tolerance):
+                result.failures.append(comp)
+    return result
+
+
+# -- CLI (python -m repro.obs.history) -------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.history",
+        description="Accumulate BENCH_*.json manifests into the perf "
+        "trajectory ledger and gate on throughput regressions.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_append = sub.add_parser(
+        "append", help="append one entry per BENCH_*.json manifest"
+    )
+    p_append.add_argument("manifests", nargs="+", metavar="MANIFEST")
+    p_append.add_argument(
+        "--history", default=DEFAULT_HISTORY_PATH, metavar="PATH"
+    )
+    p_check = sub.add_parser(
+        "check", help="fail on >tolerance throughput regression"
+    )
+    p_check.add_argument(
+        "--history", default=DEFAULT_HISTORY_PATH, metavar="PATH"
+    )
+    p_check.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="max tolerated fractional drop (default 0.15)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "append":
+        try:
+            entries = append_entries(args.history, args.manifests)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        for entry in entries:
+            print(
+                f"appended {entry['name']} @scale {entry['repro_scale']} "
+                f"({len(entry['throughput'])} throughput metrics) "  # type: ignore[arg-type]
+                f"to {args.history}"
+            )
+        return 0
+    try:
+        result = check_history(args.history, tolerance=args.tolerance)
+    except FileNotFoundError:
+        print(f"error: history file not found: {args.history}", file=sys.stderr)
+        return 2
+    except (ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(result.render())
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -92,6 +92,10 @@ class RunManifest:
     profile: Optional[Dict[str, object]] = None
     results: Optional[object] = None
     schema: str = MANIFEST_SCHEMA
+    #: Unknown top-level keys tolerated on load (forward compatibility):
+    #: a manifest written by a newer repro with extra fields still loads
+    #: here, and the extras survive a round trip unchanged.
+    extras: Dict[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.version:
@@ -105,11 +109,12 @@ class RunManifest:
             None if self.profile is None else to_jsonable(self.profile)  # type: ignore[assignment]
         )
         self.results = to_jsonable(self.results)
+        self.extras = dict(to_jsonable(self.extras))  # type: ignore[arg-type]
 
     # -- serialization ------------------------------------------------------
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        data: Dict[str, object] = {
             "schema": self.schema,
             "name": self.name,
             "seed": self.seed,
@@ -122,6 +127,9 @@ class RunManifest:
             "profile": self.profile,
             "results": self.results,
         }
+        for key, value in self.extras.items():
+            data.setdefault(key, value)
+        return data
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), sort_keys=True, indent=2)
@@ -134,6 +142,14 @@ class RunManifest:
 
     # -- deserialization ----------------------------------------------------
 
+    #: Top-level keys :meth:`from_dict` interprets; anything else lands
+    #: in :attr:`extras` untouched.
+    _KNOWN_KEYS = frozenset(MANIFEST_REQUIRED_KEYS) | {
+        "audit",
+        "profile",
+        "results",
+    }
+
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "RunManifest":
         missing = [k for k in MANIFEST_REQUIRED_KEYS if k not in data]
@@ -142,8 +158,12 @@ class RunManifest:
         schema = data["schema"]
         if schema != MANIFEST_SCHEMA:
             raise ValueError(
-                f"unsupported manifest schema {schema!r} (expected {MANIFEST_SCHEMA!r})"
+                f"manifest key 'schema': unsupported manifest schema "
+                f"{schema!r} (expected {MANIFEST_SCHEMA!r})"
             )
+        extras = {
+            key: data[key] for key in sorted(set(data) - cls._KNOWN_KEYS)
+        }
         return cls(
             name=data["name"],  # type: ignore[arg-type]
             seed=data["seed"],  # type: ignore[arg-type]
@@ -155,6 +175,7 @@ class RunManifest:
             audit=data.get("audit"),  # type: ignore[arg-type]
             profile=data.get("profile"),  # type: ignore[arg-type]
             results=data.get("results"),
+            extras=extras,
         )
 
     @classmethod

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import-time only
     from repro.sim.engine import SimulationEngine
@@ -111,25 +111,27 @@ class EngineProfiler:
         if self._engine is not None:
             raise RuntimeError("EngineProfiler already instruments an engine")
         self._engine = engine
-        original_batch = engine._process_batch
-        original_reconcile = engine._reconcile
         phases = self.phase_seconds
 
-        def timed_batch(slot: int, batch: List[Tuple[int, int, int, Any]]) -> Set[int]:
-            self.events += len(batch)
-            start = time.perf_counter()
-            result = original_batch(slot, batch)
-            phases["events"] += time.perf_counter() - start
-            return result
+        def wrap(
+            phase: str, original: Callable[..., Any]
+        ) -> Callable[..., Any]:
+            count_events = phase == "events"
 
-        def timed_reconcile(slot: int, affected: Set[int]) -> None:
-            start = time.perf_counter()
-            original_reconcile(slot, affected)
-            phases["reconcile"] += time.perf_counter() - start
+            def timed(*args: Any) -> Any:
+                if count_events:
+                    self.events += len(args[1])
+                start = time.perf_counter()
+                result = original(*args)
+                phases[phase] += time.perf_counter() - start
+                return result
 
-        # Instance attributes shadow the class methods for this engine only.
-        engine._process_batch = timed_batch  # type: ignore[method-assign]
-        engine._reconcile = timed_reconcile  # type: ignore[method-assign]
+            return timed
+
+        # The engine installs the shims itself (instance attributes
+        # shadowing the class methods, this engine only): observation
+        # code stays read-only over simulation state (rule RPR703).
+        engine.instrument_phases(wrap)
         self._watch = Stopwatch()
 
     def finish(self) -> ProfileReport:

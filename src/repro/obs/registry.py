@@ -13,6 +13,7 @@ single attribute increment per event.
 
 from __future__ import annotations
 
+import re
 from bisect import bisect_left
 from typing import Any, Dict, List, Optional, Sequence, Tuple, cast
 
@@ -21,6 +22,24 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, cast
 DEFAULT_BUCKET_BOUNDS: Tuple[float, ...] = (
     1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0,
 )
+
+
+_PROMETHEUS_ILLEGAL = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prometheus_name(name: str) -> str:
+    """A registry instrument name as a legal Prometheus metric name."""
+    sanitized = _PROMETHEUS_ILLEGAL.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _prometheus_value(value: float) -> str:
+    """A float rendered the way Prometheus text format expects."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
 
 
 class Counter:
@@ -224,6 +243,42 @@ class MetricsRegistry:
         if len(lines) == 1:
             lines.append("  (empty)")
         return "\n".join(lines)
+
+    def render_prometheus(self) -> str:
+        """The registry in Prometheus text exposition format (v0.0.4).
+
+        Counters become ``<name>_total``, gauges keep their name, and
+        histograms expand to cumulative ``_bucket{le=...}`` series plus
+        ``_sum``/``_count``.  Dots and other illegal characters in
+        instrument names map to underscores; output order is sorted, so
+        the exposition is byte-stable for a fixed registry state.  The
+        CLI's ``--metrics-out`` writes exactly this string, ready for a
+        scrape target or ``promtool check metrics``.
+        """
+        lines: List[str] = []
+        for name in sorted(self._counters):
+            metric = _prometheus_name(name) + "_total"
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {self._counters[name].value}")
+        for name in sorted(self._gauges):
+            metric = _prometheus_name(name)
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {_prometheus_value(self._gauges[name].value)}")
+        for name in sorted(self._histograms):
+            hist = self._histograms[name]
+            metric = _prometheus_name(name)
+            lines.append(f"# TYPE {metric} histogram")
+            cumulative = 0
+            for bound, count in zip(hist.bounds, hist.counts):
+                cumulative += count
+                lines.append(
+                    f'{metric}_bucket{{le="{_prometheus_value(bound)}"}} '
+                    f"{cumulative}"
+                )
+            lines.append(f'{metric}_bucket{{le="+Inf"}} {hist.count}')
+            lines.append(f"{metric}_sum {_prometheus_value(hist.total)}")
+            lines.append(f"{metric}_count {hist.count}")
+        return "\n".join(lines) + "\n" if lines else ""
 
     def reset(self) -> None:
         """Drop every instrument (test isolation)."""

@@ -1,0 +1,412 @@
+"""Deterministic, slot-clocked span tracing (the "flight recorder").
+
+A :class:`SpanTracer` records spans and instant events on a timeline
+measured in *simulated* time — ``slot x slot_time_us`` microseconds —
+never the host clock (:mod:`repro.obs.profile` stays the only module
+allowed to read that).  Two runs with the same seed therefore produce
+byte-identical traces, and a trace can be diffed like any other
+artifact.
+
+Events live in a bounded ring (``capacity`` newest events are kept, the
+oldest are dropped and counted), so tracing a multi-hour run costs a
+fixed amount of memory: the recorder always holds the most recent
+window of activity, which is exactly what you want when something goes
+wrong at slot forty million.
+
+Instrumented layers (each emits only when tracing is enabled):
+
+* the engine slot loop — per-slot event counters and transmission spans
+  via :class:`TraceListener`, attached automatically by
+  :class:`repro.sim.engine.SimulationEngine` when tracing is on;
+* the medium reachability reconcile
+  (:meth:`repro.phy.medium.Medium.update_positions`);
+* the shared-observatory ingest/demux
+  (:class:`repro.core.observatory.SharedChannelObservatory`);
+* rank-sum evaluation and verdict publication in
+  :class:`repro.core.detector.BackoffMisbehaviorDetector`.
+
+The export format is Chrome trace-event JSON (``--trace out.json`` on
+the CLI): load the file in Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing`` and every node becomes a track of its handshake /
+exchange busy periods, with detector verdicts and rank-sum windows on
+per-monitor tracks below.  Events are exported sorted by timestamp, so
+the file is monotone in simulated time.
+
+The process-wide switch mirrors :mod:`repro.obs.runtime`: the CLI
+``--trace OUT`` flag (or ``REPRO_TRACE=1``) flips it, and every engine
+built while it is on attaches a :class:`TraceListener` bound to the
+shared tracer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional, Set, Tuple, Union
+
+from repro.sim.listeners import SimulationListener
+from repro.util.caches import register_cache_reset
+from repro.util.units import DEFAULT_SLOT_TIME_US, Microseconds, Slots
+
+if TYPE_CHECKING:  # pragma: no cover - import-time only
+    from repro.phy.medium import Medium, Transmission
+    from repro.sim.engine import SimulationEngine
+
+#: Default ring capacity (events kept; older ones are dropped, counted).
+DEFAULT_CAPACITY = 65_536
+
+#: Chrome trace ``pid`` values — one per instrumented plane, so Perfetto
+#: groups the tracks: per-node transmissions, the engine slot loop, and
+#: the detection layer.
+PID_SIM = 0
+PID_ENGINE = 1
+PID_DETECTION = 2
+
+_PROCESS_NAMES: Dict[int, str] = {
+    PID_SIM: "medium (per-node transmissions)",
+    PID_ENGINE: "engine (slot loop)",
+    PID_DETECTION: "detection (per-monitor verdicts)",
+}
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded trace event (slot-clocked, wall-clock-free)."""
+
+    name: str
+    phase: str                  # "X" span | "i" instant | "C" counter
+    ts_us: Microseconds         # slot * slot_time_us
+    dur_us: Microseconds        # spans only; 0 otherwise
+    pid: int
+    tid: int
+    category: str
+    args: Optional[Dict[str, object]] = None
+
+    def to_chrome(self) -> Dict[str, object]:
+        """The Chrome trace-event JSON object for this event."""
+        event: Dict[str, object] = {
+            "name": self.name,
+            "ph": self.phase,
+            "ts": self.ts_us,
+            "pid": self.pid,
+            "tid": self.tid,
+            "cat": self.category,
+        }
+        if self.phase == "X":
+            event["dur"] = self.dur_us
+        if self.phase == "i":
+            event["s"] = "t"  # thread-scoped instant
+        if self.args is not None:
+            event["args"] = self.args
+        return event
+
+
+class SpanTracer:
+    """A bounded, deterministic recorder of slot-clocked trace events.
+
+    All timestamps derive from integer slots; the tracer never reads
+    the host clock, so same-seed runs emit byte-identical traces.
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        slot_time_us: Microseconds = DEFAULT_SLOT_TIME_US,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"tracer capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.slot_time_us = float(slot_time_us)
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        #: total events ever emitted (``emitted - len(self)`` dropped)
+        self.emitted = 0
+        #: the engine's current slot, advanced by :class:`TraceListener`;
+        #: instruments without a slot of their own (the medium reconcile)
+        #: stamp their events with it.
+        self.cursor: Slots = 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted from the ring (oldest-first flight recording)."""
+        return max(self.emitted - len(self._events), 0)
+
+    def mark_slot(self, slot: Slots) -> None:
+        """Advance the tracer's slot cursor (monotone)."""
+        if slot > self.cursor:
+            self.cursor = slot
+
+    # -- emission ----------------------------------------------------------
+
+    def _emit(self, event: TraceEvent) -> None:
+        self._events.append(event)
+        self.emitted += 1
+
+    def span(
+        self,
+        name: str,
+        start_slot: Slots,
+        end_slot: Slots,
+        tid: int = 0,
+        pid: int = PID_SIM,
+        category: str = "sim",
+        args: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Record a complete span covering ``[start_slot, end_slot]``."""
+        stu = self.slot_time_us
+        self._emit(
+            TraceEvent(
+                name=name,
+                phase="X",
+                ts_us=start_slot * stu,
+                dur_us=max(end_slot - start_slot, 0) * stu,
+                pid=pid,
+                tid=tid,
+                category=category,
+                args=args,
+            )
+        )
+
+    def instant(
+        self,
+        name: str,
+        slot: Optional[Slots] = None,
+        tid: int = 0,
+        pid: int = PID_SIM,
+        category: str = "sim",
+        args: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Record an instant event (``slot=None`` uses the cursor)."""
+        at = self.cursor if slot is None else slot
+        self._emit(
+            TraceEvent(
+                name=name,
+                phase="i",
+                ts_us=at * self.slot_time_us,
+                dur_us=0.0,
+                pid=pid,
+                tid=tid,
+                category=category,
+                args=args,
+            )
+        )
+
+    def counter(
+        self,
+        name: str,
+        slot: Slots,
+        values: Dict[str, float],
+        tid: int = 0,
+        pid: int = PID_ENGINE,
+        category: str = "engine",
+    ) -> None:
+        """Record a counter sample (rendered as a filled series)."""
+        self._emit(
+            TraceEvent(
+                name=name,
+                phase="C",
+                ts_us=slot * self.slot_time_us,
+                dur_us=0.0,
+                pid=pid,
+                tid=tid,
+                category=category,
+                args=dict(values),
+            )
+        )
+
+    # -- export ------------------------------------------------------------
+
+    def events(self) -> List[TraceEvent]:
+        """The retained events, in emission order (a copy)."""
+        return list(self._events)
+
+    def to_chrome_trace(self) -> Dict[str, object]:
+        """The full Chrome trace-event JSON document.
+
+        ``traceEvents`` is sorted by timestamp (stable on emission
+        order), so exported slot timestamps are monotone; process and
+        thread name metadata records come first.
+        """
+        ordered = sorted(self._events, key=lambda e: e.ts_us)
+        seen: Set[Tuple[int, int]] = {(e.pid, e.tid) for e in ordered}
+        metadata: List[Dict[str, object]] = []
+        for pid in sorted({p for p, _t in seen}):
+            metadata.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": _PROCESS_NAMES.get(pid, f"pid {pid}")},
+                }
+            )
+        for pid, tid in sorted(seen):
+            label = "monitor" if pid == PID_DETECTION else "node"
+            metadata.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": f"{label} {tid}"},
+                }
+            )
+        return {
+            "traceEvents": metadata + [e.to_chrome() for e in ordered],
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "clock": "slots",
+                "slot_time_us": self.slot_time_us,
+                "events_emitted": self.emitted,
+                "events_dropped": self.dropped,
+            },
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_chrome_trace(), sort_keys=True)
+
+    def write(self, path: Union[str, Path]) -> Path:
+        """Write the Chrome trace JSON to ``path`` (Perfetto-loadable)."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(self.to_json() + "\n", encoding="ascii")
+        return target
+
+
+class TraceListener(SimulationListener):
+    """Engine-side instrumentation: slot loop and transmission spans.
+
+    Attached automatically by the engine when tracing is enabled.  Pure
+    observer: it only appends to the tracer's ring, so the simulated
+    run (verdicts, metrics, audit) is byte-identical with or without it
+    — the golden-fingerprint suite pins that.
+    """
+
+    def __init__(self, tracer: SpanTracer) -> None:
+        self.tracer = tracer
+        self._batch_events = 0
+
+    def on_event(
+        self, slot: Slots, kind: int, data: Any, engine: "SimulationEngine"
+    ) -> None:
+        self.tracer.mark_slot(slot)
+        self._batch_events += 1
+
+    def on_slot_end(self, slot: Slots, engine: "SimulationEngine") -> None:
+        if self._batch_events:
+            self.tracer.counter(
+                "engine.events", slot, {"events": float(self._batch_events)}
+            )
+            self._batch_events = 0
+
+    def on_transmission_end(
+        self,
+        slot: Slots,
+        transmission: "Transmission",
+        success: bool,
+        medium: "Medium",
+    ) -> None:
+        frame = transmission.frame
+        args: Dict[str, object] = {
+            "receiver": transmission.receiver,
+            "success": success,
+            "corrupted": transmission.corrupted,
+            "duration_slots": transmission.duration,
+        }
+        if frame is not None:
+            seq_off = getattr(frame, "seq_off", None)
+            attempt = getattr(frame, "attempt", None)
+            if seq_off is not None:
+                args["seq_off"] = seq_off
+            if attempt is not None:
+                args["attempt"] = attempt
+        self.tracer.span(
+            f"tx.{transmission.kind}",
+            transmission.start_slot,
+            transmission.end_slot,
+            tid=transmission.sender,
+            pid=PID_SIM,
+            category="tx",
+            args=args,
+        )
+
+    def on_positions_updated(
+        self,
+        slot: Slots,
+        positions: Dict[int, Tuple[float, float]],
+        medium: "Medium",
+    ) -> None:
+        self.tracer.instant(
+            "mobility.epoch",
+            slot=slot,
+            pid=PID_ENGINE,
+            category="engine",
+            args={"nodes": len(positions)},
+        )
+
+
+# -- process-wide switch (mirrors repro.obs.runtime) -----------------------
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+_enabled = False
+_tracer: Optional[SpanTracer] = None
+
+
+def enable_tracing() -> None:
+    """Attach a trace listener to every engine built from now on."""
+    global _enabled
+    _enabled = True
+
+
+def disable_tracing() -> None:
+    """Stop auto-attaching trace listeners (env var still wins)."""
+    global _enabled
+    _enabled = False
+
+
+def tracing_enabled() -> bool:
+    """True if new engines should feed the shared tracer."""
+    if _enabled:
+        return True
+    return os.environ.get("REPRO_TRACE", "").strip().lower() in _TRUTHY
+
+
+def shared_tracer() -> SpanTracer:
+    """The process-wide tracer (created on first use)."""
+    global _tracer
+    if _tracer is None:
+        _tracer = SpanTracer()
+    return _tracer
+
+
+def active_tracer() -> Optional[SpanTracer]:
+    """The shared tracer when tracing is on, else None.
+
+    The one-liner every instrumented layer guards its emission with::
+
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.instant(...)
+    """
+    return shared_tracer() if tracing_enabled() else None
+
+
+def reset_tracer(capacity: int = DEFAULT_CAPACITY) -> SpanTracer:
+    """Replace the shared tracer with a fresh one and return it."""
+    global _tracer
+    _tracer = SpanTracer(capacity=capacity)
+    return _tracer
+
+
+@register_cache_reset
+def reset_tracing() -> None:
+    """Forget the shared tracer and switch tracing off (test isolation)."""
+    global _enabled, _tracer
+    _enabled = False
+    _tracer = None

@@ -141,6 +141,18 @@ class Medium:
         self._sensed_sources_cache.clear()
         self._sensors_cache.clear()
         self._rebuild_sensing_index()
+        # Lazy import: repro.obs is cross-cutting; active_tracer() is
+        # None unless the process-wide flight recorder is switched on.
+        from repro.obs.trace import PID_ENGINE, active_tracer
+
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.instant(
+                "medium.reconcile",
+                pid=PID_ENGINE,
+                category="medium",
+                args={"nodes": len(self._positions)},
+            )
 
     def _rebuild_sensing_index(self) -> None:
         """Recompute the incremental indexes under the new adjacency."""

@@ -152,6 +152,12 @@ class SimulationEngine:
 
             self.metrics_listener = MetricsListener(shared_registry())
             self.listeners.append(self.metrics_listener)
+        from repro.obs.trace import tracing_enabled
+
+        if tracing_enabled():
+            from repro.obs.trace import TraceListener, shared_tracer
+
+            self.listeners.append(TraceListener(shared_tracer()))
         self._refresh_hooks()
 
     # -- public API ------------------------------------------------------
@@ -159,6 +165,22 @@ class SimulationEngine:
     def add_listener(self, listener: SimulationListener) -> None:
         self.listeners.append(listener)
         self._refresh_hooks()
+
+    def instrument_phases(
+        self,
+        wrap: Callable[[str, Callable[..., Any]], Callable[..., Any]],
+    ) -> None:
+        """Wrap the slot loop's phase callables for instrumentation.
+
+        ``wrap(phase_name, fn)`` receives each phase — ``"events"``
+        (the per-slot batch dispatch) and ``"reconcile"`` (the back-off
+        reconciliation pass) — and returns the callable the loop will
+        invoke instead.  This is the sanctioned seam for profilers and
+        tracers (:class:`repro.obs.profile.EngineProfiler` uses it), so
+        observation-plane code never reaches into engine internals.
+        """
+        self._process_batch = wrap("events", self._process_batch)  # type: ignore[method-assign]
+        self._reconcile = wrap("reconcile", self._reconcile)  # type: ignore[method-assign]
 
     def _refresh_hooks(self) -> None:
         # Per-hook dispatch lists: each callback is delivered only to

@@ -207,8 +207,11 @@ def test_render_baseline_needs_justification(tmp_path):
 
 
 def test_checked_in_baseline_loads_and_is_justified():
+    # The profiler's RPR703 suppressions were retired by the
+    # Simulation.instrument_phases seam; the tree is clean with no
+    # baseline entries.  Any future entry must carry a justification.
     baseline = load_baseline(str(ROOT / "checks_baseline.json"))
-    assert baseline, "checked-in baseline should not be empty"
+    assert baseline == {}, "src should need no suppressions"
     for key, justification in baseline.items():
         assert justification.strip()
         assert not justification.startswith("TODO")

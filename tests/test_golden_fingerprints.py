@@ -175,3 +175,32 @@ def test_golden_fingerprint(name, request):
         f"{name}: same-seed fingerprint drifted from {path.name} — if the "
         "change is intentional, rerun with --update-golden and commit"
     )
+
+
+def test_tracing_on_leaves_fingerprints_unchanged():
+    """The flight recorder is a pure observer: with tracing enabled the
+    same-seed run must reproduce the committed golden fingerprint
+    exactly, while the tracer itself records a valid, slot-monotone
+    Chrome trace."""
+    from repro.obs.trace import (
+        disable_tracing,
+        enable_tracing,
+        reset_tracer,
+        shared_tracer,
+    )
+
+    golden = json.loads((GOLDEN_DIR / "grid.json").read_text())
+    reset_tracer()
+    enable_tracing()
+    try:
+        fingerprint = capture("grid")
+        tracer = shared_tracer()
+        assert tracer.emitted > 0
+        doc = tracer.to_chrome_trace()
+    finally:
+        disable_tracing()
+    assert fingerprint == golden, (
+        "enabling tracing changed the run's verdict/metrics streams"
+    )
+    timestamps = [e["ts"] for e in doc["traceEvents"] if e["ph"] != "M"]
+    assert timestamps == sorted(timestamps)

@@ -1,0 +1,223 @@
+"""Tests for repro.obs.history: the perf-trajectory ledger and its gate.
+
+The headline requirement: ``python -m repro.obs.history check`` passes
+on a healthy history and demonstrably fails on a synthetic 20%
+throughput regression.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.history import (
+    DEFAULT_TOLERANCE,
+    HISTORY_SCHEMA,
+    Comparison,
+    append_entries,
+    check_history,
+    entry_from_manifest,
+    load_history,
+    main,
+    throughput_metrics,
+)
+
+
+def _manifest(name="bench_engine", slots_per_second=50_000.0, **extra_results):
+    results = {"slots_per_second": slots_per_second}
+    results.update(extra_results)
+    return {
+        "schema": "repro.obs/manifest/v1",
+        "name": name,
+        "seed": 7,
+        "repro_scale": 1.0,
+        "version": "0.7.0",
+        "duration_s": 4.0,
+        "results": results,
+    }
+
+
+class TestThroughputMetrics:
+    def test_flat_keys(self):
+        metrics = throughput_metrics(
+            {"slots_per_second": 5.0, "events_per_second": 9.0, "wall_s": 2.0}
+        )
+        assert metrics == {"slots_per_second": 5.0, "events_per_second": 9.0}
+
+    def test_nested_dotted_paths(self):
+        metrics = throughput_metrics(
+            {"m4x4": {"speedup": 2.76, "note": "x"}, "misc": {"depth": 3}}
+        )
+        assert metrics == {"m4x4.speedup": 2.76}
+
+    def test_list_index_paths(self):
+        metrics = throughput_metrics(
+            {"runs": [{"slots_per_second": 1.0}, {"slots_per_second": 2.0}]}
+        )
+        assert metrics == {
+            "runs[0].slots_per_second": 1.0,
+            "runs[1].slots_per_second": 2.0,
+        }
+
+    def test_suffix_match(self):
+        metrics = throughput_metrics({"samples_per_sec": 10.0, "samples": 3})
+        assert metrics == {"samples_per_sec": 10.0}
+
+    def test_ignores_bools_and_non_numbers(self):
+        assert throughput_metrics({"speedup": True, "x_per_sec": "fast"}) == {}
+
+    def test_keys_sorted(self):
+        metrics = throughput_metrics(
+            {"z_per_sec": 1.0, "a_per_sec": 2.0, "m_per_sec": 3.0}
+        )
+        assert list(metrics) == ["a_per_sec", "m_per_sec", "z_per_sec"]
+
+
+class TestEntryFromManifest:
+    def test_from_dict(self):
+        entry = entry_from_manifest(_manifest())
+        assert entry["schema"] == HISTORY_SCHEMA
+        assert entry["name"] == "bench_engine"
+        assert entry["repro_scale"] == 1.0
+        assert entry["throughput"] == {"slots_per_second": 50_000.0}
+
+    def test_from_path(self, tmp_path):
+        path = tmp_path / "BENCH_engine.json"
+        path.write_text(json.dumps(_manifest()))
+        entry = entry_from_manifest(path)
+        assert entry["name"] == "bench_engine"
+
+    def test_missing_required_key(self):
+        manifest = _manifest()
+        del manifest["repro_scale"]
+        with pytest.raises(ValueError, match="repro_scale"):
+            entry_from_manifest(manifest)
+
+
+class TestAppendLoad:
+    def test_roundtrip(self, tmp_path):
+        history = tmp_path / "hist.jsonl"
+        written = append_entries(history, [_manifest(), _manifest("bench_det")])
+        assert load_history(history) == written
+
+    def test_append_accumulates(self, tmp_path):
+        history = tmp_path / "hist.jsonl"
+        append_entries(history, [_manifest()])
+        append_entries(history, [_manifest(slots_per_second=51_000.0)])
+        entries = load_history(history)
+        assert len(entries) == 2
+        assert entries[1]["throughput"]["slots_per_second"] == 51_000.0
+
+    def test_load_rejects_bad_schema(self, tmp_path):
+        history = tmp_path / "hist.jsonl"
+        history.write_text('{"schema":"nope","name":"x","repro_scale":1}\n')
+        with pytest.raises(ValueError, match="unsupported value 'nope'"):
+            load_history(history)
+
+
+def _history_with(tmp_path, *throughputs, name="bench_engine"):
+    history = tmp_path / "hist.jsonl"
+    append_entries(
+        history,
+        [_manifest(name, slots_per_second=value) for value in throughputs],
+    )
+    return history
+
+
+class TestCheckHistory:
+    def test_healthy_history_passes(self, tmp_path):
+        history = _history_with(tmp_path, 50_000.0, 52_000.0)
+        result = check_history(history)
+        assert result.ok
+        assert len(result.comparisons) == 1
+        assert result.comparisons[0].change == pytest.approx(0.04)
+
+    def test_synthetic_20_percent_regression_fails(self, tmp_path):
+        history = _history_with(tmp_path, 50_000.0, 40_000.0)
+        result = check_history(history)
+        assert not result.ok
+        (failure,) = result.failures
+        assert failure.metric == "slots_per_second"
+        assert failure.change == pytest.approx(-0.20)
+        assert "REGRESSED" in result.render()
+
+    def test_exactly_15_percent_is_tolerated(self, tmp_path):
+        history = _history_with(tmp_path, 100_000.0, 85_000.0)
+        assert check_history(history, tolerance=DEFAULT_TOLERANCE).ok
+
+    def test_single_entry_groups_skipped(self, tmp_path):
+        history = _history_with(tmp_path, 50_000.0)
+        result = check_history(history)
+        assert result.ok
+        assert result.comparisons == []
+        assert "no comparable entry pairs" in result.render()
+
+    def test_groups_isolated_by_scale(self, tmp_path):
+        history = tmp_path / "hist.jsonl"
+        fast = _manifest(slots_per_second=50_000.0)
+        slow = _manifest(slots_per_second=10_000.0)
+        slow["repro_scale"] = 0.1
+        append_entries(history, [fast, slow])
+        # Different scales never compare against each other.
+        assert check_history(history).comparisons == []
+
+    def test_baseline_is_oldest_newest_is_candidate(self, tmp_path):
+        history = _history_with(tmp_path, 50_000.0, 60_000.0, 30_000.0)
+        (comp,) = check_history(history).comparisons
+        assert comp.baseline == 50_000.0
+        assert comp.newest == 30_000.0
+
+    def test_improvement_never_fails(self, tmp_path):
+        history = _history_with(tmp_path, 50_000.0, 100_000.0)
+        assert check_history(history).ok
+
+
+class TestComparison:
+    def test_change_fraction(self):
+        comp = Comparison("b", 1.0, "m", baseline=100.0, newest=120.0)
+        assert comp.change == pytest.approx(0.20)
+
+    def test_zero_baseline_never_regresses(self):
+        comp = Comparison("b", 1.0, "m", baseline=0.0, newest=0.0)
+        assert comp.change == 0.0
+        assert not comp.regressed(0.15)
+
+
+class TestCli:
+    def test_append_then_check_ok(self, tmp_path, capsys):
+        manifest = tmp_path / "BENCH_engine.json"
+        manifest.write_text(json.dumps(_manifest()))
+        history = tmp_path / "hist.jsonl"
+        assert main(["append", str(manifest), "--history", str(history)]) == 0
+        assert main(["check", "--history", str(history)]) == 0
+        out = capsys.readouterr().out
+        assert "appended bench_engine" in out
+        assert "perf history" in out
+
+    def test_check_exit_1_on_regression(self, tmp_path, capsys):
+        history = _history_with(tmp_path, 50_000.0, 40_000.0)
+        assert main(["check", "--history", str(history)]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_check_exit_2_on_missing_file(self, tmp_path, capsys):
+        missing = tmp_path / "absent.jsonl"
+        assert main(["check", "--history", str(missing)]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_append_exit_2_on_bad_manifest(self, tmp_path, capsys):
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text('{"results": {}}')
+        history = tmp_path / "hist.jsonl"
+        assert main(["append", str(bad), "--history", str(history)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_tolerance_flag(self, tmp_path):
+        history = _history_with(tmp_path, 50_000.0, 40_000.0)
+        assert main(
+            ["check", "--history", str(history), "--tolerance", "0.25"]
+        ) == 0
+
+    def test_committed_baseline_passes(self):
+        # The repository's own ledger must always satisfy its own gate.
+        assert main(["check"]) == 0

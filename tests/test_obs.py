@@ -384,3 +384,154 @@ class TestBackoffStats:
         assert b.slots_frozen == 16
         b.finish()
         assert not math.isnan(b.slots_frozen)
+
+
+# -- snapshot merging ---------------------------------------------------------
+
+
+class TestMergeSnapshot:
+    def _registry_with_histogram(self, bounds=(1.0, 5.0)):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat", bounds=bounds)
+        for v in (0.5, 3.0, 9.0):
+            h.observe(v)
+        return registry
+
+    def test_merge_adds_counters_and_histograms(self):
+        a = self._registry_with_histogram()
+        a.inc("events", 3)
+        b = self._registry_with_histogram()
+        b.inc("events", 4)
+        a.merge_snapshot(b.snapshot())
+        assert a.counter("events").value == 7
+        merged = a.histogram("lat", bounds=(1.0, 5.0))
+        assert merged.count == 6
+        assert merged.counts == [2, 2, 2]
+        assert merged.min == 0.5 and merged.max == 9.0
+
+    def test_mismatched_bucket_bounds_rejected(self):
+        a = self._registry_with_histogram(bounds=(1.0, 5.0))
+        b = self._registry_with_histogram(bounds=(2.0, 6.0))
+        with pytest.raises(ValueError, match="already registered with bounds"):
+            a.merge_snapshot(b.snapshot())
+
+    def test_empty_snapshot_is_a_noop(self):
+        a = self._registry_with_histogram()
+        a.inc("events", 3)
+        before = a.snapshot()
+        a.merge_snapshot({})
+        a.merge_snapshot(MetricsRegistry().snapshot())
+        assert a.snapshot() == before
+
+    def test_merging_empty_histogram_preserves_min_max(self):
+        a = self._registry_with_histogram()
+        empty = MetricsRegistry()
+        empty.histogram("lat", bounds=(1.0, 5.0))
+        a.merge_snapshot(empty.snapshot())
+        h = a.histogram("lat", bounds=(1.0, 5.0))
+        assert h.min == 0.5 and h.max == 9.0 and h.count == 3
+
+    def test_merge_into_empty_adopts_extremes(self):
+        empty = MetricsRegistry()
+        empty.histogram("lat", bounds=(1.0, 5.0))
+        empty.merge_snapshot(self._registry_with_histogram().snapshot())
+        h = empty.histogram("lat", bounds=(1.0, 5.0))
+        assert h.min == 0.5 and h.max == 9.0 and h.count == 3
+
+
+# -- manifest forward compatibility ------------------------------------------
+
+
+class TestManifestForwardCompat:
+    def test_unknown_fields_survive_round_trip(self, tmp_path):
+        path = RunManifest(name="x", results={"ok": 1}).write(tmp_path / "m.json")
+        data = json.loads(path.read_text())
+        data["future_field"] = {"novel": True}
+        (tmp_path / "m.json").write_text(json.dumps(data))
+        loaded = RunManifest.load(tmp_path / "m.json")
+        assert loaded.extras == {"future_field": {"novel": True}}
+        rewritten = json.loads(loaded.write(tmp_path / "m2.json").read_text())
+        assert rewritten["future_field"] == {"novel": True}
+
+    def test_schema_error_names_offending_key(self, tmp_path):
+        path = RunManifest(name="x").write(tmp_path / "m.json")
+        data = json.loads(path.read_text())
+        data["schema"] = "other/v9"
+        with pytest.raises(ValueError, match="manifest key 'schema'"):
+            RunManifest.from_dict(data)
+
+    def test_no_extras_keeps_output_byte_identical(self, tmp_path):
+        manifest = RunManifest(name="x", seed=1, results={"ok": 1})
+        first = manifest.write(tmp_path / "a.json").read_text()
+        second = RunManifest.load(tmp_path / "a.json").write(
+            tmp_path / "b.json"
+        ).read_text()
+        assert first == second
+
+
+# -- audit ordering determinism -----------------------------------------------
+
+
+class TestCountsByRuleOrdering:
+    def test_sorted_regardless_of_insertion_order(self):
+        forward = DecisionAuditLog()
+        for rule in ("seq_offset", "rank_sum", "blatant_countdown"):
+            forward.record(_record(rule=rule))
+        backward = DecisionAuditLog()
+        for rule in ("blatant_countdown", "rank_sum", "seq_offset"):
+            backward.record(_record(rule=rule))
+        assert forward.counts_by_rule() == backward.counts_by_rule()
+        assert (
+            list(forward.counts_by_rule())
+            == list(backward.counts_by_rule())
+            == sorted(forward.counts_by_rule())
+        )
+
+
+# -- prometheus exposition ----------------------------------------------------
+
+
+class TestPrometheusRender:
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""
+
+    def test_counter_becomes_total_with_type_line(self):
+        registry = MetricsRegistry()
+        registry.inc("engine.slots", 42)
+        text = registry.render_prometheus()
+        assert "# TYPE engine_slots_total counter" in text
+        assert "engine_slots_total 42" in text
+
+    def test_illegal_characters_sanitized(self):
+        registry = MetricsRegistry()
+        registry.inc("tx.data-frames/ok", 1)
+        registry.set_gauge("9lives", 3.0)
+        text = registry.render_prometheus()
+        assert "tx_data_frames_ok_total 1" in text
+        assert "_9lives 3" in text
+
+    def test_histogram_buckets_cumulative_with_inf(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("latency.us", bounds=(1.0, 5.0))
+        for v in (0.5, 0.7, 3.0, 100.0):
+            h.observe(v)
+        text = registry.render_prometheus()
+        assert '# TYPE latency_us histogram' in text
+        assert 'latency_us_bucket{le="1"} 2' in text
+        assert 'latency_us_bucket{le="5"} 3' in text
+        assert 'latency_us_bucket{le="+Inf"} 4' in text
+        assert "latency_us_sum 104.2" in text
+        assert "latency_us_count 4" in text
+
+    def test_output_sorted_and_byte_stable(self):
+        def build():
+            registry = MetricsRegistry()
+            registry.inc("z.last", 1)
+            registry.inc("a.first", 2)
+            registry.set_gauge("mid", 0.5)
+            return registry.render_prometheus()
+
+        text = build()
+        assert text == build()
+        assert text.index("a_first_total") < text.index("z_last_total")
+        assert text.endswith("\n")

@@ -1,0 +1,185 @@
+"""Tests for repro.obs.trace: the deterministic slot-clocked tracer.
+
+The golden-fingerprint suite proves tracing never perturbs a run
+(``test_golden_fingerprints.test_tracing_on_leaves_fingerprints_unchanged``);
+these tests pin the tracer's own contract: slot-clocked timestamps,
+bounded-ring flight recording, valid Chrome trace-event JSON, and
+byte-identical same-seed traces.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    DEFAULT_CAPACITY,
+    PID_DETECTION,
+    PID_ENGINE,
+    PID_SIM,
+    SpanTracer,
+    active_tracer,
+    disable_tracing,
+    enable_tracing,
+    reset_tracer,
+    shared_tracer,
+    tracing_enabled,
+)
+from repro.util.units import DEFAULT_SLOT_TIME_US
+
+
+class TestSpanTracer:
+    def test_slot_clocked_timestamps(self):
+        tracer = SpanTracer(slot_time_us=20.0)
+        tracer.span("tx.handshake", 100, 142, tid=3)
+        (event,) = tracer.events()
+        assert event.ts_us == 100 * 20.0
+        assert event.dur_us == 42 * 20.0
+        assert event.phase == "X"
+
+    def test_default_slot_time_matches_units(self):
+        assert SpanTracer().slot_time_us == float(DEFAULT_SLOT_TIME_US)
+
+    def test_instant_uses_cursor_when_slot_omitted(self):
+        tracer = SpanTracer()
+        tracer.mark_slot(77)
+        tracer.instant("medium.reconcile")
+        (event,) = tracer.events()
+        assert event.ts_us == 77 * tracer.slot_time_us
+
+    def test_cursor_is_monotone(self):
+        tracer = SpanTracer()
+        tracer.mark_slot(50)
+        tracer.mark_slot(10)  # stale marks never rewind the cursor
+        assert tracer.cursor == 50
+
+    def test_ring_keeps_newest_and_counts_drops(self):
+        tracer = SpanTracer(capacity=4)
+        for slot in range(10):
+            tracer.instant("tick", slot=slot)
+        assert len(tracer) == 4
+        assert tracer.emitted == 10
+        assert tracer.dropped == 6
+        slots = [e.ts_us / tracer.slot_time_us for e in tracer.events()]
+        assert slots == [6, 7, 8, 9]
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            SpanTracer(capacity=0)
+
+    def test_chrome_export_is_valid_and_monotone(self):
+        tracer = SpanTracer()
+        tracer.span("b", 200, 300, tid=1, pid=PID_SIM)
+        tracer.span("a", 100, 150, tid=2, pid=PID_SIM)
+        tracer.instant("v", slot=120, tid=5, pid=PID_DETECTION)
+        tracer.counter("engine.events", 110, {"events": 3.0}, pid=PID_ENGINE)
+        doc = json.loads(tracer.to_json())
+        events = doc["traceEvents"]
+        # Metadata first, then data events sorted by timestamp.
+        meta = [e for e in events if e["ph"] == "M"]
+        data = [e for e in events if e["ph"] != "M"]
+        assert [e["ph"] for e in events[: len(meta)]] == ["M"] * len(meta)
+        timestamps = [e["ts"] for e in data]
+        assert timestamps == sorted(timestamps)
+        # Required trace-event keys present on every data event.
+        for event in data:
+            assert {"name", "ph", "ts", "pid", "tid", "cat"} <= set(event)
+        spans = [e for e in data if e["ph"] == "X"]
+        assert spans and all("dur" in e for e in spans)
+        tracks = {(e["pid"], e["tid"]) for e in data}
+        labeled = {
+            (e["pid"], e["tid"]) for e in meta if e["name"] == "thread_name"
+        }
+        assert tracks <= labeled
+        assert doc["otherData"]["clock"] == "slots"
+
+    def test_same_inputs_byte_identical_json(self):
+        def build():
+            tracer = SpanTracer()
+            tracer.span("tx.exchange", 10, 150, tid=4, args={"receiver": 5})
+            tracer.instant("verdict.malicious", slot=140, pid=PID_DETECTION)
+            return tracer.to_json()
+
+        assert build() == build()
+
+    def test_write_is_loadable(self, tmp_path):
+        tracer = SpanTracer()
+        tracer.span("tx.handshake", 0, 42, tid=1)
+        path = tracer.write(tmp_path / "out.json")
+        doc = json.loads(path.read_text())
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
+
+class TestTracingSwitch:
+    def test_disabled_by_default(self):
+        assert not tracing_enabled()
+        assert active_tracer() is None
+
+    def test_enable_disable_roundtrip(self):
+        enable_tracing()
+        try:
+            assert tracing_enabled()
+            assert active_tracer() is shared_tracer()
+        finally:
+            disable_tracing()
+        assert active_tracer() is None
+
+    def test_env_var_enables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        assert tracing_enabled()
+        monkeypatch.setenv("REPRO_TRACE", "0")
+        assert not tracing_enabled()
+
+    def test_reset_tracer_replaces_shared(self):
+        first = shared_tracer()
+        fresh = reset_tracer(capacity=128)
+        assert fresh is not first
+        assert fresh.capacity == 128
+        assert shared_tracer() is fresh
+
+    def test_default_capacity_bounds_memory(self):
+        assert shared_tracer().capacity == DEFAULT_CAPACITY
+
+
+class TestEngineIntegration:
+    def _run_demo_sim(self, seconds=1.0):
+        from repro.experiments.scenarios import GridScenario
+
+        sim, _sender, _monitor = GridScenario(load=0.6, seed=11).build()
+        sim.run(seconds)
+        return sim
+
+    def test_engine_attaches_listener_and_traces(self):
+        tracer = reset_tracer()
+        enable_tracing()
+        try:
+            self._run_demo_sim()
+        finally:
+            disable_tracing()
+        assert tracer.emitted > 0
+        names = {e.name for e in tracer.events()}
+        assert "engine.events" in names  # per-slot counter
+        assert any(n.startswith("tx.") for n in names)  # transmission spans
+
+    def test_disabled_engine_records_nothing(self):
+        tracer = reset_tracer()
+        self._run_demo_sim()
+        assert tracer.emitted == 0
+
+    def test_same_seed_traces_byte_identical(self):
+        import itertools
+
+        from repro.traffic import queue as traffic_queue
+
+        def run():
+            traffic_queue._packet_ids = itertools.count()
+            tracer = reset_tracer()
+            enable_tracing()
+            try:
+                self._run_demo_sim()
+            finally:
+                disable_tracing()
+            return tracer.to_json()
+
+        assert run() == run()
