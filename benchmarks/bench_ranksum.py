@@ -1,0 +1,105 @@
+"""Rank-sum kernel microbench: vectorized batch vs the scalar loop.
+
+Times :func:`repro.core.batch.rank_sum_many` on one large batch of
+windows shaped like real detector traffic — 25-pair windows mixing
+heavy-tie integer backoffs (normal-approximation path) with continuous
+values (exact-null path for tie-free windows) — against the equivalent
+python loop over :func:`repro.core.ranksum.rank_sum_test`.
+
+The kernel's contract is bit-identity, so the bench first asserts the
+two paths return equal results on the full batch, then prices them.
+The batch size scales with REPRO_SCALE; the speedup assertion runs at
+every scale (the ratio is scale-stable because both paths grow
+linearly in the batch).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.core.batch import rank_sum_many
+from repro.core.ranksum import rank_sum_test
+from repro.experiments.runner import fidelity_scale
+from repro.obs.bench import write_bench_manifest
+
+SEED = 11
+WINDOW = 25
+BASE_BATCH = 4096
+ALTERNATIVE = "less"
+ROUNDS = 5
+
+
+def _make_windows(batch):
+    """Deterministic windows mixing tied and continuous regimes."""
+    rng = random.Random(SEED)
+    xs, ys = [], []
+    for i in range(batch):
+        if i % 2:
+            x = [float(rng.randint(0, 31)) for _ in range(WINDOW)]
+            y = [float(rng.randint(0, 24)) for _ in range(WINDOW)]
+        else:
+            x = [rng.uniform(0.0, 31.0) for _ in range(WINDOW)]
+            y = [rng.uniform(0.0, 24.0) for _ in range(WINDOW)]
+        xs.append(x)
+        ys.append(y)
+    return xs, ys
+
+
+def bench_ranksum_kernel(benchmark):
+    batch = max(int(BASE_BATCH * fidelity_scale()), 64)
+    xs, ys = _make_windows(batch)
+
+    batched = benchmark.pedantic(
+        lambda: rank_sum_many(xs, ys, ALTERNATIVE),
+        rounds=ROUNDS,
+        iterations=1,
+    )
+
+    begin = time.perf_counter()
+    scalar = [
+        rank_sum_test(x, y, ALTERNATIVE) for x, y in zip(xs, ys)
+    ]
+    scalar_seconds = time.perf_counter() - begin
+
+    # Bit-identity before throughput: every statistic, p-value and
+    # method tag must match the scalar reference exactly.
+    assert batched == scalar
+
+    batched_seconds = min(benchmark.stats.stats.data)
+    speedup = scalar_seconds / batched_seconds
+    results = {
+        "batch": batch,
+        "window": WINDOW,
+        "batched_seconds": batched_seconds,
+        "batched_windows_per_sec": batch / batched_seconds,
+        "scalar_seconds": scalar_seconds,
+        "scalar_windows_per_sec": batch / scalar_seconds,
+        "speedup": speedup,
+    }
+    print()
+    print(
+        f"rank-sum kernel ({batch} windows x {WINDOW} pairs): "
+        f"scalar {results['scalar_windows_per_sec']:>10,.0f} win/s, "
+        f"batched {results['batched_windows_per_sec']:>10,.0f} win/s "
+        f"({speedup:.2f}x)"
+    )
+    write_bench_manifest(
+        "ranksum",
+        results,
+        seed=SEED,
+        config={
+            "window": WINDOW,
+            "base_batch": BASE_BATCH,
+            "alternative": ALTERNATIVE,
+            "rounds": ROUNDS,
+        },
+    )
+
+    # The kernel's reason to exist: a healthy multiple over the python
+    # loop on any realistically sized batch.  (Measures ~3.2-3.5x; the
+    # guard leaves headroom for noisy CI runners — the headline >= 3x
+    # criterion is bench_detection's end-to-end events/sec.)
+    assert speedup >= 2.5, (
+        f"expected >= 2.5x over the scalar loop, measured {speedup:.2f}x"
+    )

@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
 
 from repro.core.arma import ArmaTrafficEstimator
+from repro.core.batch import rank_sum_many
 from repro.core.bianchi import CompetingTerminalEstimator
 from repro.core.density import NodeDensityEstimator
 from repro.core.deterministic import (
@@ -58,9 +59,12 @@ from repro.util.caches import register_cache_reset
 from repro.util.units import Slots
 
 if TYPE_CHECKING:  # pragma: no cover - import-time only
+    from repro.core.batch import LazyArmaFeed, OccupancyFeed
     from repro.core.deterministic import DeterministicViolation
     from repro.core.observation import ObservedTransmission
-    from repro.core.observatory import ObservatorySubscription
+    from repro.core.observatory import BatchScheduler, ObservatorySubscription
+    from repro.core.observatory import _PendingWindow
+    from repro.core.ranksum import RankSumResult
     from repro.core.records import Verdict as _Verdict
     from repro.mac.constants import MacTiming
     from repro.obs.registry import MetricsRegistry
@@ -170,6 +174,14 @@ class DetectorConfig:
     #: byte-identical to pre-fault-injection versions, faulted runs get
     #: a reason code per quarantined observation.
     quarantine_audit: Optional[bool] = None
+    #: Statistical backend: ``"scalar"`` runs each rank-sum window and
+    #: estimator fold eagerly in pure python (the reference oracle);
+    #: ``"batched"`` routes through :mod:`repro.core.batch` — vectorized
+    #: rank-sum evaluation, numpy interval ledgers, and (under a
+    #: :class:`~repro.core.observatory.SharedChannelObservatory`)
+    #: deferred estimator folds plus dispatch-end window coalescing.
+    #: Every observable output is bit-identical between the two.
+    stats_backend: str = "scalar"
 
 
 class BackoffMisbehaviorDetector(SimulationListener):
@@ -203,6 +215,11 @@ class BackoffMisbehaviorDetector(SimulationListener):
         self.metrics = metrics
 
         cfg = self.config
+        if cfg.stats_backend not in ("scalar", "batched"):
+            raise ValueError(
+                f"stats_backend must be 'scalar' or 'batched', "
+                f"got {cfg.stats_backend!r}"
+            )
         #: True when the observer is an observatory subscription — the
         #: SharedChannelObservatory then drives all channel accounting
         #: and this detector must NOT be registered as an engine
@@ -269,6 +286,11 @@ class BackoffMisbehaviorDetector(SimulationListener):
         #: P(sender invisible to tagged | sensed)
         self._invisible_ewma: Optional[float] = None
         self._occupancy_samples = 0
+        # Batched-backend plumbing, wired by the observatory at attach;
+        # all None for the scalar backend and standalone detectors.
+        self._batch_scheduler: Optional["BatchScheduler"] = None
+        self._lazy_arma_feed: Optional["LazyArmaFeed"] = None
+        self._occupancy_feed: Optional["OccupancyFeed"] = None
 
     # -- listener plumbing -------------------------------------------------
 
@@ -373,6 +395,8 @@ class BackoffMisbehaviorDetector(SimulationListener):
     @property
     def rho(self) -> float:
         """Current ARMA traffic-intensity estimate."""
+        if self._lazy_arma_feed is not None:
+            self._lazy_arma_feed.sync()
         return self.arma.estimate
 
     def _record_occupancy(self, invisible: bool) -> None:
@@ -387,6 +411,8 @@ class BackoffMisbehaviorDetector(SimulationListener):
     @property
     def p_ib_scale(self) -> float:
         """Measured-over-uniform invisible-transmitter ratio (eq.-4 scale)."""
+        if self._occupancy_feed is not None:
+            self._occupancy_feed.sync()
         if (
             not self.config.occupancy_correction
             or self._invisible_ewma is None
@@ -606,25 +632,38 @@ class BackoffMisbehaviorDetector(SimulationListener):
         rule: str,
         detail: str,
         threshold: Optional[float] = None,
+        window_meta: Optional[List[Tuple[int, int, float, float]]] = None,
+        audit_index: Optional[int] = None,
+        provenance_index: Optional[int] = None,
     ) -> None:
-        """Append a verdict plus its audit record and metric counts."""
+        """Append a verdict plus its audit record and metric counts.
+
+        ``audit_index``/``provenance_index`` are reserved log slots for
+        deferred (batched-backend) publication: the records land at the
+        exact positions an eager evaluation would have written, so log
+        interleaving across detectors is backend-invariant.
+        ``window_meta`` likewise carries the window bookkeeping
+        snapshotted at deferral time (the live deque may have advanced).
+        """
         self.verdicts.append(verdict)
         if self.audit is not None:
-            self.audit.record(
-                AuditRecord(
-                    slot=verdict.slot,
-                    monitor=self.monitor_id,
-                    tagged=self.tagged_id,
-                    rule=rule,
-                    diagnosis=verdict.diagnosis.value,
-                    deterministic=verdict.deterministic,
-                    detail=detail,
-                    p_value=verdict.p_value,
-                    statistic=verdict.statistic,
-                    threshold=threshold,
-                    sample_size=verdict.sample_size,
-                )
+            audit_entry = AuditRecord(
+                slot=verdict.slot,
+                monitor=self.monitor_id,
+                tagged=self.tagged_id,
+                rule=rule,
+                diagnosis=verdict.diagnosis.value,
+                deterministic=verdict.deterministic,
+                detail=detail,
+                p_value=verdict.p_value,
+                statistic=verdict.statistic,
+                threshold=threshold,
+                sample_size=verdict.sample_size,
             )
+            if audit_index is None:
+                self.audit.record(audit_entry)
+            else:
+                self.audit.fill(audit_index, audit_entry)
         if self.metrics is not None:
             self.metrics.inc("detector.verdicts")
             self.metrics.inc(f"detector.verdicts.{verdict.diagnosis.value}")
@@ -638,34 +677,39 @@ class BackoffMisbehaviorDetector(SimulationListener):
             f"-{rule}-{self._verdict_seq}"
         )
         self._verdict_seq += 1
-        meta = list(self._window_meta) if rule == "rank_sum" else []
+        if window_meta is not None:
+            meta = window_meta
+        else:
+            meta = list(self._window_meta) if rule == "rank_sum" else []
         if self.provenance is not None:
-            self.provenance.record(
-                ProvenanceRecord(
-                    verdict_id=verdict_id,
-                    slot=verdict.slot,
-                    monitor=self.monitor_id,
-                    tagged=self.tagged_id,
-                    rule=rule,
-                    diagnosis=verdict.diagnosis.value,
-                    deterministic=verdict.deterministic,
-                    detail=detail,
-                    observation_ids=[m[0] for m in meta],
-                    observation_slots=[m[1] for m in meta],
-                    window_start=meta[0][1] if meta else None,
-                    window_end=meta[-1][1] if meta else None,
-                    dictated=[m[2] for m in meta],
-                    estimated=[m[3] for m in meta],
-                    statistic=verdict.statistic,
-                    p_value=verdict.p_value,
-                    threshold=threshold,
-                    sample_size=verdict.sample_size,
-                    rho=self.rho,
-                    arma_alpha=self.config.arma_alpha,
-                    quarantine_drops=dict(sorted(self.quarantine_counts.items())),
-                    skipped_samples=self.skipped_samples,
-                )
+            provenance_entry = ProvenanceRecord(
+                verdict_id=verdict_id,
+                slot=verdict.slot,
+                monitor=self.monitor_id,
+                tagged=self.tagged_id,
+                rule=rule,
+                diagnosis=verdict.diagnosis.value,
+                deterministic=verdict.deterministic,
+                detail=detail,
+                observation_ids=[m[0] for m in meta],
+                observation_slots=[m[1] for m in meta],
+                window_start=meta[0][1] if meta else None,
+                window_end=meta[-1][1] if meta else None,
+                dictated=[m[2] for m in meta],
+                estimated=[m[3] for m in meta],
+                statistic=verdict.statistic,
+                p_value=verdict.p_value,
+                threshold=threshold,
+                sample_size=verdict.sample_size,
+                rho=self.rho,
+                arma_alpha=self.config.arma_alpha,
+                quarantine_drops=dict(sorted(self.quarantine_counts.items())),
+                skipped_samples=self.skipped_samples,
             )
+            if provenance_index is None:
+                self.provenance.record(provenance_entry)
+            else:
+                self.provenance.fill(provenance_index, provenance_entry)
         tracer = self._tracer
         if tracer is not None:
             if meta:
@@ -710,9 +754,35 @@ class BackoffMisbehaviorDetector(SimulationListener):
         )
 
     def _evaluate(self, slot: Slots) -> None:
-        decision, result = self.test.evaluate()
-        if decision is TestDecision.NOT_ENOUGH_SAMPLES:
+        if not self.test.window_full:
             return
+        scheduler = self._batch_scheduler
+        if scheduler is not None:
+            # Observatory + batched backend: snapshot the ready window
+            # and let the dispatch-end flush rank it with its peers.
+            scheduler.defer(self, slot)
+            return
+        if self.config.stats_backend == "batched":
+            # Standalone batched detector: same kernel, batch of one.
+            x, y = self.test.window_snapshot()
+            result = rank_sum_many([x], [y], self.test.alternative)[0]
+        else:
+            _decision, scalar_result = self.test.evaluate()
+            if scalar_result is None:
+                return
+            result = scalar_result
+        self._emit_rank_sum_verdict(result, slot)
+
+    def _emit_rank_sum_verdict(
+        self,
+        result: "RankSumResult",
+        slot: Slots,
+        window_meta: Optional[List[Tuple[int, int, float, float]]] = None,
+        audit_index: Optional[int] = None,
+        provenance_index: Optional[int] = None,
+    ) -> None:
+        """Publish one rank-sum verdict (eager or deferred-fill)."""
+        decision = self.test.decide(result)
         diagnosis = (
             Diagnosis.MALICIOUS
             if decision is TestDecision.REJECT_H0
@@ -733,6 +803,21 @@ class BackoffMisbehaviorDetector(SimulationListener):
                 f"p={result.p_value:.6g} vs alpha={self.config.alpha}"
             ),
             threshold=self.config.alpha,
+            window_meta=window_meta,
+            audit_index=audit_index,
+            provenance_index=provenance_index,
+        )
+
+    def _finish_deferred_evaluation(
+        self, pending: "_PendingWindow", result: "RankSumResult"
+    ) -> None:
+        """Dispatch-end completion of a window deferred by the scheduler."""
+        self._emit_rank_sum_verdict(
+            result,
+            pending.slot,
+            window_meta=pending.window_meta,
+            audit_index=pending.audit_index,
+            provenance_index=pending.provenance_index,
         )
 
     # -- conveniences -----------------------------------------------------------

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import enum
 from collections import deque
-from typing import Deque, Optional, Tuple
+from typing import Deque, List, Optional, Tuple
 
 from repro.core.ranksum import RankSumResult, rank_sum_test
 from repro.util.validation import check_positive, check_probability
@@ -73,6 +73,21 @@ class BackoffHypothesisTest:
         self._x.clear()
         self._y.clear()
 
+    def window_snapshot(self) -> Tuple[List[float], List[float]]:
+        """The current (x, y) window contents as independent lists.
+
+        The batched backend snapshots windows when they become ready and
+        evaluates them together at the dispatch-end flush; the copies
+        keep later ``add_sample`` calls from mutating a pending window.
+        """
+        return list(self._x), list(self._y)
+
+    def decide(self, result: RankSumResult) -> TestDecision:
+        """Judge one rank-sum result at this window's alpha."""
+        if result.p_value < self.alpha:
+            return TestDecision.REJECT_H0
+        return TestDecision.RETAIN_H0
+
     def evaluate(self) -> Tuple[TestDecision, Optional[RankSumResult]]:
         """Run the test on the current window.
 
@@ -83,6 +98,4 @@ class BackoffHypothesisTest:
         if not self.window_full:
             return TestDecision.NOT_ENOUGH_SAMPLES, None
         result = rank_sum_test(list(self._x), list(self._y), self.alternative)
-        if result.p_value < self.alpha:
-            return TestDecision.REJECT_H0, result
-        return TestDecision.RETAIN_H0, result
+        return self.decide(result), result

@@ -34,10 +34,18 @@ observer could never have seen — use ``fresh_channel=True`` there.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Set, Tuple
 
+from repro.core.batch import (
+    IntervalLedger,
+    LazyArmaFeed,
+    OccupancyFeed,
+    rank_sum_many,
+)
 from repro.core.detector import BackoffMisbehaviorDetector, DetectorConfig
 from repro.core.observation import ChannelViewBase, ObservedTransmission
+from repro.core.ranksum import rank_sum_test
 from repro.obs.trace import PID_ENGINE, active_tracer
 from repro.sim.listeners import SimulationListener
 from repro.util.units import Slots
@@ -117,6 +125,124 @@ class MonitorChannel(ChannelViewBase):
         self.occupancy_detectors: List[BackoffMisbehaviorDetector] = []
         #: live subscriptions reading this channel
         self.subscribers = 0
+
+    def ingest_end(
+        self,
+        slot: Slots,
+        key: int,
+        sender: int,
+        sensors: "FrozenSet[int]",
+        start_slot: Slots,
+        end_slot: Slots,
+        collided: bool,
+        transmission: "Transmission",
+    ) -> None:
+        """Absorb one end event: timeline, estimator feeds, bookkeeping."""
+        monitor = self.monitor_id
+        if end_slot > self.last_slot:
+            self.last_slot = end_slot
+        if key in self._sensed_keys:
+            self._sensed_keys.remove(key)
+            self._add_busy_interval(start_slot, end_slot)
+            if sender == monitor:
+                self._add_own_interval(start_slot, end_slot)
+        self.events_ingested += 1
+        if sender != monitor and monitor in sensors:
+            # Every sensed attempt feeds the shared collision-
+            # probability estimate behind the density inversion.
+            for terminal in self.terminal_feeds:
+                terminal.record_attempt(collided=collided)
+            for detector in self.occupancy_detectors:
+                if sender != detector.tagged_id:
+                    detector._record_occupancy(
+                        invisible=detector.tagged_id not in sensors
+                    )
+        for feed in self.arma_feeds:
+            feed.advance(slot, transmission, self)
+
+
+class BatchMonitorChannel(MonitorChannel):
+    """The ``stats_backend="batched"`` monitor channel.
+
+    Same canonical timeline semantics as :class:`MonitorChannel`, but
+    intervals live in numpy :class:`~repro.core.batch.IntervalLedger`
+    instances and the per-event estimator folds are *logged* instead of
+    run: :meth:`ingest_end` appends to the end-slot and occupancy logs,
+    and the :class:`~repro.core.batch.LazyArmaFeed` /
+    :class:`~repro.core.batch.OccupancyFeed` readers replay the exact
+    scalar fold sequence on demand.
+    """
+
+    def __init__(self, monitor_id: int) -> None:
+        MonitorChannel.__init__(self, monitor_id)
+        self._busy = IntervalLedger()
+        self._own = IntervalLedger()
+        #: dispatch slot of every end event this channel ingested (the
+        #: lazy ARMA feeds' replay script)
+        self._end_slot_log: List[int] = []
+        #: (sender, sensors-at-event-time) of every sensed foreign event
+        #: while occupancy detectors are subscribed
+        self._occ_log: List[Tuple[int, FrozenSet[int]]] = []
+        self._lazy_arma_by_key: Dict[_ArmaKey, LazyArmaFeed] = {}
+        self.lazy_arma_feeds: List[LazyArmaFeed] = []
+        #: feeds created before this channel's next event (their birth
+        #: slot — and their detectors' — is fixed by that event)
+        self._unborn_feeds: List[LazyArmaFeed] = []
+
+    # -- timeline mutators (ledger-backed) ---------------------------------
+
+    def _add_busy_interval(self, start: Slots, end: Slots) -> None:
+        self._busy.add(start, end)
+
+    def _add_own_interval(self, start: Slots, end: Slots) -> None:
+        self.monitor_tx_slots += end - start
+        self._own.add(start, end)
+
+    # -- queries (identical results, O(log n) on prefix sums) --------------
+
+    def busy_slots_in(self, start: Slots, end: Slots) -> Slots:
+        return self._busy.overlap(start, end)
+
+    def busy_intervals_in(self, start: Slots, end: Slots) -> List[Tuple[int, int]]:
+        return self._busy.intervals_in(start, end)
+
+    def own_tx_slots_in(self, start: Slots, end: Slots) -> Slots:
+        return self._own.overlap(start, end)
+
+    def ingest_end(
+        self,
+        slot: Slots,
+        key: int,
+        sender: int,
+        sensors: "FrozenSet[int]",
+        start_slot: Slots,
+        end_slot: Slots,
+        collided: bool,
+        transmission: "Transmission",
+    ) -> None:
+        """The lean batched ingest: log now, fold on demand."""
+        monitor = self.monitor_id
+        if end_slot > self.last_slot:
+            self.last_slot = end_slot
+        if key in self._sensed_keys:
+            self._sensed_keys.remove(key)
+            self._busy.add(start_slot, end_slot)
+            if sender == monitor:
+                self.monitor_tx_slots += end_slot - start_slot
+                self._own.add(start_slot, end_slot)
+        self.events_ingested += 1
+        if sender != monitor and monitor in sensors:
+            # The terminal estimator is one cheap EWMA shared by every
+            # subscriber; fold it eagerly (tests read it mid-run).
+            for terminal in self.terminal_feeds:
+                terminal.record_attempt(collided=collided)
+            if self.occupancy_detectors:
+                self._occ_log.append((sender, sensors))
+        if self._unborn_feeds:
+            for feed in self._unborn_feeds:
+                feed.start(transmission.start_slot)
+            self._unborn_feeds.clear()
+        self._end_slot_log.append(slot)
 
 
 class ObservatorySubscription:
@@ -208,6 +334,94 @@ class ObservatorySubscription:
         """No-op: the shared channel needs no per-epoch work."""
 
 
+@dataclass
+class _PendingWindow:
+    """One rank-sum-ready window, snapshotted at deferral time.
+
+    The log indices were reserved when the window became ready, so the
+    dispatch-end fill lands every record exactly where an eager scalar
+    evaluation would have written it; the (x, y) copies protect the
+    window contents from later ``add_sample`` calls in the same flush
+    cycle.
+    """
+
+    detector: BackoffMisbehaviorDetector
+    slot: int
+    alternative: str
+    x: List[float]
+    y: List[float]
+    window_meta: List[Tuple[int, int, float, float]]
+    audit_index: Optional[int]
+    provenance_index: Optional[int]
+
+
+class BatchScheduler:
+    """Coalesces ready rank-sum windows across all detectors.
+
+    The scalar path tests each window at ingest, one scalar rank-sum
+    per detector per event.  Under the batched backend, detectors
+    *defer* ready windows here instead; at the end of the same
+    transmission-end dispatch the observatory flushes them through
+    :func:`repro.core.batch.rank_sum_many` in one vectorized call per
+    alternative.  Verdict slots, per-detector ordering, and the shared
+    audit/provenance interleaving are all preserved: the verdict slot
+    is captured at deferral, and the log positions were reserved then.
+    """
+
+    def __init__(self) -> None:
+        self._pending: List[_PendingWindow] = []
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def defer(self, detector: BackoffMisbehaviorDetector, slot: Slots) -> None:
+        """Snapshot one ready window and reserve its log positions."""
+        x, y = detector.test.window_snapshot()
+        audit_index = None if detector.audit is None else detector.audit.reserve()
+        provenance_index = (
+            None if detector.provenance is None else detector.provenance.reserve()
+        )
+        self._pending.append(
+            _PendingWindow(
+                detector=detector,
+                slot=slot,
+                alternative=detector.test.alternative,
+                x=x,
+                y=y,
+                window_meta=list(detector._window_meta),
+                audit_index=audit_index,
+                provenance_index=provenance_index,
+            )
+        )
+
+    def flush(self) -> None:
+        """Evaluate every deferred window and publish its verdict."""
+        pending = self._pending
+        if not pending:
+            return
+        self._pending = []
+        groups: Dict[str, List[_PendingWindow]] = {}
+        for entry in pending:
+            groups.setdefault(entry.alternative, []).append(entry)
+        for alternative, group in groups.items():
+            if len(group) <= 2:
+                # Below the kernel's numpy fixed cost; the scalar test
+                # is bit-identical by contract, so the fallback never
+                # moves a verdict.
+                results = [
+                    rank_sum_test(entry.x, entry.y, alternative)
+                    for entry in group
+                ]
+            else:
+                results = rank_sum_many(
+                    [entry.x for entry in group],
+                    [entry.y for entry in group],
+                    alternative,
+                )
+            for entry, result in zip(group, results):
+                entry.detector._finish_deferred_evaluation(entry, result)
+
+
 class SharedChannelObservatory(SimulationListener):
     """The single engine listener behind every subscribed detector."""
 
@@ -234,6 +448,11 @@ class SharedChannelObservatory(SimulationListener):
         self.detectors: List[BackoffMisbehaviorDetector] = []
         #: the process tracer when tracing is on (ingest/demux instants)
         self._tracer = active_tracer()
+        #: statistical backend, fixed by the first attach ("scalar" or
+        #: "batched"); mixing backends on one observatory is an error.
+        self._backend: Optional[str] = None
+        #: dispatch-end window coalescing (batched backend only)
+        self._scheduler = BatchScheduler()
 
     # -- subscription management -------------------------------------------
 
@@ -259,9 +478,20 @@ class SharedChannelObservatory(SimulationListener):
         ``position_unit=False`` skips mobility-epoch forwarding (the
         hand-off manager forwards positions itself).
         """
+        cfg = config if config is not None else DetectorConfig()
+        if self._backend is None:
+            self._backend = cfg.stats_backend
+        elif cfg.stats_backend != self._backend:
+            raise ValueError(
+                f"observatory already runs stats_backend={self._backend!r}; "
+                f"cannot attach a {cfg.stats_backend!r} detector"
+            )
         channel = self._channels.get(monitor_id) if not fresh_channel else None
         if channel is None:
-            channel = MonitorChannel(monitor_id)
+            if self._backend == "batched":
+                channel = BatchMonitorChannel(monitor_id)
+            else:
+                channel = MonitorChannel(monitor_id)
             self._channel_list.append(channel)
             if not fresh_channel:
                 self._channels[monitor_id] = channel
@@ -271,7 +501,7 @@ class SharedChannelObservatory(SimulationListener):
         detector = BackoffMisbehaviorDetector(
             monitor_id,
             tagged_id,
-            config=config,
+            config=cfg,
             timing=timing,
             separation=separation,
             audit=audit,
@@ -300,14 +530,35 @@ class SharedChannelObservatory(SimulationListener):
             cfg.arma_interval_slots,
             detector.timing.exchange_slots,
         )
-        feed = channel._arma_by_key.get(key)
-        if feed is None:
-            feed = _ArmaFeed(detector.arma, detector.timing.exchange_slots)
-            channel._arma_by_key[key] = feed
-            channel.arma_feeds.append(feed)
+        if isinstance(channel, BatchMonitorChannel):
+            lazy = channel._lazy_arma_by_key.get(key)
+            if lazy is None:
+                lazy = LazyArmaFeed(
+                    detector.arma, detector.timing.exchange_slots, channel
+                )
+                channel._lazy_arma_by_key[key] = lazy
+                channel.lazy_arma_feeds.append(lazy)
+                channel._unborn_feeds.append(lazy)
+            else:
+                # Late joiners share the estimator but (like the eager
+                # feed) do not inherit the feed's birth slot.
+                detector.arma = lazy.arma
+            lazy.detectors.append(detector)
+            detector._lazy_arma_feed = lazy
+            detector._batch_scheduler = self._scheduler
+            if cfg.occupancy_correction:
+                detector._occupancy_feed = OccupancyFeed(
+                    channel._occ_log, detector
+                )
         else:
-            detector.arma = feed.arma
-        feed.detectors.append(detector)
+            feed = channel._arma_by_key.get(key)
+            if feed is None:
+                feed = _ArmaFeed(detector.arma, detector.timing.exchange_slots)
+                channel._arma_by_key[key] = feed
+                channel.arma_feeds.append(feed)
+            else:
+                detector.arma = feed.arma
+            feed.detectors.append(detector)
         terminal = channel._terminal_by_epoch.get(epoch)
         if terminal is None:
             channel._terminal_by_epoch[epoch] = detector.terminal_estimator
@@ -340,6 +591,20 @@ class SharedChannelObservatory(SimulationListener):
         for feed in channel.arma_feeds:
             if detector in feed.detectors:
                 feed.detectors.remove(detector)
+        # Batched backend: the lazy ARMA feed stays connected — in
+        # scalar mode the shared estimator keeps advancing while the
+        # channel lives, and sync-on-read reproduces exactly that (the
+        # log stops growing once the channel dies).  The occupancy EWMA
+        # is per-detector and freezes at detach in scalar mode, so fold
+        # it up to now and disconnect.
+        lazy = detector._lazy_arma_feed
+        if lazy is not None and detector in lazy.detectors:
+            lazy.detectors.remove(detector)
+        occupancy = detector._occupancy_feed
+        if occupancy is not None:
+            occupancy.sync()
+            detector._occupancy_feed = None
+        detector._batch_scheduler = None
         channel.subscribers -= 1
         if channel.subscribers <= 0:
             self._channel_list.remove(channel)
@@ -403,27 +668,16 @@ class SharedChannelObservatory(SimulationListener):
         end_slot = transmission.end_slot
         collided = not success
         for channel in self._channel_list:
-            monitor = channel.monitor_id
-            if end_slot > channel.last_slot:
-                channel.last_slot = end_slot
-            if key in channel._sensed_keys:
-                channel._sensed_keys.remove(key)
-                channel._add_busy_interval(start_slot, end_slot)
-                if sender == monitor:
-                    channel._add_own_interval(start_slot, end_slot)
-            channel.events_ingested += 1
-            if sender != monitor and monitor in sensors:
-                # Every sensed attempt feeds the shared collision-
-                # probability estimate behind the density inversion.
-                for terminal in channel.terminal_feeds:
-                    terminal.record_attempt(collided=collided)
-                for detector in channel.occupancy_detectors:
-                    if sender != detector.tagged_id:
-                        detector._record_occupancy(
-                            invisible=detector.tagged_id not in sensors
-                        )
-            for feed in channel.arma_feeds:
-                feed.advance(slot, transmission, channel)
+            channel.ingest_end(
+                slot,
+                key,
+                sender,
+                sensors,
+                start_slot,
+                end_slot,
+                collided,
+                transmission,
+            )
         subs = self._subs_by_tagged.get(sender)
         if self._tracer is not None:
             self._tracer.instant(
@@ -474,6 +728,9 @@ class SharedChannelObservatory(SimulationListener):
             detector = subscription._detector
             if detector is not None:
                 detector._process_new_observations(medium)
+        # Batched backend: evaluate every window deferred during this
+        # dispatch in one vectorized shot (no-op otherwise).
+        self._scheduler.flush()
 
     def on_positions_updated(
         self, slot: Slots, positions: Dict[int, Position], medium: "Medium"

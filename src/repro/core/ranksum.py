@@ -25,6 +25,8 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Iterable, List, Sequence, Tuple
 
+import numpy as np
+
 ALTERNATIVES = ("two-sided", "less", "greater")
 
 #: Largest combined sample size for which the exact null is enumerated.
@@ -60,21 +62,49 @@ class RankSumResult:
     n_y: int
 
 
-@lru_cache(maxsize=4096)
+# n_y <= n_total <= EXACT_LIMIT gives at most 25 * 26 / 2 = 325 distinct
+# (n_y, n_total) pairs, so 512 entries can never evict a live table; the
+# previous 4096 bound was paying dict overhead for slots that could not
+# be reached.
+@lru_cache(maxsize=512)
 def _exact_cdf_table(n_y: int, n_total: int) -> Tuple[int, ...]:
     """Counts of rank subsets: ways[s] = #(size-n_y subsets of 1..n_total
     with rank sum s).  Cached per (n_y, n_total)."""
     max_sum = n_total * (n_total + 1) // 2
-    # ways[k][s] -> rolled into 1-D per k to bound memory.
-    ways = [[0] * (max_sum + 1) for _ in range(n_y + 1)]
-    ways[0][0] = 1
+    # Knapsack DP over ranks; the inner sum axis is one vectorized
+    # shifted-slice add per (rank, k).  k runs high-to-low so each rank
+    # is counted at most once per subset; rows never overlap in memory,
+    # keeping the in-place adds well-defined.  Counts stay exact: the
+    # largest entry is comb(25, 12) ~ 5.2e6, far inside int64.
+    ways = np.zeros((n_y + 1, max_sum + 1), dtype=np.int64)
+    ways[0, 0] = 1
     for rank in range(1, n_total + 1):
         for k in range(min(rank, n_y), 0, -1):
-            row, prev = ways[k], ways[k - 1]
-            for s in range(max_sum, rank - 1, -1):
-                if prev[s - rank]:
-                    row[s] += prev[s - rank]
-    return tuple(ways[n_y])
+            ways[k, rank:] += ways[k - 1, : max_sum + 1 - rank]
+    # Plain-int tuple so downstream sums/divisions stay Python floats.
+    return tuple(int(count) for count in ways[n_y])
+
+
+def tie_group_sizes(ordered: Sequence[float]) -> List[int]:
+    """Sizes (> 1) of equal-value runs in an ascending-sorted sample.
+
+    One pass over the sorted sample; ascending order keeps the float
+    tie-correction summation in :func:`_normal_p` order-stable (set
+    iteration order would be hash-seed dependent, and the old
+    ``combined.count`` scan was O(n^2)).
+    """
+    sizes: List[int] = []
+    run = 1
+    for i in range(1, len(ordered)):
+        if ordered[i] == ordered[i - 1]:
+            run += 1
+        else:
+            if run > 1:
+                sizes.append(run)
+            run = 1
+    if run > 1:
+        sizes.append(run)
+    return sizes
 
 
 def _exact_p(w_y: float, n_y: int, n_total: int, alternative: str) -> float:
@@ -149,14 +179,7 @@ def rank_sum_test(
     u_y = w_y - n_y * (n_y + 1) / 2.0
 
     # Tie group sizes for the variance correction / exact-method gate.
-    # sorted(): set order is hash-seed dependent, and tie_sizes feeds
-    # the float tie correction in _normal_p where summation order
-    # changes the last bits of the variance.
-    tie_sizes = []
-    for value in sorted(set(combined)):
-        t = combined.count(value)
-        if t > 1:
-            tie_sizes.append(t)
+    tie_sizes = tie_group_sizes(sorted(combined))
 
     if not tie_sizes and (n_x + n_y) <= EXACT_LIMIT:
         p = _exact_p(w_y, n_y, n_x + n_y, alternative)

@@ -100,14 +100,45 @@ class AuditRecord:
         return cls(**data)  # type: ignore[arg-type]
 
 
+#: Placeholder occupying a reserved slot until :meth:`DecisionAuditLog.fill`
+#: replaces it.  Identity-compared, never serialized: a batched-backend
+#: flush always fills every reservation within the same dispatch.
+_DEFERRED = AuditRecord(
+    slot=-1,
+    monitor=-1,
+    tagged=-1,
+    rule="rank_sum",
+    diagnosis="deferred",
+    deterministic=False,
+)
+
+
 class DecisionAuditLog:
-    """An append-only list of :class:`AuditRecord`, JSONL in and out."""
+    """An append-only list of :class:`AuditRecord`, JSONL in and out.
+
+    The batched statistical backend evaluates rank-sum windows at the
+    end of a dispatch rather than at ingest; :meth:`reserve` /
+    :meth:`fill` let it keep each deferred record at the exact index an
+    eager evaluation would have written, so audit streams stay
+    byte-identical across backends.
+    """
 
     def __init__(self, records: Optional[Iterable[AuditRecord]] = None) -> None:
         self.records: List[AuditRecord] = list(records or [])
 
     def record(self, entry: AuditRecord) -> None:
         self.records.append(entry)
+
+    def reserve(self) -> int:
+        """Claim the next index for a record to be filled in later."""
+        self.records.append(_DEFERRED)
+        return len(self.records) - 1
+
+    def fill(self, index: int, entry: AuditRecord) -> None:
+        """Replace the reserved placeholder at ``index`` with ``entry``."""
+        if self.records[index] is not _DEFERRED:
+            raise ValueError(f"audit index {index} was not reserved")
+        self.records[index] = entry
 
     def __len__(self) -> int:
         return len(self.records)

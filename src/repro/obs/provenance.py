@@ -106,8 +106,28 @@ class ProvenanceRecord:
         return cls(**data)  # type: ignore[arg-type]
 
 
+#: Placeholder occupying a reserved slot until :meth:`ProvenanceLog.fill`
+#: replaces it.  Identity-compared, never serialized: a batched-backend
+#: flush always fills every reservation within the same dispatch.
+_DEFERRED = ProvenanceRecord(
+    verdict_id="<deferred>",
+    slot=-1,
+    monitor=-1,
+    tagged=-1,
+    rule="rank_sum",
+    diagnosis="deferred",
+    deterministic=False,
+)
+
+
 class ProvenanceLog:
-    """An append-only list of :class:`ProvenanceRecord`, JSONL in/out."""
+    """An append-only list of :class:`ProvenanceRecord`, JSONL in/out.
+
+    :meth:`reserve` / :meth:`fill` mirror the audit log's deferred-slot
+    protocol: the batched backend reserves a record's index when a
+    window becomes ready and fills it at the dispatch-end flush, keeping
+    record order byte-identical to the eager scalar backend.
+    """
 
     def __init__(
         self, records: Optional[Iterable[ProvenanceRecord]] = None
@@ -116,6 +136,17 @@ class ProvenanceLog:
 
     def record(self, entry: ProvenanceRecord) -> None:
         self.records.append(entry)
+
+    def reserve(self) -> int:
+        """Claim the next index for a record to be filled in later."""
+        self.records.append(_DEFERRED)
+        return len(self.records) - 1
+
+    def fill(self, index: int, entry: ProvenanceRecord) -> None:
+        """Replace the reserved placeholder at ``index`` with ``entry``."""
+        if self.records[index] is not _DEFERRED:
+            raise ValueError(f"provenance index {index} was not reserved")
+        self.records[index] = entry
 
     def __len__(self) -> int:
         return len(self.records)

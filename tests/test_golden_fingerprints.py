@@ -20,6 +20,7 @@ the fingerprints)::
 and commit the rewritten ``tests/golden/*.json`` with an explanation.
 """
 
+import dataclasses
 import hashlib
 import itertools
 import json
@@ -42,6 +43,14 @@ from repro.traffic import queue as traffic_queue
 GOLDEN_DIR = Path(__file__).parent / "golden"
 
 CONFIG = DetectorConfig(sample_size=25, known_n=5, known_k=5)
+
+#: Both statistical backends must reproduce the SAME committed goldens:
+#: the batched kernel's equivalence contract is bit-exact p-values,
+#: verdict streams, audit records, and metrics snapshots.
+BACKENDS = {
+    "scalar": CONFIG,
+    "batched": dataclasses.replace(CONFIG, stats_backend="batched"),
+}
 
 
 def _fresh_process_state():
@@ -72,7 +81,7 @@ def _detector_text(detectors):
     return "\n".join(lines)
 
 
-def _run_single(make_scenario, pm, target_samples, max_duration_s):
+def _run_single(config, make_scenario, pm, target_samples, max_duration_s):
     """One detection run (observatory path) under the shared registry."""
     audit = DecisionAuditLog()
     registry = reset_metrics()
@@ -81,7 +90,7 @@ def _run_single(make_scenario, pm, target_samples, max_duration_s):
         detector = collect_detection_samples(
             make_scenario(),
             pm,
-            detector_config=CONFIG,
+            detector_config=config,
             target_samples=target_samples,
             max_duration_s=max_duration_s,
             audit=audit,
@@ -97,7 +106,7 @@ def _run_single(make_scenario, pm, target_samples, max_duration_s):
     return detectors, audit, registry, extra
 
 
-def _run_multi_monitor():
+def _run_multi_monitor(config):
     """The dense 16-detector grid from the observatory equivalence suite."""
     from repro.core.observatory import SharedChannelObservatory
 
@@ -116,7 +125,7 @@ def _run_multi_monitor():
         sim.add_listener(observatory)
         detectors = [
             observatory.attach(
-                monitor, tagged, config=CONFIG,
+                monitor, tagged, config=config,
                 separation=scenario.separation, audit=audit,
             )
             for monitor, tagged in pairs
@@ -128,23 +137,23 @@ def _run_multi_monitor():
 
 
 SCENARIOS = {
-    "grid": lambda: _run_single(
-        lambda: GridScenario(seed=5), 60, 150, 40.0
+    "grid": lambda config: _run_single(
+        config, lambda: GridScenario(seed=5), 60, 150, 40.0
     ),
-    "random": lambda: _run_single(
-        lambda: RandomScenario(seed=5), 50, 120, 40.0
+    "random": lambda config: _run_single(
+        config, lambda: RandomScenario(seed=5), 50, 120, 40.0
     ),
-    "mobile_handoff": lambda: _run_single(
-        lambda: RandomScenario(mobile=True, seed=23), 70, 400, 120.0
+    "mobile_handoff": lambda config: _run_single(
+        config, lambda: RandomScenario(mobile=True, seed=23), 70, 400, 120.0
     ),
     "multi_monitor": _run_multi_monitor,
 }
 
 
-def capture(name):
+def capture(name, config=CONFIG):
     """Run one canonical scenario and produce its fingerprint dict."""
     _fresh_process_state()
-    detectors, audit, registry, extra = SCENARIOS[name]()
+    detectors, audit, registry, extra = SCENARIOS[name](config)
     snapshot = registry.snapshot()
     fingerprint = {
         "scenario": name,
@@ -159,11 +168,14 @@ def capture(name):
     return fingerprint
 
 
+@pytest.mark.parametrize("backend", sorted(BACKENDS))
 @pytest.mark.parametrize("name", sorted(SCENARIOS))
-def test_golden_fingerprint(name, request):
+def test_golden_fingerprint(name, backend, request):
     path = GOLDEN_DIR / f"{name}.json"
-    fingerprint = capture(name)
+    fingerprint = capture(name, BACKENDS[backend])
     if request.config.getoption("--update-golden"):
+        if backend != "scalar":
+            pytest.skip("goldens are regenerated from the scalar backend")
         GOLDEN_DIR.mkdir(exist_ok=True)
         path.write_text(json.dumps(fingerprint, indent=2, sort_keys=True) + "\n")
         pytest.skip(f"regenerated {path}")
@@ -172,8 +184,9 @@ def test_golden_fingerprint(name, request):
     )
     golden = json.loads(path.read_text())
     assert fingerprint == golden, (
-        f"{name}: same-seed fingerprint drifted from {path.name} — if the "
-        "change is intentional, rerun with --update-golden and commit"
+        f"{name} [{backend} backend]: same-seed fingerprint drifted from "
+        f"{path.name} — if the change is intentional, rerun with "
+        "--update-golden and commit"
     )
 
 

@@ -11,7 +11,9 @@ from scipy import stats as scipy_stats
 from repro.core.ranksum import (
     EXACT_LIMIT,
     RankSumResult,
+    _exact_cdf_table,
     rank_sum_test,
+    tie_group_sizes,
     wilcoxon_ranks,
 )
 
@@ -131,6 +133,85 @@ class TestAgainstScipy:
         ours = rank_sum_test(x.tolist(), y.tolist())
         theirs = scipy_stats.mannwhitneyu(y, x, alternative="two-sided")
         assert ours.u_statistic == pytest.approx(theirs.statistic)
+
+
+def _tie_sizes_reference(combined):
+    """The original O(n^2) tie scan, kept verbatim as the oracle."""
+    sizes = []
+    for value in sorted(set(combined)):
+        t = combined.count(value)
+        if t > 1:
+            sizes.append(t)
+    return sizes
+
+
+class TestTieSizes:
+    """The one-pass tie scan must reproduce the O(n^2) original exactly."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_quadratic_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        # Coarse integer draws force heavy ties; occasional floats mix in.
+        combined = rng.integers(0, 6, size=rng.integers(1, 60)).astype(
+            float
+        ).tolist()
+        if seed % 2:
+            combined += rng.uniform(0, 3, size=5).round(1).tolist()
+        assert tie_group_sizes(sorted(combined)) == _tie_sizes_reference(
+            combined
+        )
+
+    def test_edge_cases(self):
+        assert tie_group_sizes([]) == []
+        assert tie_group_sizes([1.0]) == []
+        assert tie_group_sizes([1.0, 2.0, 3.0]) == []
+        assert tie_group_sizes([2.0, 2.0, 2.0]) == [3]
+        assert tie_group_sizes([1.0, 1.0, 2.0, 3.0, 3.0, 3.0]) == [2, 3]
+
+    def test_order_is_ascending_by_value(self):
+        # _normal_p sums tie_sizes in this order; it must stay ascending.
+        combined = [5.0, 5.0, 5.0, 1.0, 1.0, 9.0, 9.0, 9.0, 9.0]
+        assert tie_group_sizes(sorted(combined)) == [2, 3, 4]
+
+
+def _exact_table_reference(n_total):
+    """The original pure-python DP, run once per n_total with n_y=n_total.
+
+    Row ``k`` of the 2-D table is exactly what the original
+    ``_exact_cdf_table(k, n_total)`` returned: bounding the DP by a
+    smaller n_y only skips rows above it, never changes rows below.
+    """
+    max_sum = n_total * (n_total + 1) // 2
+    ways = [[0] * (max_sum + 1) for _ in range(n_total + 1)]
+    ways[0][0] = 1
+    for rank in range(1, n_total + 1):
+        for k in range(min(rank, n_total), 0, -1):
+            row, prev = ways[k], ways[k - 1]
+            for s in range(max_sum, rank - 1, -1):
+                if prev[s - rank]:
+                    row[s] += prev[s - rank]
+    return ways
+
+
+class TestExactTableVectorized:
+    """The numpy DP must equal the original table for every reachable
+    (n_y, n_total) pair up to EXACT_LIMIT."""
+
+    def test_all_pairs_up_to_exact_limit(self):
+        for n_total in range(1, EXACT_LIMIT + 1):
+            reference = _exact_table_reference(n_total)
+            for n_y in range(1, n_total + 1):
+                table = _exact_cdf_table(n_y, n_total)
+                assert table == tuple(reference[n_y]), (n_y, n_total)
+                assert all(isinstance(c, int) for c in table)
+
+    def test_total_count_is_binomial(self):
+        import math
+
+        for n_y, n_total in ((3, 8), (12, 25), (25, 25)):
+            assert sum(_exact_cdf_table(n_y, n_total)) == math.comb(
+                n_total, n_y
+            )
 
 
 class TestFalseAlarmCalibration:
