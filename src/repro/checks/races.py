@@ -32,7 +32,7 @@ from repro.checks.index import FunctionInfo, ModuleInfo, ProjectIndex
 from repro.checks.lint import Finding
 
 #: Functions whose first argument is executed in pool workers.
-WORKER_DISPATCHERS = frozenset({"run_trials"})
+WORKER_DISPATCHERS = frozenset({"run_trials", "fork_map"})
 
 #: Modules allowed to keep process-wide state: the pool machinery
 #: itself and the metrics plumbing whose snapshots are merged back in
@@ -40,6 +40,7 @@ WORKER_DISPATCHERS = frozenset({"run_trials"})
 APPROVED_STATE_MODULES = frozenset(
     {
         "repro.util.caches",
+        "repro.util.pool",
         "repro.experiments.parallel",
         "repro.obs.runtime",
         "repro.obs.registry",

@@ -4,11 +4,12 @@ Every headline number in the paper is an average over many independent,
 seeded runs (20 for the probability curves, 10,000 for the detection
 probabilities).  The trials share nothing — each builds its own engine
 from its own seed — so they parallelize embarrassingly.  This module
-maps a trial function over a list of seeded task tuples with a process
-pool while keeping every observable output *identical* to the serial
-run:
+maps a trial function over a list of seeded task tuples with the
+fork-pool substrate (:mod:`repro.util.pool`) while keeping every
+observable output *identical* to the serial run:
 
-* results come back in task order, regardless of completion order;
+* results come back in task order, regardless of completion order
+  (:func:`repro.util.pool.fork_map`'s contract);
 * each worker runs its trial against a fresh metrics registry and ships
   the snapshot home; the parent folds the snapshots back into the
   shared registry in task order (see
@@ -23,67 +24,34 @@ Trials must therefore be *pure functions of their task tuple* (plus
 process-wide configuration like ``REPRO_SCALE``): no mutating shared
 state, no RNG outside the seeded streams.  Task tuples and results
 cross a process boundary, so both must pickle; when they cannot — or
-when the platform has no ``fork`` — :func:`run_trials` silently falls
-back to the serial loop, which is always correct, just slower.
+when the platform has no ``fork`` — the substrate silently falls back
+to the serial loop, which is always correct, just slower.
 
-Worker-count resolution (first match wins): the ``jobs=`` argument,
-:func:`set_default_jobs` (the CLI's ``--jobs`` flag), the
-``REPRO_JOBS`` environment variable, else 1 (serial).  A value of 0
-means "all CPU cores".
+Worker-count resolution lives in :mod:`repro.util.pool` (first match
+wins): the ``jobs=`` argument, :func:`set_default_jobs` (the CLI's
+``--jobs`` flag), the ``REPRO_JOBS`` environment variable, else 1
+(serial).  A value of 0 means "all CPU cores".  ``JOBS_ENV``,
+``resolve_jobs`` and ``set_default_jobs`` are re-exported here for
+compatibility with pre-split callers.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import multiprocessing.pool
-import os
-import pickle
 from typing import Any, Callable, List, Optional, Sequence
 
-#: Environment variable holding the default worker count.
-JOBS_ENV = "REPRO_JOBS"
+from repro.util.pool import (  # noqa: F401  (re-exported)
+    JOBS_ENV,
+    fork_map,
+    resolve_jobs,
+    set_default_jobs,
+)
 
-_default_jobs: Optional[int] = None
-
-#: The trial function of the in-flight pool, inherited by forked
-#: workers (set immediately before the fork, cleared after).  Doubles
-#: as a re-entrancy latch: a trial that itself calls run_trials —
-#: including inside a worker, where pools cannot nest — runs serially.
+#: The trial function of the in-flight sweep, inherited by forked
+#: workers (set immediately before the pool dispatch, cleared after).
+#: Doubles as a re-entrancy latch: a trial that itself calls
+#: run_trials — including inside a worker, where pools cannot nest —
+#: runs serially.
 _TRIAL_FN: Optional[Callable[[Any], Any]] = None
-
-
-def set_default_jobs(jobs: Optional[int]) -> None:
-    """Install a process-wide default worker count (the ``--jobs`` flag).
-
-    ``None`` clears the default, falling back to ``REPRO_JOBS``.
-    """
-    global _default_jobs
-    _default_jobs = None if jobs is None else int(jobs)
-
-
-def resolve_jobs(jobs: Optional[int] = None) -> int:
-    """The effective worker count: argument, default, env var, or 1.
-
-    0 (from any source) means "all CPU cores"; the result is always
-    >= 1.
-    """
-    if jobs is None:
-        jobs = _default_jobs
-    if jobs is None:
-        raw = os.environ.get(JOBS_ENV, "").strip()
-        if raw:
-            try:
-                jobs = int(raw)
-            except ValueError as exc:
-                raise ValueError(
-                    f"{JOBS_ENV} must be an integer, got {raw!r}"
-                ) from exc
-    if jobs is None:
-        return 1
-    jobs = int(jobs)
-    if jobs == 0:
-        jobs = os.cpu_count() or 1
-    return max(jobs, 1)
 
 
 def _invoke_trial(item: Any) -> Any:
@@ -102,8 +70,15 @@ def _invoke_trial(item: Any) -> Any:
     return result, snapshot
 
 
-def _run_serial(fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
-    return [fn(item) for item in items]
+def _invoke_trial_serial(item: Any) -> Any:
+    """Parent-side serial path: run the trial against the live registry.
+
+    No reset and no snapshot — serial trials feed the shared registry
+    directly, exactly as a plain loop would.
+    """
+    fn = _TRIAL_FN
+    assert fn is not None, "_invoke_trial_serial outside a run_trials call"
+    return fn(item), None
 
 
 def run_trials(
@@ -122,29 +97,14 @@ def run_trials(
     """
     global _TRIAL_FN
     items = list(items)
-    jobs = min(resolve_jobs(jobs), len(items))
-    if jobs <= 1 or _TRIAL_FN is not None:
-        return _run_serial(fn, items)
-    try:
-        ctx = multiprocessing.get_context("fork")
-    except ValueError:  # platform without fork (Windows): stay correct
-        return _run_serial(fn, items)
+    if _TRIAL_FN is not None:
+        # Nested sweep (possibly inside a worker): plain serial loop.
+        return [fn(item) for item in items]
     _TRIAL_FN = fn
     try:
-        with ctx.Pool(processes=jobs) as pool:
-            # chunksize=1: trial costs are uneven (detection runs stop
-            # on a sample-count condition), so fine-grained dispatch
-            # keeps the pool busy.
-            outcomes = pool.map(_invoke_trial, items, chunksize=1)
-    except (
-        pickle.PicklingError,            # unpicklable task tuple
-        multiprocessing.pool.MaybeEncodingError,  # unpicklable result
-        AttributeError,
-        TypeError,
-        OSError,                         # fork/pipe failure
-    ):
-        # Trials are pure, so re-running everything serially is safe.
-        return _run_serial(fn, items)
+        outcomes = fork_map(
+            _invoke_trial, items, jobs, serial_fn=_invoke_trial_serial
+        )
     finally:
         _TRIAL_FN = None
 

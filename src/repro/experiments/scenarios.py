@@ -20,6 +20,7 @@ from repro.sim.network import Flow, Simulation, SimulationConfig
 from repro.topology.mobility import RandomWaypoint
 from repro.topology.placement import (
     center_pair_indices,
+    constant_density_side,
     grid_positions,
     random_positions,
 )
@@ -53,6 +54,8 @@ class GridScenario:
     load: float = 0.6
     traffic: str = "poisson"      # "poisson" | "cbr"
     seed: int = 1
+    medium_index: str = "auto"    # "auto" | "grid" | "brute"
+    tile_partition: bool = False
 
     def build(self, policies: Policies = None, mac_options: MacOptions = None) -> BuildResult:
         """Returns ``(simulation, sender, monitor)``."""
@@ -75,7 +78,11 @@ class GridScenario:
             positions,
             flows=flows,
             policies=policies,
-            config=SimulationConfig(seed=self.seed),
+            config=SimulationConfig(
+                seed=self.seed,
+                medium_index=self.medium_index,
+                tile_partition=self.tile_partition,
+            ),
             mac_options=mac_options,
         )
         return sim, sender, monitor
@@ -99,6 +106,8 @@ class RandomScenario:
     max_speed: float = 20.0
     pause_time: float = 0.0
     seed: int = 1
+    medium_index: str = "auto"    # "auto" | "grid" | "brute"
+    tile_partition: bool = False
 
     def build(self, policies: Policies = None, mac_options: MacOptions = None) -> BuildResult:
         """Returns ``(simulation, sender, monitor)``."""
@@ -139,7 +148,11 @@ class RandomScenario:
             topology,
             flows=flows,
             policies=policies,
-            config=SimulationConfig(seed=self.seed),
+            config=SimulationConfig(
+                seed=self.seed,
+                medium_index=self.medium_index,
+                tile_partition=self.tile_partition,
+            ),
             mac_options=mac_options,
         )
         self._positions = positions
@@ -160,6 +173,111 @@ class RandomScenario:
         others.sort()
         self.pair_separation = others[0][0]
         return sender, others[0][1]
+
+    @property
+    def separation(self) -> Meters:
+        return getattr(self, "pair_separation", 240.0)
+
+
+@dataclass
+class RandomWaypointScenario:
+    """Constant-density random-waypoint topologies at 1k-10k nodes.
+
+    The paper's mobile setup (random waypoint, per-packet neighbor
+    destinations) scaled up: the field side grows with sqrt(n) so the
+    local contention structure — ~12 nodes per 550 m sensing disk, the
+    regime every detector number was calibrated in — is preserved at
+    any size (see :func:`repro.topology.placement.constant_density_side`).
+    Flow count scales the same way (the paper's 30 pairs per 112 nodes),
+    keeping per-area offered load constant.
+
+    ``n_nodes=1000`` and ``n_nodes=10000`` are the presets benchmarked
+    by ``bench_engine.py``; they are only tractable on the medium's
+    grid index (``medium_index="brute"`` exists as the equivalence and
+    speedup baseline).
+    """
+
+    n_nodes: int = 1000
+    n_pairs: Optional[int] = None   # None: scale the paper's 30/112
+    load: float = 0.6
+    traffic: str = "poisson"
+    max_speed: float = 20.0
+    pause_time: float = 0.0
+    epoch_interval_s: float = 0.5
+    seed: int = 1
+    medium_index: str = "auto"      # "auto" | "grid" | "brute"
+    tile_partition: bool = False
+
+    @property
+    def side(self) -> Meters:
+        """Field side preserving the paper's reference density."""
+        return constant_density_side(self.n_nodes)
+
+    @property
+    def flow_count(self) -> int:
+        if self.n_pairs is not None:
+            return self.n_pairs
+        return max(round(30 * self.n_nodes / 112), 1)
+
+    def build(
+        self, policies: Policies = None, mac_options: MacOptions = None
+    ) -> BuildResult:
+        """Returns ``(simulation, sender, monitor)``."""
+        side = self.side
+        place_rng = RngStream(self.seed, "rwp-placement")
+        positions = random_positions(self.n_nodes, side, side, rng=place_rng)
+        center = (side / 2.0, side / 2.0)
+        sender = min(
+            range(len(positions)), key=lambda i: distance(positions[i], center)
+        )
+        others = sorted(
+            (distance(positions[i], positions[sender]), i)
+            for i in range(len(positions))
+            if i != sender
+        )
+        self.pair_separation = others[0][0]
+        monitor = others[0][1]
+        rng = RngStream(self.seed, "rwp-flow-sources")
+        sources = _flow_sources(
+            self.n_nodes, self.flow_count, sender, monitor, rng
+        )
+        # Mobile flows re-pick an in-range neighbor per packet — a
+        # fixed pair would separate within a handful of epochs.
+        flows = [
+            Flow(
+                source=src,
+                destination=None,
+                kind=self.traffic,
+                load=self.load,
+                per_packet_destination=True,
+            )
+            for src in sources
+        ]
+        topology = RandomWaypoint(
+            positions,
+            width=side,
+            height=side,
+            max_speed=self.max_speed,
+            pause_time=self.pause_time,
+            rng=RngStream(self.seed, "rwp-waypoints"),
+        )
+        sim = Simulation(
+            topology,
+            flows=flows,
+            policies=policies,
+            config=SimulationConfig(
+                seed=self.seed,
+                epoch_interval_s=self.epoch_interval_s,
+                medium_index=self.medium_index,
+                tile_partition=self.tile_partition,
+            ),
+            mac_options=mac_options,
+        )
+        return sim, sender, monitor
+
+    @property
+    def mobile(self) -> bool:
+        return True
 
     @property
     def separation(self) -> Meters:

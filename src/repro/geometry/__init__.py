@@ -12,11 +12,14 @@ from repro.geometry.circles import (
     crescent_area,
 )
 from repro.geometry.regions import RegionModel, SensingRegions
+from repro.geometry.spatial import SpatialGrid, cell_size_for_radius
 from repro.geometry.vectors import distance, midpoint
 
 __all__ = [
     "RegionModel",
     "SensingRegions",
+    "SpatialGrid",
+    "cell_size_for_radius",
     "circle_area",
     "circle_intersection_area",
     "crescent_area",

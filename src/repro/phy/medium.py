@@ -5,10 +5,31 @@ It tracks which nodes are transmitting (and until which slot), and
 answers, per node, the question the DCF asks every slot boundary: *do I
 sense the channel busy right now, and if so until when?*
 
-Spatial reachability (who senses / can decode whom) is precomputed into
-adjacency sets whenever node positions change; with at most a few hundred
-nodes the O(n^2) rebuild is cheap against the cost of querying it on
-every channel-state transition.
+Spatial reachability (who senses / can decode whom) has two
+interchangeable index modes:
+
+* ``"brute"`` — the original all-pairs precompute: every
+  ``update_positions`` rebuilds full adjacency sets in O(n²).  Exact
+  for any propagation model and the reference the grid mode is tested
+  against.
+* ``"grid"`` — a uniform spatial hash
+  (:class:`repro.geometry.spatial.SpatialGrid`) with cell size derived
+  from the maximum effective sensing radius.  ``update_positions``
+  becomes incremental (only nodes that crossed a cell boundary
+  reindex) and adjacency is computed *lazily per node* from the 3×3
+  cell neighborhood, so an epoch costs O(moved) + O(candidates of the
+  nodes actually queried) instead of O(n²).  Because the grid only
+  prunes provably out-of-range pairs and every candidate is re-checked
+  with the exact :meth:`Channel.link_state` predicate, query results
+  are set-identical to brute force (``tests/test_spatial.py``).
+
+Mode selection (the ``index`` constructor argument) defaults to
+``"auto"``: grid whenever the propagation model declares a finite
+:meth:`~repro.phy.propagation.PropagationModel.range_scale_bound`
+(free space, zero-sigma shadowing), brute otherwise — log-normal
+shadowing margins are unbounded, and its lazily-drawn per-pair RNG
+stream also depends on query order, so only the eager all-pairs scan
+reproduces its committed fingerprints.
 
 Carrier-sense state is *incremental*: every ``start_transmission`` /
 ``end_transmission`` / ``extend_transmission`` updates, for each node
@@ -30,7 +51,10 @@ Invariants the incremental state maintains (see
 * ``_busy_heaps[listener]`` contains one entry per (transmission,
   end-slot version); ends only ever grow (``extend_transmission``), so
   the heap top with a matching live end slot is the true maximum and
-  stale entries are discarded lazily;
+  stale entries are discarded lazily — and whenever the stale fraction
+  exceeds the live entry count (plus slack), the heap is compacted by
+  rebuilding it from the live tracked set, keeping heap size O(active)
+  even on long runs where a listener's sensed set never empties;
 * both structures are rebuilt from scratch on ``update_positions``
   (mobility epochs), because reachability itself changed.
 """
@@ -40,10 +64,28 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 from types import MappingProxyType
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
 
+from repro.geometry.spatial import SpatialGrid, cell_size_for_radius
 from repro.phy.channel import Channel, Point
 from repro.util.units import Slots
+
+#: Stale-entry slack before a busy-until heap is compacted: a heap may
+#: hold up to ``2 * live + _HEAP_COMPACT_SLACK`` entries before it is
+#: rebuilt from the live tracked set.
+_HEAP_COMPACT_SLACK = 16
+
+_EMPTY_SET: FrozenSet[int] = frozenset()
 
 
 @dataclass
@@ -76,12 +118,40 @@ class Transmission:
 
 
 class Medium:
-    """Tracks active transmissions and per-node carrier sensing."""
+    """Tracks active transmissions and per-node carrier sensing.
 
-    def __init__(self, channel: Channel) -> None:
+    ``index`` selects the reachability index: ``"auto"`` (grid when the
+    propagation model has a finite range-scale bound, brute otherwise),
+    ``"grid"`` (requires a finite bound) or ``"brute"`` (always valid).
+    """
+
+    def __init__(self, channel: Channel, index: str = "auto") -> None:
+        if index not in ("auto", "grid", "brute"):
+            raise ValueError(
+                f"index must be 'auto', 'grid' or 'brute', got {index!r}"
+            )
         self.channel = channel
+        bound = channel.propagation.range_scale_bound()
+        if index == "grid" and bound is None:
+            raise ValueError(
+                "index='grid' requires a propagation model with a finite "
+                "range_scale_bound(); unbounded shadowing margins need the "
+                "all-pairs index"
+            )
+        use_grid = index == "grid" or (index == "auto" and bound is not None)
+        #: Resolved index mode, ``"grid"`` or ``"brute"``.
+        self.index_mode: str = "grid" if use_grid else "brute"
+        self._grid: Optional[SpatialGrid] = None
+        if use_grid:
+            assert bound is not None
+            max_radius = (
+                max(channel.transmission_range, channel.sensing_range) * bound
+            )
+            self._grid = SpatialGrid(cell_size_for_radius(max_radius))
         self._positions: Dict[int, Point] = {}
-        #: node_id -> set of node_ids whose transmissions it senses
+        #: node_id -> set of node_ids whose transmissions it senses.
+        #: Brute mode: fully populated on update_positions.  Grid mode:
+        #: filled lazily per queried node from the 3x3 candidates.
         self._sensed_from: Dict[int, Set[int]] = {}
         #: node_id -> set of node_ids that sense *its* transmissions
         self._sensed_by: Dict[int, Set[int]] = {}
@@ -107,14 +177,43 @@ class Medium:
     # -- topology ----------------------------------------------------------
 
     def update_positions(self, positions: Mapping[int, Point]) -> None:
-        """Install new node positions and rebuild reachability sets.
+        """Install new node positions and refresh reachability state.
 
         ``positions`` maps node id -> (x, y).  Call once at setup and
-        again at every mobility epoch.  Reachability changed, so the
+        again at every mobility epoch.  Brute mode rebuilds the full
+        adjacency sets; grid mode incrementally re-buckets only the
+        nodes that crossed a cell boundary and invalidates the lazy
+        per-node adjacency.  Reachability changed either way, so the
         incremental carrier-sense indexes are rebuilt from the active
         transmissions as well.
         """
         self._positions = dict(positions)
+        if self._grid is not None:
+            self._grid.update(self._positions)
+            self._sensed_from = {}
+            self._sensed_by = {}
+            self._decodes_from = {}
+        else:
+            self._rebuild_all_pairs()
+        self._neighbors_cache.clear()
+        self._sensed_sources_cache.clear()
+        self._sensors_cache.clear()
+        self._rebuild_sensing_index()
+        # Lazy import: repro.obs is cross-cutting; active_tracer() is
+        # None unless the process-wide flight recorder is switched on.
+        from repro.obs.trace import PID_ENGINE, active_tracer
+
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.instant(
+                "medium.reconcile",
+                pid=PID_ENGINE,
+                category="medium",
+                args={"nodes": len(self._positions)},
+            )
+
+    def _rebuild_all_pairs(self) -> None:
+        """Brute mode: precompute every adjacency set in O(n²)."""
         ids = sorted(self._positions)
         self._sensed_from = {i: set() for i in ids}
         self._sensed_by = {i: set() for i in ids}
@@ -137,22 +236,105 @@ class Medium:
                     self._sensed_by[b].add(a)
                 if state_ba.decodable:
                     self._decodes_from[a].add(b)
-        self._neighbors_cache.clear()
-        self._sensed_sources_cache.clear()
-        self._sensors_cache.clear()
-        self._rebuild_sensing_index()
-        # Lazy import: repro.obs is cross-cutting; active_tracer() is
-        # None unless the process-wide flight recorder is switched on.
-        from repro.obs.trace import PID_ENGINE, active_tracer
 
-        tracer = active_tracer()
-        if tracer is not None:
-            tracer.instant(
-                "medium.reconcile",
-                pid=PID_ENGINE,
-                category="medium",
-                args={"nodes": len(self._positions)},
+    def _compute_adjacency(self, node_id: int) -> None:
+        """Grid mode: fill one node's adjacency from its 3×3 candidates.
+
+        Every candidate is re-checked with the exact link predicate in
+        both directions, so the resulting sets match the brute-force
+        scan exactly; the grid only prunes pairs provably out of range.
+        """
+        grid = self._grid
+        assert grid is not None, "_compute_adjacency outside grid mode"
+        positions = self._positions
+        position = positions[node_id]
+        link_state = self.channel.link_state
+        sensed_from: Set[int] = set()
+        sensed_by: Set[int] = set()
+        decodes_from: Set[int] = set()
+        for other in grid.candidates_of(node_id):
+            other_position = positions[other]
+            inbound = link_state(other, other_position, node_id, position)
+            if inbound.sensed:
+                sensed_from.add(other)
+            if inbound.decodable:
+                decodes_from.add(other)
+            outbound = link_state(node_id, position, other, other_position)
+            if outbound.sensed:
+                sensed_by.add(other)
+        self._sensed_from[node_id] = sensed_from
+        self._sensed_by[node_id] = sensed_by
+        self._decodes_from[node_id] = decodes_from
+
+    def _sensed_from_set(self, node_id: int) -> AbstractSet[int]:
+        """Nodes ``node_id`` senses (lazily computed in grid mode)."""
+        cached = self._sensed_from.get(node_id)
+        if cached is not None:
+            return cached
+        if self._grid is None or node_id not in self._positions:
+            return _EMPTY_SET
+        self._compute_adjacency(node_id)
+        return self._sensed_from[node_id]
+
+    def _sensed_by_set(self, node_id: int) -> AbstractSet[int]:
+        """Nodes that sense ``node_id`` (lazily computed in grid mode)."""
+        cached = self._sensed_by.get(node_id)
+        if cached is not None:
+            return cached
+        if self._grid is None or node_id not in self._positions:
+            return _EMPTY_SET
+        self._compute_adjacency(node_id)
+        return self._sensed_by[node_id]
+
+    def _decodes_from_set(self, node_id: int) -> AbstractSet[int]:
+        """Nodes ``node_id`` can decode (lazily computed in grid mode)."""
+        cached = self._decodes_from.get(node_id)
+        if cached is not None:
+            return cached
+        if self._grid is None or node_id not in self._positions:
+            return _EMPTY_SET
+        self._compute_adjacency(node_id)
+        return self._decodes_from[node_id]
+
+    def adjacency_snapshot(
+        self, node_ids: Iterable[int]
+    ) -> List[Tuple[int, List[int], List[int], List[int]]]:
+        """Sorted adjacency lists for ``node_ids`` (computing if needed).
+
+        Returns ``(node_id, sensed_from, sensed_by, decodes_from)``
+        tuples with each list sorted — a canonical, picklable form used
+        by the tile-partition prewarm to compute adjacency in forked
+        workers and ship it back (:mod:`repro.sim.partition`).
+        """
+        return [
+            (
+                node_id,
+                sorted(self._sensed_from_set(node_id)),
+                sorted(self._sensed_by_set(node_id)),
+                sorted(self._decodes_from_set(node_id)),
             )
+            for node_id in node_ids
+        ]
+
+    def install_adjacency(
+        self,
+        node_id: int,
+        sensed_from: Iterable[int],
+        sensed_by: Iterable[int],
+        decodes_from: Iterable[int],
+    ) -> None:
+        """Install one node's adjacency sets (the prewarm write-back).
+
+        The sets must hold exactly what :meth:`_compute_adjacency`
+        would produce for the current positions — the caller computed
+        them (possibly in a forked worker) from this same medium state.
+        """
+        self._sensed_from[node_id] = set(sensed_from)
+        self._sensed_by[node_id] = set(sensed_by)
+        self._decodes_from[node_id] = set(decodes_from)
+        self._neighbors_cache.pop(node_id, None)
+        self._sensed_sources_cache.pop(node_id, None)
+        self._sensors_cache.pop(node_id, None)
 
     def _rebuild_sensing_index(self) -> None:
         """Recompute the incremental indexes under the new adjacency."""
@@ -177,7 +359,7 @@ class Medium:
         cached = self._neighbors_cache.get(node_id)
         if cached is None:
             cached = self._neighbors_cache[node_id] = frozenset(
-                self._decodes_from.get(node_id, ())
+                self._decodes_from_set(node_id)
             )
         return cached
 
@@ -186,7 +368,7 @@ class Medium:
         cached = self._sensed_sources_cache.get(node_id)
         if cached is None:
             cached = self._sensed_sources_cache[node_id] = frozenset(
-                self._sensed_from.get(node_id, ())
+                self._sensed_from_set(node_id)
             )
         return cached
 
@@ -195,12 +377,12 @@ class Medium:
         cached = self._sensors_cache.get(node_id)
         if cached is None:
             cached = self._sensors_cache[node_id] = frozenset(
-                self._sensed_by.get(node_id, ())
+                self._sensed_by_set(node_id)
             )
         return cached
 
     def can_decode(self, sender: int, receiver: int) -> bool:
-        return sender in self._decodes_from.get(receiver, ())
+        return sender in self._decodes_from_set(receiver)
 
     def clean_decode(self, sender: int, receiver: int) -> bool:
         """True iff ``receiver`` can decode ``sender``'s frame right now.
@@ -218,7 +400,7 @@ class Medium:
         )
 
     def senses(self, transmitter: int, listener: int) -> bool:
-        return transmitter in self._sensed_from.get(listener, ())
+        return transmitter in self._sensed_from_set(listener)
 
     # -- transmissions -----------------------------------------------------
 
@@ -231,7 +413,7 @@ class Medium:
         entry = (-tx.end_slot, tx_id)
         sensed_active = self._sensed_active
         busy_heaps = self._busy_heaps
-        for listener in self._sensed_by.get(sender, ()):
+        for listener in self._sensed_by_set(sender):
             tracked = sensed_active.get(listener)
             if tracked is None:
                 tracked = sensed_active[listener] = {}
@@ -246,7 +428,9 @@ class Medium:
 
         Heap entries are left behind and pruned lazily by
         :meth:`busy_until`; when a listener's sensed set empties, its
-        heap is cleared outright (every entry is stale by definition).
+        heap is cleared outright (every entry is stale by definition),
+        and otherwise the heap is compacted once stale entries outgrow
+        the live ones (see :meth:`_maybe_compact_heap`).
         """
         sender = tx.sender
         count = self._tx_count[sender] - 1
@@ -255,7 +439,7 @@ class Medium:
         else:
             del self._tx_count[sender]
         self._handshakes.pop(tx_id, None)
-        for listener in self._sensed_by.get(sender, ()):
+        for listener in self._sensed_by_set(sender):
             tracked = self._sensed_active.get(listener)
             if tracked is None:
                 continue
@@ -264,6 +448,26 @@ class Medium:
                 heap = self._busy_heaps.get(listener)
                 if heap:
                     heap.clear()
+            else:
+                self._maybe_compact_heap(listener, tracked)
+
+    def _maybe_compact_heap(self, listener: int, tracked: Dict[int, int]) -> None:
+        """Rebuild a busy-until heap once stale entries dominate.
+
+        A heap legitimately holds up to two entries per live
+        transmission (the original end plus one extension); beyond
+        ``2 * live + slack`` everything extra is garbage from ended
+        transmissions, so rebuild from the live tracked set.  This
+        bounds heap size at O(active sensed transmissions) even on
+        long runs where ``tracked`` never empties (the lazy-deletion
+        path alone only clears a heap at that point).
+        """
+        heap = self._busy_heaps.get(listener)
+        if heap is None or len(heap) <= 2 * len(tracked) + _HEAP_COMPACT_SLACK:
+            return
+        active = self._active
+        heap[:] = [(-active[t].end_slot, t) for t in tracked]
+        heapq.heapify(heap)
 
     def start_transmission(self, transmission: Transmission) -> int:
         """Register a transmission; returns its medium-assigned id."""
@@ -308,10 +512,13 @@ class Medium:
                 self._handshakes.pop(tx_id, None)
         if grew:
             entry = (-end_slot, tx_id)
-            for listener in self._sensed_by.get(tx.sender, ()):
+            for listener in self._sensed_by_set(tx.sender):
                 heap = self._busy_heaps.get(listener)
                 if heap is not None:
                     heapq.heappush(heap, entry)
+                    tracked = self._sensed_active.get(listener)
+                    if tracked:
+                        self._maybe_compact_heap(listener, tracked)
         return tx
 
     def active_transmissions(self) -> Iterable[Transmission]:

@@ -66,6 +66,19 @@ class PropagationModel(ABC):
     def path_loss_exponent(self) -> float:
         """The path-loss exponent beta."""
 
+    def range_scale_bound(self) -> Optional[float]:
+        """Upper bound on ``effective_range / nominal_range``, if finite.
+
+        A finite bound lets :class:`repro.phy.medium.Medium` size a
+        spatial-grid cell that provably covers every reachable link
+        (``None`` means the margins are unbounded — log-normal
+        shadowing draws Gaussian dB deviates with no upper limit — and
+        range queries must fall back to the all-pairs scan).  The
+        default is conservative: models that do not override this are
+        treated as unbounded.
+        """
+        return None
+
 
 class FreeSpacePropagation(PropagationModel):
     """Deterministic free-space propagation (beta = 2, sigma = 0).
@@ -86,6 +99,10 @@ class FreeSpacePropagation(PropagationModel):
 
     def refresh(self) -> None:
         pass
+
+    def range_scale_bound(self) -> Optional[float]:
+        # Zero margin on every link: effective range == nominal range.
+        return 1.0
 
 
 class LogNormalShadowing(PropagationModel):
@@ -127,6 +144,11 @@ class LogNormalShadowing(PropagationModel):
 
     def refresh(self) -> None:
         self._margins.clear()
+
+    def range_scale_bound(self) -> Optional[float]:
+        # Gaussian margins are unbounded for sigma > 0; with sigma == 0
+        # the model degenerates to free space.
+        return 1.0 if self.sigma_db == 0 else None
 
     @staticmethod
     def _normalize(pair_key: Tuple[int, int]) -> Tuple[int, int]:

@@ -63,6 +63,7 @@ if TYPE_CHECKING:  # pragma: no cover - import-time only
     from repro.mac.dcf import DcfMac
     from repro.obs.listener import MetricsListener
     from repro.phy.medium import Medium
+    from repro.sim.partition import TilePartition
     from repro.topology.mobility import MobilityModel
 
 _Event = Tuple[int, int, int, Any]
@@ -99,6 +100,14 @@ class SimulationEngine:
     epoch_interval_s:
         Interval between mobility epochs (position + reachability
         rebuild), in seconds.
+    partition:
+        Optional :class:`repro.sim.partition.TilePartition`.  When set,
+        the reconcile pass advances nodes tile-by-tile (interiors
+        first, then the boundary band) and the partition prewarms
+        per-tile adjacency through the fork pool at every mobility
+        epoch.  Observable output is byte-identical with and without a
+        partition, and for any worker count (see
+        :mod:`repro.sim.partition` for the argument).
     """
 
     def __init__(
@@ -110,8 +119,10 @@ class SimulationEngine:
         mobility: Optional["MobilityModel"] = None,
         epoch_interval_s: float = 0.5,
         listeners: Optional[Iterable[SimulationListener]] = None,
+        partition: Optional["TilePartition"] = None,
     ) -> None:
         self.medium = medium
+        self.partition = partition
         self.macs: Dict[int, "DcfMac"] = dict(macs)
         self.timing = timing
         # The slot conversions behind these MacTiming properties walk a
@@ -294,6 +305,8 @@ class SimulationEngine:
         time_s = slot * self.timing.slot_time_us / 1e6
         positions = self.mobility.positions_at(time_s)
         self.medium.update_positions(positions)
+        if self.partition is not None:
+            self.partition.on_positions_updated(self.medium)
         for hook in self._positions_hooks:
             hook(slot, positions, self.medium)
         self.schedule(slot + self.epoch_slots, EventKind.MOBILITY_EPOCH)
@@ -367,10 +380,26 @@ class SimulationEngine:
         # it reads MAC state through direct attributes (``transmitting``,
         # ``backoff.remaining``/``anchor``) rather than the enum-valued
         # ``state`` property, which dominates the profile otherwise.
+        #
+        # Two phases.  *Advance* (the loop): freeze / draw / resume each
+        # affected node — per-node mutations against per-node state and
+        # PRNGs, commuting across nodes, in sorted order (or the
+        # partition's tile-by-tile order, which a sharded loop would
+        # use).  *Schedule* (the tail): push the collected completions
+        # in ascending node-id order.  Only the schedule phase threads
+        # shared state (the event sequence counter), so fixing its
+        # order makes the serial, grid-indexed and tile-partitioned
+        # paths byte-identical by construction.
         macs = self.macs
         senses_busy = self.medium.senses_busy
         resume_anchor = slot + self._difs_slots
-        for node_id in affected:
+        partition = self.partition
+        if partition is None:
+            order = sorted(affected)
+        else:
+            order = partition.advance_order(affected)
+        completions: List[Tuple[int, Slots, int]] = []
+        for node_id in order:
             mac = macs.get(node_id)
             if mac is None or mac.transmitting:
                 continue
@@ -382,9 +411,12 @@ class SimulationEngine:
             if senses_busy(node_id):
                 backoff.freeze(slot)
             elif backoff.anchor is None:
-                completion = backoff.resume(resume_anchor)
-                self.schedule(
-                    completion,
-                    EventKind.COUNTDOWN_COMPLETE,
-                    (node_id, backoff.generation),
+                completions.append(
+                    (node_id, backoff.resume(resume_anchor), backoff.generation)
                 )
+        if partition is not None:
+            completions.sort()
+        for node_id, completion, generation in completions:
+            self.schedule(
+                completion, EventKind.COUNTDOWN_COMPLETE, (node_id, generation)
+            )

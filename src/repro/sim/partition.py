@@ -1,0 +1,199 @@
+"""Spatial tile partitioning of the slot loop.
+
+The engine's per-slot reconcile pass advances the back-off machinery of
+every *affected* node.  Those per-node advances commute: each one
+mutates only its own MAC's state (freeze / draw / resume against the
+node's private PRNG) and reads the medium's carrier-sense state, which
+the reconcile pass never writes.  The only shared mutation — pushing
+COUNTDOWN_COMPLETE events onto the engine heap, which threads the
+global event sequence counter — is therefore split out: the engine
+advances nodes in whatever grouping the partition dictates, *collects*
+the resulting completions, and schedules them in ascending node-id
+order.  That final order equals the serial ``sorted(affected)``
+iteration exactly, so metrics/audit/verdict fingerprints are
+byte-identical across tile layouts and worker counts by construction
+(``tests/test_partition_fingerprints.py`` pins this at jobs 1/2/4).
+
+:class:`TilePartition` supplies the grouping: vertical strips of width
+``tile_width`` (a multiple of the maximum sensing radius), with nodes
+within ``margin`` of a strip edge classified as *boundary* — the set
+whose channel state can couple adjacent tiles.  ``advance_order``
+yields interior nodes tile-by-tile, then all boundary nodes; the
+structure is what a sharded engine advances concurrently per tile
+before a single boundary pass.
+
+The partition also owns the one genuinely parallel piece of epoch work:
+at every mobility epoch, :meth:`prewarm` computes the lazy grid-mode
+adjacency of all nodes tile-by-tile through the fork-pool substrate
+(:func:`repro.util.pool.fork_map`) and installs the results in
+deterministic tile order.  Workers ship back canonical *sorted*
+adjacency lists, so the installed sets do not depend on the worker
+count; with one job the prewarm is skipped entirely and the medium's
+lazy per-query path (same predicate, same sets) takes over.  On a
+single-core host the fork overhead exceeds the win — as with the PR 3
+trial pool, the value is that multi-core hosts scale without any
+change in observable output.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set
+
+from repro.util.pool import fork_map, resolve_jobs
+from repro.util.units import Meters
+from repro.util.validation import check_positive
+
+if TYPE_CHECKING:  # pragma: no cover - import-time only
+    from repro.phy.channel import Channel
+    from repro.phy.medium import Medium
+
+
+class TilePartition:
+    """Vertical-strip spatial partition with boundary classification.
+
+    Parameters
+    ----------
+    tile_width:
+        Strip width in meters; must exceed ``2 * margin`` so interiors
+        are non-empty.
+    margin:
+        Half-width of the boundary band at each strip edge.  Use the
+        maximum effective sensing radius: an interior node is then
+        provably out of sensing range of every node in other tiles.
+    jobs:
+        Worker count for :meth:`prewarm` (``None``: the process-wide
+        default, see :func:`repro.util.pool.resolve_jobs`).
+    """
+
+    def __init__(
+        self,
+        tile_width: Meters,
+        margin: Meters,
+        jobs: Optional[int] = None,
+    ) -> None:
+        check_positive(tile_width, "tile_width")
+        check_positive(margin, "margin")
+        if tile_width <= 2 * margin:
+            raise ValueError(
+                f"tile_width ({tile_width}) must exceed twice the margin "
+                f"({margin}) or every node is boundary"
+            )
+        self.tile_width = float(tile_width)
+        self.margin = float(margin)
+        self.jobs = jobs
+        #: node_id -> tile index (column)
+        self._tile_of: Dict[int, int] = {}
+        #: node ids within ``margin`` of a tile edge
+        self._boundary: Set[int] = set()
+        #: tile index -> sorted node ids (interior and boundary alike)
+        self._tiles: Dict[int, List[int]] = {}
+
+    @classmethod
+    def for_channel(
+        cls,
+        channel: "Channel",
+        span: float = 4.0,
+        jobs: Optional[int] = None,
+    ) -> "TilePartition":
+        """A partition sized from a channel's maximum sensing reach.
+
+        ``span`` is the tile width in units of the margin (must be
+        > 2).  Requires a propagation model with a finite range-scale
+        bound — the same condition as the medium's grid index.
+        """
+        bound = channel.propagation.range_scale_bound()
+        if bound is None:
+            raise ValueError(
+                "tile partitioning requires a propagation model with a "
+                "finite range_scale_bound()"
+            )
+        margin = max(channel.transmission_range, channel.sensing_range) * bound
+        return cls(tile_width=span * margin, margin=margin, jobs=jobs)
+
+    # -- membership --------------------------------------------------------
+
+    def rebuild(self, medium: "Medium") -> None:
+        """Recompute tile membership from the medium's positions."""
+        tile_width = self.tile_width
+        margin = self.margin
+        tile_of: Dict[int, int] = {}
+        boundary: Set[int] = set()
+        tiles: Dict[int, List[int]] = {}
+        for node_id in sorted(medium.positions):
+            x = medium.positions[node_id][0]
+            tile = int(math.floor(x / tile_width))
+            tile_of[node_id] = tile
+            tiles.setdefault(tile, []).append(node_id)
+            offset = x - tile * tile_width
+            if offset < margin or tile_width - offset < margin:
+                boundary.add(node_id)
+        self._tile_of = tile_of
+        self._boundary = boundary
+        self._tiles = tiles
+
+    @property
+    def tile_count(self) -> int:
+        return len(self._tiles)
+
+    @property
+    def boundary_count(self) -> int:
+        return len(self._boundary)
+
+    def advance_order(self, affected: Iterable[int]) -> List[int]:
+        """Deterministic advance order: per-tile interiors, then boundary.
+
+        Nodes the partition has not seen (empty partition, nodes added
+        since the last rebuild) are treated as boundary.  Because the
+        engine's advance phase commutes node-for-node and completions
+        are scheduled separately in node-id order, any grouping yields
+        identical observable output — this one is the order a sharded
+        loop would use.
+        """
+        tile_of = self._tile_of
+        boundary = self._boundary
+        interior: Dict[int, List[int]] = {}
+        tail: List[int] = []
+        for node_id in sorted(affected):
+            tile = tile_of.get(node_id)
+            if tile is None or node_id in boundary:
+                tail.append(node_id)
+            else:
+                interior.setdefault(tile, []).append(node_id)
+        order: List[int] = []
+        for tile in sorted(interior):
+            order.extend(interior[tile])
+        order.extend(tail)
+        return order
+
+    # -- epoch prewarm -----------------------------------------------------
+
+    def prewarm(self, medium: "Medium") -> None:
+        """Compute per-tile adjacency through the fork pool and install it.
+
+        Workers inherit the post-``update_positions`` medium through
+        ``fork``, compute each tile's adjacency with the exact same
+        lazy path a query would take, and return canonical sorted
+        lists; the parent installs them in ascending tile order.  Set
+        *content* is what queries consume downstream (every
+        order-sensitive consumer sorts), so jobs = 1 (skip, stay lazy)
+        and jobs = N produce byte-identical runs.
+        """
+        jobs = resolve_jobs(self.jobs)
+        if jobs <= 1 or not self._tiles:
+            return
+
+        def compute(nodes: List[int]) -> List[tuple]:
+            return medium.adjacency_snapshot(nodes)
+
+        tiles = [self._tiles[tile] for tile in sorted(self._tiles)]
+        for snapshot in fork_map(compute, tiles, jobs):
+            for node_id, sensed_from, sensed_by, decodes_from in snapshot:
+                medium.install_adjacency(
+                    node_id, sensed_from, sensed_by, decodes_from
+                )
+
+    def on_positions_updated(self, medium: "Medium") -> None:
+        """Epoch hook: refresh membership, then prewarm adjacency."""
+        self.rebuild(medium)
+        self.prewarm(medium)

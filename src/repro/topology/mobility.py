@@ -48,7 +48,13 @@ class StaticMobility(MobilityModel):
 
 @dataclass
 class _Leg:
-    """One segment of a waypoint trajectory: travel then pause."""
+    """One segment of a waypoint trajectory: travel then pause.
+
+    ``travel_time`` and ``end_time`` are computed once at construction:
+    ``positions_at`` re-reads them for every node at every epoch, and
+    at 10k nodes the repeated distance/sqrt is pure waste — a leg's
+    endpoints never change.
+    """
 
     start_time: float
     start: tuple
@@ -56,14 +62,10 @@ class _Leg:
     speed: float
     pause: float
 
-    @property
-    def travel_time(self):
+    def __post_init__(self):
         d = distance(self.start, self.end)
-        return d / self.speed if self.speed > 0 else 0.0
-
-    @property
-    def end_time(self):
-        return self.start_time + self.travel_time + self.pause
+        self.travel_time = d / self.speed if self.speed > 0 else 0.0
+        self.end_time = self.start_time + self.travel_time + self.pause
 
     def position_at(self, time_s):
         elapsed = time_s - self.start_time

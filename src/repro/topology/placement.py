@@ -8,7 +8,13 @@ that the network has a high probability of being strongly connected").
 
 from __future__ import annotations
 
+import math
+
 from repro.util.validation import check_positive
+
+#: The paper's random-field reference density: 112 nodes in 3000 m².
+REFERENCE_NODES = 112
+REFERENCE_SIDE = 3000.0
 
 
 def grid_positions(rows=7, cols=8, spacing=240.0, origin=(0.0, 0.0)):
@@ -42,6 +48,24 @@ def random_positions(count, width=3000.0, height=3000.0, rng=None):
     if rng is None:
         raise ValueError("random_positions requires an explicit RngStream")
     return [rng.random_point(width, height) for _ in range(count)]
+
+
+def constant_density_side(
+    n_nodes, reference_nodes=REFERENCE_NODES, reference_side=REFERENCE_SIDE
+):
+    """Square-field side holding the paper's node density at ``n_nodes``.
+
+    The 112-node 3000 m x 3000 m reference field has ~12 nodes within a
+    550 m sensing disk; scaling the side with sqrt(n) keeps that local
+    contention structure intact while the topology grows to 1k-10k
+    nodes (1000 -> ~8964 m, 10000 -> ~28347 m).  Growing node count
+    *without* growing the field would instead saturate every channel
+    and measure a different (fully-coupled) regime.
+    """
+    check_positive(n_nodes, "n_nodes")
+    check_positive(reference_nodes, "reference_nodes")
+    check_positive(reference_side, "reference_side")
+    return reference_side * math.sqrt(n_nodes / reference_nodes)
 
 
 def center_pair_indices(rows=7, cols=8):

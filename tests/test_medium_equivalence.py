@@ -125,6 +125,49 @@ def test_random_sequences_match_brute_force(seed):
         _assert_equivalent(medium, reference, node_ids)
 
 
+def test_busy_heap_stays_bounded_on_long_runs():
+    """Lazy deletion must not leak: heaps stay O(active transmissions).
+
+    The busy-until heaps never eagerly remove ended or superseded
+    entries; without periodic compaction a long mobile run with one
+    persistent sensed transmission accumulates one stale tuple per
+    ended/extended transmission forever.  The compaction threshold is
+    ``2 * len(tracked) + slack``, so with a single live transmission
+    the heap must stay a small constant regardless of churn.
+    """
+    rng = RngStream(13, "medium-heap-growth")
+    medium = Medium(Channel())
+    medium.update_positions({0: (0, 0), 1: (100, 0), 2: (200, 0)})
+    listener = 1
+    # One persistent transmission keeps listener 1's tracked set
+    # non-empty, so stale entries cannot be cleared by the
+    # everything-ended fast path.
+    persistent = Transmission(sender=0, receiver=1, start_slot=0, end_slot=10**9)
+    persistent_id = medium.start_transmission(persistent)
+    clock = 0
+    max_heap = 0
+    for _cycle in range(2000):
+        clock += 1
+        tx = Transmission(
+            sender=2,
+            receiver=1,
+            start_slot=clock,
+            end_slot=clock + 1 + rng.integers(0, 5),
+        )
+        tx_id = medium.start_transmission(tx)
+        if rng.integers(0, 2):
+            medium.extend_transmission(tx_id, tx.end_slot + rng.integers(0, 5))
+        medium.end_transmission(tx_id)
+        tracked = medium._sensed_active[listener]
+        heap = medium._busy_heaps[listener]
+        assert len(heap) <= 2 * len(tracked) + 16
+        max_heap = max(max_heap, len(heap))
+        assert medium.busy_until(listener) == persistent.end_slot
+    assert max_heap <= 2 * 2 + 16  # never more than two live transmissions
+    medium.end_transmission(persistent_id)
+    assert medium.busy_until(listener) is None
+
+
 def test_extend_keeps_busy_until_exact():
     """Superseded heap entries must never resurface as busy_until."""
     rng = RngStream(5, "medium-extend")
