@@ -10,7 +10,7 @@ pass checks the declared DAG on every run:
 .. code-block:: text
 
     util < geometry/traffic < phy/topology < mac < faults < sim
-         < routing < core < experiments < analysis < cli
+         < routing < core < experiments < analysis/serve < cli
 
 * **RPR701** — a module imports from a *higher* layer (module scope;
   ``if TYPE_CHECKING:`` imports and lazy function-scoped imports of
@@ -51,6 +51,7 @@ LAYER_RANKS: Dict[str, int] = {
     "repro.core": 7,
     "repro.experiments": 8,
     "repro.analysis": 9,
+    "repro.serve": 9,
     "repro.cli": 10,
 }
 

@@ -118,6 +118,7 @@ _ANNOTATION_SCOPES: Tuple[str, ...] = (
     "obs",
     "phy",
     "routing",
+    "serve",
     "sim",
 )
 

@@ -282,6 +282,117 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_link(text: str):
+    """``MONITOR:TAGGED`` -> (int, int), with a readable error."""
+    parts = text.split(":")
+    if len(parts) != 2:
+        raise argparse.ArgumentTypeError(
+            f"link must be MONITOR:TAGGED, got {text!r}"
+        )
+    try:
+        return int(parts[0]), int(parts[1])
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"link ids must be integers, got {text!r}"
+        ) from None
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import contextlib
+    import dataclasses
+
+    from repro.core.detector import DetectorConfig
+    from repro.serve import (
+        ServeConfig,
+        iter_file,
+        iter_follow,
+        iter_handle,
+        iter_socket,
+        run_serve,
+    )
+    from repro.serve.ingest import BoundedLineQueue
+
+    detector = dataclasses.replace(
+        DetectorConfig(sample_size=args.sample_size, known_n=5, known_k=5),
+        warmup_slots=args.warmup,
+    )
+    config = ServeConfig(
+        detector=detector,
+        separation=args.separation,
+        flush_every=args.flush_every,
+        maintain_every=args.maintain_every,
+        max_links=args.max_links,
+        observation_retention=args.retention,
+        discover=not args.no_discover,
+    )
+    queue = BoundedLineQueue(args.queue_cap)
+    if args.follow:
+        lines = iter_follow(args.follow, queue)
+    elif args.socket:
+        lines = iter_socket(args.socket, queue)
+    elif args.input and args.input != "-":
+        lines = iter_file(args.input)
+    else:
+        lines = iter_handle(sys.stdin)
+
+    with contextlib.ExitStack() as stack:
+        audit_sink = (
+            stack.enter_context(open(args.audit_out, "w", encoding="utf-8"))
+            if args.audit_out
+            else None
+        )
+        provenance_sink = (
+            stack.enter_context(
+                open(args.provenance_out, "w", encoding="utf-8")
+            )
+            if args.provenance_out
+            else None
+        )
+        # Live sources (tail, socket) cannot be replayed into forked
+        # workers; they always run single-session.  Replay sources
+        # honor --jobs / REPRO_JOBS through the pool's resolution.
+        live = bool(args.follow or args.socket)
+        result = run_serve(
+            lines,
+            config=config,
+            links=args.links or (),
+            jobs=1 if live else None,
+            audit_sink=audit_sink,
+            provenance_sink=provenance_sink,
+        )
+
+    summary = result.summary()
+    print(
+        f"links: {summary['links']} tracked, "
+        f"{summary['evicted_links']} evicted"
+    )
+    print(
+        f"events: {summary['events']} accepted "
+        f"({result.stream_snapshot['counters'].get('serve.lines', 0)} lines, "
+        f"{sum(summary['rejected'].values())} rejected), "
+        f"queue drops: {queue.dropped}"
+    )
+    for reason, count in summary["rejected"].items():
+        print(f"  rejected.{reason}: {count}")
+    print(
+        f"verdicts: {summary['verdicts']} "
+        f"({summary['violations']} deterministic violations) over "
+        f"{summary['observations']} observations in "
+        f"{summary['flushes']} flushes"
+    )
+    if args.metrics:
+        # Fold the session registries into the shared runtime registry
+        # so the standard --metrics / --metrics-out tail sees them.
+        from repro.obs.runtime import shared_registry
+
+        registry = shared_registry()
+        registry.merge_snapshot(result.stream_snapshot)
+        registry.merge_snapshot(result.link_snapshot)
+    args.results = dict(summary)
+    args.results["queue_dropped"] = queue.dropped
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -416,6 +527,125 @@ def build_parser() -> argparse.ArgumentParser:
         "bounds, rank-sum inputs, ARMA state) as JSONL to OUT",
     )
     demo.set_defaults(func=_cmd_demo)
+
+    serve = sub.add_parser(
+        "serve",
+        parents=[obs],
+        help="streaming detection-as-a-service: replay or follow an "
+        "ObservedTransmission wire stream with bounded memory",
+    )
+    source = serve.add_mutually_exclusive_group()
+    source.add_argument(
+        "--input",
+        metavar="PATH",
+        default=None,
+        help="read the stream from PATH once ('-' = stdin, the default)",
+    )
+    source.add_argument(
+        "--follow",
+        metavar="PATH",
+        default=None,
+        help="tail PATH: replay existing lines, then poll for appends "
+        "until a shutdown record",
+    )
+    source.add_argument(
+        "--socket",
+        metavar="PATH",
+        default=None,
+        help="listen on a unix stream socket at PATH for one producer",
+    )
+    serve.add_argument(
+        "--links",
+        nargs="*",
+        type=_parse_link,
+        metavar="MONITOR:TAGGED",
+        help="pre-register links (default: discover from decoded "
+        "start records)",
+    )
+    serve.add_argument(
+        "--no-discover",
+        action="store_true",
+        help="track only --links; ignore undeclared (monitor, sender) "
+        "pairs",
+    )
+    serve.add_argument(
+        "--max-links",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap tracked links; least-recently-active links are "
+        "evicted (default: unbounded)",
+    )
+    serve.add_argument(
+        "--retention",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retain at most N observations per link (provenance ids "
+        "stay stable; default: keep all)",
+    )
+    serve.add_argument(
+        "--flush-every",
+        type=int,
+        default=64,
+        metavar="N",
+        help="end events between batched rank-sum flushes "
+        "(verdict-identical at any cadence; default: 64)",
+    )
+    serve.add_argument(
+        "--maintain-every",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="end events between timeline prune / demux compaction "
+        "sweeps (0 = never; default: 4096)",
+    )
+    serve.add_argument(
+        "--queue-cap",
+        type=int,
+        default=65536,
+        metavar="N",
+        help="bounded ingest staging queue (drop-oldest on overflow; "
+        "default: 65536 lines)",
+    )
+    serve.add_argument(
+        "--sample-size",
+        type=int,
+        default=25,
+        metavar="N",
+        help="rank-sum window size (default: 25)",
+    )
+    serve.add_argument(
+        "--warmup",
+        type=int,
+        default=100_000,
+        metavar="SLOTS",
+        help="per-link estimator warm-up before sampling (default: "
+        "100000 slots)",
+    )
+    serve.add_argument(
+        "--separation",
+        type=float,
+        default=None,
+        metavar="METERS",
+        help="fixed monitor-tagged separation when the stream carries "
+        "no positions records",
+    )
+    serve.add_argument(
+        "--audit",
+        dest="audit_out",
+        metavar="OUT",
+        default=None,
+        help="stream the merged decision audit log as JSONL to OUT",
+    )
+    serve.add_argument(
+        "--provenance",
+        dest="provenance_out",
+        metavar="OUT",
+        default=None,
+        help="stream each verdict's evidence chain as JSONL to OUT",
+    )
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 

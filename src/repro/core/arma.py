@@ -47,6 +47,16 @@ class ArmaTrafficEstimator:
         return 0.0
 
     @property
+    def pending_busy(self) -> float:
+        """Busy slot mass buffered toward the next full interval."""
+        return self._pending_busy
+
+    @property
+    def pending_total(self) -> float:
+        """Total slot mass buffered toward the next full interval."""
+        return self._pending_total
+
+    @property
     def warmed_up(self) -> bool:
         """True once at least one full sample interval was absorbed."""
         return self._estimate is not None

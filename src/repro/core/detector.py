@@ -635,6 +635,11 @@ class BackoffMisbehaviorDetector(SimulationListener):
         window_meta: Optional[List[Tuple[int, int, float, float]]] = None,
         audit_index: Optional[int] = None,
         provenance_index: Optional[int] = None,
+        verdict_index: Optional[int] = None,
+        verdict_seq: Optional[int] = None,
+        rho: Optional[float] = None,
+        quarantine_drops: Optional[Dict[str, int]] = None,
+        skipped_samples: Optional[int] = None,
     ) -> None:
         """Append a verdict plus its audit record and metric counts.
 
@@ -643,9 +648,16 @@ class BackoffMisbehaviorDetector(SimulationListener):
         exact positions an eager evaluation would have written, so log
         interleaving across detectors is backend-invariant.
         ``window_meta`` likewise carries the window bookkeeping
-        snapshotted at deferral time (the live deque may have advanced).
+        snapshotted at deferral time (the live deque may have advanced),
+        and ``rho``/``quarantine_drops``/``skipped_samples`` the
+        detector-state counters frozen then — a deferred fill must
+        describe the deferral moment, not the flush moment, for
+        provenance to be flush-cadence-invariant.
         """
-        self.verdicts.append(verdict)
+        if verdict_index is None:
+            self.verdicts.append(verdict)
+        else:
+            self.verdicts[verdict_index] = verdict
         if self.audit is not None:
             audit_entry = AuditRecord(
                 slot=verdict.slot,
@@ -672,11 +684,13 @@ class BackoffMisbehaviorDetector(SimulationListener):
             self.metrics.inc(f"detector.verdicts.{layer}")
         if self.provenance is None and self._tracer is None:
             return
+        if verdict_seq is None:
+            verdict_seq = self._verdict_seq
+            self._verdict_seq += 1
         verdict_id = (
             f"{self.monitor_id}-{self.tagged_id}-{verdict.slot}"
-            f"-{rule}-{self._verdict_seq}"
+            f"-{rule}-{verdict_seq}"
         )
-        self._verdict_seq += 1
         if window_meta is not None:
             meta = window_meta
         else:
@@ -701,10 +715,22 @@ class BackoffMisbehaviorDetector(SimulationListener):
                 p_value=verdict.p_value,
                 threshold=threshold,
                 sample_size=verdict.sample_size,
-                rho=self.rho,
+                rho=self.rho if rho is None else rho,
                 arma_alpha=self.config.arma_alpha,
-                quarantine_drops=dict(sorted(self.quarantine_counts.items())),
-                skipped_samples=self.skipped_samples,
+                quarantine_drops=dict(
+                    sorted(
+                        (
+                            self.quarantine_counts
+                            if quarantine_drops is None
+                            else quarantine_drops
+                        ).items()
+                    )
+                ),
+                skipped_samples=(
+                    self.skipped_samples
+                    if skipped_samples is None
+                    else skipped_samples
+                ),
             )
             if provenance_index is None:
                 self.provenance.record(provenance_entry)
@@ -780,6 +806,11 @@ class BackoffMisbehaviorDetector(SimulationListener):
         window_meta: Optional[List[Tuple[int, int, float, float]]] = None,
         audit_index: Optional[int] = None,
         provenance_index: Optional[int] = None,
+        verdict_index: Optional[int] = None,
+        verdict_seq: Optional[int] = None,
+        rho: Optional[float] = None,
+        quarantine_drops: Optional[Dict[str, int]] = None,
+        skipped_samples: Optional[int] = None,
     ) -> None:
         """Publish one rank-sum verdict (eager or deferred-fill)."""
         decision = self.test.decide(result)
@@ -806,7 +837,22 @@ class BackoffMisbehaviorDetector(SimulationListener):
             window_meta=window_meta,
             audit_index=audit_index,
             provenance_index=provenance_index,
+            verdict_index=verdict_index,
+            verdict_seq=verdict_seq,
+            rho=rho,
+            quarantine_drops=quarantine_drops,
+            skipped_samples=skipped_samples,
         )
+
+    def _reserve_verdict(self) -> int:
+        """Claim the next ``verdicts`` slot for a deferred fill.
+
+        Coarse flush cadences (the streaming service) let deterministic
+        violations publish between a window's deferral and its flush;
+        reserving the slot keeps the verdict list in eager order.
+        """
+        self.verdicts.append(None)  # type: ignore[arg-type]
+        return len(self.verdicts) - 1
 
     def _finish_deferred_evaluation(
         self, pending: "_PendingWindow", result: "RankSumResult"
@@ -818,6 +864,11 @@ class BackoffMisbehaviorDetector(SimulationListener):
             window_meta=pending.window_meta,
             audit_index=pending.audit_index,
             provenance_index=pending.provenance_index,
+            verdict_index=pending.verdict_index,
+            verdict_seq=pending.verdict_seq,
+            rho=pending.rho,
+            quarantine_drops=pending.quarantine_drops,
+            skipped_samples=pending.skipped_samples,
         )
 
     # -- conveniences -----------------------------------------------------------

@@ -53,6 +53,118 @@ class ObservedTransmission:
     impairment: Optional[str] = None
 
 
+# -- stable JSONL codec ---------------------------------------------------
+#
+# The streaming service (repro.serve) ships ObservedTransmission records
+# across process boundaries as JSON objects; these functions define the
+# wire schema.  Two invariants matter for byte-identity of replayed
+# verdict streams:
+#
+# * slot fields stay python ints end to end — a slot that came back as
+#   a float would poison every downstream Slots computation;
+# * ``seq_off`` is the detector-side UNWRAPPED offset, not the 13-bit
+#   on-air field: the verifiable PRS is a function of the unwrapped
+#   value, so serializing the wrapped one would silently change every
+#   dictated back-off once a sender passes 8192 frames.
+
+
+def _codec_int(value: object, field: str) -> int:
+    """``value`` as an exact int (bools and floats are rejected)."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(
+            f"field {field!r} must be an integer, got {value!r}"
+        )
+    return value
+
+
+def _codec_bool(value: object, field: str) -> bool:
+    if not isinstance(value, bool):
+        raise ValueError(f"field {field!r} must be a boolean, got {value!r}")
+    return value
+
+
+def rts_to_json(frame: "RtsFrame") -> Dict[str, object]:
+    """The wire dict of one modified-RTS announcement."""
+    return {
+        "sender": frame.sender,
+        "receiver": frame.receiver,
+        "seq_off": frame.seq_off,
+        "attempt": frame.attempt,
+        "digest": frame.digest.hex(),
+    }
+
+
+def rts_from_json(data: object) -> "RtsFrame":
+    """Parse :func:`rts_to_json` output; raises ValueError on anything off."""
+    from repro.mac.frames import RtsFrame
+
+    if not isinstance(data, dict):
+        raise ValueError(f"rts must be an object, got {data!r}")
+    unknown = sorted(set(data) - {"sender", "receiver", "seq_off", "attempt", "digest"})
+    if unknown:
+        raise ValueError(f"unknown rts keys: {unknown}")
+    digest = data.get("digest")
+    if not isinstance(digest, str):
+        raise ValueError(f"field 'digest' must be a hex string, got {digest!r}")
+    try:
+        digest_bytes = bytes.fromhex(digest)
+    except ValueError as exc:
+        raise ValueError(f"field 'digest' is not valid hex: {digest!r}") from exc
+    return RtsFrame(
+        sender=_codec_int(data.get("sender"), "sender"),
+        receiver=_codec_int(data.get("receiver"), "receiver"),
+        seq_off=_codec_int(data.get("seq_off"), "seq_off"),
+        attempt=_codec_int(data.get("attempt"), "attempt"),
+        digest=digest_bytes,
+    )
+
+
+#: The exact key set of a serialized ObservedTransmission.
+OBSERVED_FIELDS: Tuple[str, ...] = (
+    "start_slot",
+    "end_slot",
+    "rts",
+    "success",
+    "receiver",
+    "impairment",
+)
+
+
+def observed_to_json(observed: ObservedTransmission) -> Dict[str, object]:
+    """The wire dict of one observed transmission (sorted-key stable)."""
+    return {
+        "start_slot": observed.start_slot,
+        "end_slot": observed.end_slot,
+        "rts": None if observed.rts is None else rts_to_json(observed.rts),
+        "success": observed.success,
+        "receiver": observed.receiver,
+        "impairment": observed.impairment,
+    }
+
+
+def observed_from_json(data: object) -> ObservedTransmission:
+    """Parse :func:`observed_to_json` output; ValueError on anything off."""
+    if not isinstance(data, dict):
+        raise ValueError(f"observed record must be an object, got {data!r}")
+    unknown = sorted(set(data) - set(OBSERVED_FIELDS))
+    if unknown:
+        raise ValueError(f"unknown observed record keys: {unknown}")
+    impairment = data.get("impairment")
+    if impairment is not None and not isinstance(impairment, str):
+        raise ValueError(
+            f"field 'impairment' must be a string or null, got {impairment!r}"
+        )
+    rts_data = data.get("rts")
+    return ObservedTransmission(
+        start_slot=_codec_int(data.get("start_slot"), "start_slot"),
+        end_slot=_codec_int(data.get("end_slot"), "end_slot"),
+        rts=None if rts_data is None else rts_from_json(rts_data),
+        success=_codec_bool(data.get("success"), "success"),
+        receiver=_codec_int(data.get("receiver"), "receiver"),
+        impairment=impairment,
+    )
+
+
 def joint_state_counts(
     observer_r: "ChannelViewBase",
     observer_s: "ChannelViewBase",
@@ -187,6 +299,11 @@ class ChannelViewBase:
         busy = self.busy_slots_in(start, end)
         return (end - start) - busy, busy
 
+    def busy_after(self, slot: Slots) -> bool:
+        """True if any busy interval extends past ``slot``."""
+        ends = self._busy_ends
+        return bool(ends) and ends[-1] > slot
+
     def idle_stretches_in(self, start: Slots, end: Slots) -> int:
         """Number of maximal idle stretches within [start, end).
 
@@ -235,6 +352,26 @@ class ChannelViewBase:
             return 0.0
         _idle, busy = self.idle_busy_counts(start, end)
         return busy / (end - start)
+
+    def prune_before(self, horizon: Slots) -> int:
+        """Drop timeline intervals that end at or before ``horizon``.
+
+        The long-running streaming service calls this with the oldest
+        slot any live query can still reach (ARMA cursors, pending
+        sample anchors); intervals straddling the horizon are kept
+        whole, so every query over ``[horizon, ∞)`` is unchanged.
+        Returns the number of intervals dropped.
+        """
+        dropped = 0
+        cut = bisect.bisect_right(self._busy_ends, horizon)
+        if cut:
+            del self._busy_starts[:cut], self._busy_ends[:cut]
+            dropped += cut
+        cut = bisect.bisect_right(self._own_ends, horizon)
+        if cut:
+            del self._own_starts[:cut], self._own_ends[:cut]
+            dropped += cut
+        return dropped
 
 
 class ChannelObserver(ChannelViewBase, SimulationListener):

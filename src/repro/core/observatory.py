@@ -34,6 +34,7 @@ observer could never have seen — use ``fresh_channel=True`` there.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Set, Tuple
 
@@ -87,11 +88,11 @@ class _ArmaFeed:
         self.detectors: List[BackoffMisbehaviorDetector] = []
 
     def advance(
-        self, slot: Slots, transmission: "Transmission", channel: "MonitorChannel"
+        self, slot: Slots, tx_start_slot: Slots, channel: "MonitorChannel"
     ) -> None:
         """Ingest finalized slots up to ``slot - exchange_slots``."""
         if self.birth_slot is None:
-            birth = transmission.start_slot
+            birth = tx_start_slot
             self.birth_slot = birth
             self.cursor = birth
             for detector in self.detectors:
@@ -103,6 +104,78 @@ class _ArmaFeed:
         idle, busy = channel.idle_busy_counts(self.cursor, target)
         self.arma.ingest(busy, idle + busy)
         self.cursor = target
+
+    def replay(
+        self,
+        log: "List[Tuple[Slots, Slots, Slots]]",
+        start: int,
+        channel: "MonitorChannel",
+    ) -> None:
+        """Advance through deferred end events, fold-for-fold identical
+        to :meth:`advance` having been called at each one.
+
+        ``log`` holds one entry per *distinct* dispatch slot — exactly
+        the granularity :meth:`advance` folds at, since repeat calls at
+        an unchanged slot hit the ``target <= cursor`` early return.
+        Chunking matters in exactly two places, and both are honored:
+        busy slots are apportioned by the fraction pending when an
+        interval completes, so (a) entries are folded one at a time
+        while busy intervals remain past the cursor, and (b) once the
+        remaining stretch is pure idle, entries merge freely *between*
+        interval boundaries (accumulating into the pending buffer is
+        associative) while each boundary-crossing entry folds alone.
+        With nothing busy pending at all the fraction is identically
+        ``0.0`` under any chunking and the whole tail merges into one
+        ingest.  Every branch is bit-identical to the per-event
+        sequence.
+        """
+        i = start
+        n = len(log)
+        if self.birth_slot is None and i < n:
+            # Birth comes from the first event after feed creation,
+            # exactly as the eager per-event advance fixes it.
+            slot, tx_start, _end = log[i]
+            self.advance(slot, tx_start, channel)
+            i += 1
+        arma = self.arma
+        exchange = self.exchange_slots
+        while i < n and channel.busy_after(self.cursor):
+            target = log[i][0] - exchange
+            i += 1
+            if target <= self.cursor:
+                continue
+            idle, busy = channel.idle_busy_counts(self.cursor, target)
+            arma.ingest(busy, idle + busy)
+            self.cursor = target
+        if i >= n:
+            return
+        last_target = log[n - 1][0] - exchange
+        if last_target <= self.cursor:
+            return
+        if arma.pending_busy == 0.0:
+            arma.ingest(0, last_target - self.cursor)
+            self.cursor = last_target
+            return
+        s = arma.sample_interval_slots
+        while i < n:
+            # Entries below `bound` cannot complete an interval even
+            # merged; the first at or past it must fold alone so the
+            # apportioning fraction sees its exact chunk.
+            bound = self.cursor + exchange + (s - arma.pending_total)
+            j = bisect.bisect_left(log, (bound,), i, n)
+            if j > i:
+                merged = log[j - 1][0] - exchange
+                if merged > self.cursor:
+                    arma.ingest(0, merged - self.cursor)
+                    self.cursor = merged
+                i = j
+                if i >= n:
+                    return
+            target = log[i][0] - exchange
+            i += 1
+            if target > self.cursor:
+                arma.ingest(0, target - self.cursor)
+                self.cursor = target
 
 
 class MonitorChannel(ChannelViewBase):
@@ -121,6 +194,11 @@ class MonitorChannel(ChannelViewBase):
         self.arma_feeds: List[_ArmaFeed] = []
         self._terminal_by_epoch: Dict[int, "CompetingTerminalEstimator"] = {}
         self.terminal_feeds: List["CompetingTerminalEstimator"] = []
+        #: lazy-ingest bookkeeping: position in the observatory's
+        #: end-event log / raw event count this channel has absorbed
+        #: (see SharedChannelObservatory.enable_lazy_ingest)
+        self._lazy_log_index = 0
+        self._lazy_events = 0
         #: detectors with occupancy correction enabled (per-tagged EWMA)
         self.occupancy_detectors: List[BackoffMisbehaviorDetector] = []
         #: live subscriptions reading this channel
@@ -135,7 +213,6 @@ class MonitorChannel(ChannelViewBase):
         start_slot: Slots,
         end_slot: Slots,
         collided: bool,
-        transmission: "Transmission",
     ) -> None:
         """Absorb one end event: timeline, estimator feeds, bookkeeping."""
         monitor = self.monitor_id
@@ -158,7 +235,24 @@ class MonitorChannel(ChannelViewBase):
                         invisible=detector.tagged_id not in sensors
                     )
         for feed in self.arma_feeds:
-            feed.advance(slot, transmission, self)
+            feed.advance(slot, start_slot, self)
+
+    def replay_deferred(
+        self, log: "List[Tuple[Slots, Slots, Slots]]", start: int
+    ) -> None:
+        """Catch up on end events this channel was not involved in.
+
+        Reproduces exactly what per-event :meth:`ingest_end` calls with
+        no sensed key, no own traffic, and a foreign non-sensing sender
+        would have done: bump ``last_slot`` and advance the ARMA feeds.
+        (``events_ingested`` is settled by the observatory, which knows
+        the raw event count behind the distinct-slot log.)
+        """
+        last_end = log[-1][2]
+        if last_end > self.last_slot:
+            self.last_slot = last_end
+        for feed in self.arma_feeds:
+            feed.replay(log, start, self)
 
 
 class BatchMonitorChannel(MonitorChannel):
@@ -218,7 +312,6 @@ class BatchMonitorChannel(MonitorChannel):
         start_slot: Slots,
         end_slot: Slots,
         collided: bool,
-        transmission: "Transmission",
     ) -> None:
         """The lean batched ingest: log now, fold on demand."""
         monitor = self.monitor_id
@@ -240,7 +333,7 @@ class BatchMonitorChannel(MonitorChannel):
                 self._occ_log.append((sender, sensors))
         if self._unborn_feeds:
             for feed in self._unborn_feeds:
-                feed.start(transmission.start_slot)
+                feed.start(start_slot)
             self._unborn_feeds.clear()
         self._end_slot_log.append(slot)
 
@@ -342,7 +435,11 @@ class _PendingWindow:
     dispatch-end fill lands every record exactly where an eager scalar
     evaluation would have written it; the (x, y) copies protect the
     window contents from later ``add_sample`` calls in the same flush
-    cycle.
+    cycle.  The rho/quarantine/skip counters are likewise frozen at
+    deferral — provenance must describe the detector state *when the
+    window became ready*, not whatever it drifted to by flush time
+    (coarse flush cadences, as the streaming service runs, would
+    otherwise leak later ingests into earlier records).
     """
 
     detector: BackoffMisbehaviorDetector
@@ -353,6 +450,14 @@ class _PendingWindow:
     window_meta: List[Tuple[int, int, float, float]]
     audit_index: Optional[int]
     provenance_index: Optional[int]
+    #: reserved ``detector.verdicts`` slot and ``_verdict_seq`` value —
+    #: deterministic violations published between deferral and flush
+    #: must not overtake this verdict's list position or id numbering
+    verdict_index: int
+    verdict_seq: Optional[int]
+    rho: float
+    quarantine_drops: Dict[str, int]
+    skipped_samples: int
 
 
 class BatchScheduler:
@@ -381,6 +486,14 @@ class BatchScheduler:
         provenance_index = (
             None if detector.provenance is None else detector.provenance.reserve()
         )
+        verdict_index = detector._reserve_verdict()
+        verdict_seq: Optional[int] = None
+        if detector.provenance is not None or detector._tracer is not None:
+            # Mirror _publish's id numbering at deferral time, so a
+            # deterministic verdict published before the flush cannot
+            # steal this verdict's sequence number.
+            verdict_seq = detector._verdict_seq
+            detector._verdict_seq += 1
         self._pending.append(
             _PendingWindow(
                 detector=detector,
@@ -391,6 +504,11 @@ class BatchScheduler:
                 window_meta=list(detector._window_meta),
                 audit_index=audit_index,
                 provenance_index=provenance_index,
+                verdict_index=verdict_index,
+                verdict_seq=verdict_seq,
+                rho=detector.rho,
+                quarantine_drops=dict(detector.quarantine_counts),
+                skipped_samples=detector.skipped_samples,
             )
         )
 
@@ -440,6 +558,21 @@ class SharedChannelObservatory(SimulationListener):
         self._channels: Dict[int, MonitorChannel] = {}
         #: every live channel, shared and fresh, in creation order
         self._channel_list: List[MonitorChannel] = []
+        #: monitor id -> every live channel on that node, shared and
+        #: fresh (the lazy ingest plane's dispatch index)
+        self._monitor_index: Dict[int, List[MonitorChannel]] = {}
+        #: lazy mode (serve): defer uninvolved channels' idle accounting
+        self._lazy = False
+        #: channels holding each in-flight sensed key (lazy mode only;
+        #: lets ingest_end find start-time sensors without a scan)
+        self._sensed_by_key: Dict[int, List[MonitorChannel]] = {}
+        #: one entry per distinct end-event dispatch slot:
+        #: (slot, first event's tx start slot, cumulative max end slot)
+        self._end_log: List[Tuple[Slots, Slots, Slots]] = []
+        #: absolute index of _end_log[0] (entries before it were trimmed)
+        self._end_log_base = 0
+        #: raw end events absorbed by the lazy plane
+        self._end_events = 0
         #: tagged id -> subscriptions, in attach order (= audit order)
         self._subs_by_tagged: Dict[int, List[ObservatorySubscription]] = {}
         #: units receiving position epochs (detectors, hand-off managers)
@@ -486,6 +619,11 @@ class SharedChannelObservatory(SimulationListener):
                 f"observatory already runs stats_backend={self._backend!r}; "
                 f"cannot attach a {cfg.stats_backend!r} detector"
             )
+        if self._lazy and cfg.stats_backend != "scalar":
+            raise ValueError(
+                "lazy ingest supports only the scalar backend (batched "
+                "channels log every raw event themselves)"
+            )
         channel = self._channels.get(monitor_id) if not fresh_channel else None
         if channel is None:
             if self._backend == "batched":
@@ -493,8 +631,14 @@ class SharedChannelObservatory(SimulationListener):
             else:
                 channel = MonitorChannel(monitor_id)
             self._channel_list.append(channel)
+            self._monitor_index.setdefault(monitor_id, []).append(channel)
+            channel._lazy_log_index = self._end_log_base + len(self._end_log)
+            channel._lazy_events = self._end_events
             if not fresh_channel:
                 self._channels[monitor_id] = channel
+        elif self._lazy:
+            # Feed epochs key on events_ingested: settle it first.
+            self._sync_channel(channel)
         subscription = ObservatorySubscription(
             self, channel, monitor_id, tagged_id
         )
@@ -608,6 +752,11 @@ class SharedChannelObservatory(SimulationListener):
         channel.subscribers -= 1
         if channel.subscribers <= 0:
             self._channel_list.remove(channel)
+            siblings = self._monitor_index.get(channel.monitor_id)
+            if siblings is not None and channel in siblings:
+                siblings.remove(channel)
+                if not siblings:
+                    del self._monitor_index[channel.monitor_id]
             if self._channels.get(channel.monitor_id) is channel:
                 del self._channels[channel.monitor_id]
 
@@ -625,59 +774,176 @@ class SharedChannelObservatory(SimulationListener):
         """Forward mobility epochs to ``unit`` (e.g. a MonitorHandoff)."""
         self._position_units.append(unit)
 
-    # -- engine listener callbacks -----------------------------------------
+    # -- lazy ingest plane (serve) -----------------------------------------
 
-    def on_transmission_start(
-        self, slot: Slots, transmission: "Transmission", medium: "Medium"
-    ) -> None:
-        key = id(transmission)
-        sender = transmission.sender
-        sensors = medium.sensors_of(sender)
+    def enable_lazy_ingest(self) -> None:
+        """Defer uninvolved channels' per-event idle accounting.
+
+        The eager ingest plane touches every live channel on every end
+        event — an uninvolved channel still folds the event's slots
+        into its ARMA feeds as idle — which is O(channels) per event
+        and fatal when one session tracks 10^5 links.  In lazy mode
+        ``ingest_end`` touches only the channels the event can affect
+        (sensing monitors, the sender's own node, the demux targets)
+        and records the event in a shared distinct-slot log; every
+        other channel replays the log on its next involvement.  The
+        replay is fold-for-fold identical to the eager plane (see
+        :meth:`_ArmaFeed.replay`), so observations, verdicts and logs
+        stay byte-identical; only the *timing* of the idle folds moves.
+
+        Serve sessions enable this; the engine listener path never does
+        (tests and analyses there inspect feed state mid-run and expect
+        it eagerly current).  Call :meth:`sync_ingest` before reading
+        feed state from outside an ingest callback.  Scalar backend
+        only.
+        """
+        if self._backend == "batched":
+            raise ValueError(
+                "lazy ingest supports only the scalar backend (batched "
+                "channels log every raw event themselves)"
+            )
+        self._lazy = True
+        tip = self._end_log_base + len(self._end_log)
         for channel in self._channel_list:
-            monitor = channel.monitor_id
-            if monitor == sender or monitor in sensors:
-                channel._sensed_keys.add(key)
+            channel._lazy_log_index = tip
+            channel._lazy_events = self._end_events
+
+    def sync_ingest(self) -> None:
+        """Catch every lazy channel up and trim the shared event log."""
+        if not self._lazy:
+            return
+        for channel in self._channel_list:
+            self._sync_channel(channel)
+        self._end_log_base += len(self._end_log)
+        self._end_log.clear()
+
+    def _sync_channel(self, channel: MonitorChannel) -> None:
+        """Replay whatever end events a lazy channel has deferred."""
+        start = channel._lazy_log_index - self._end_log_base
+        if start < len(self._end_log):
+            channel.replay_deferred(self._end_log, start)
+            channel._lazy_log_index = self._end_log_base + len(self._end_log)
+        behind = self._end_events - channel._lazy_events
+        if behind:
+            channel.events_ingested += behind
+            channel._lazy_events = self._end_events
+
+    def _log_end_event(
+        self, slot: Slots, start_slot: Slots, end_slot: Slots
+    ) -> None:
+        """Append one end event to the distinct-slot log."""
+        self._end_events += 1
+        log = self._end_log
+        if log and log[-1][0] == slot:
+            # Same dispatch slot: feed folds are idempotent (the target
+            # is unchanged), so only the cumulative end max can move.
+            prev = log[-1]
+            if end_slot > prev[2]:
+                log[-1] = (slot, prev[1], end_slot)
+        else:
+            if log and log[-1][2] > end_slot:
+                end_slot = log[-1][2]
+            log.append((slot, start_slot, end_slot))
+
+    # -- medium-free ingest plane ------------------------------------------
+    #
+    # The engine hooks below resolve physics (``sensors_of``,
+    # ``clean_decode``) from the live medium and delegate here.  The
+    # streaming service (``repro.serve``) calls these methods directly
+    # with sensed/decodable sets read off the wire — same code path,
+    # byte-identical demux, no simulator required.
+
+    def ingest_start(
+        self,
+        slot: Slots,
+        key: int,
+        sender: int,
+        sensors: "FrozenSet[int]",
+        decodable_monitors: "FrozenSet[int]",
+    ) -> None:
+        """Mark one transmission start: sensed keys and decode flags."""
+        if self._lazy:
+            index = self._monitor_index
+            sensed: List[MonitorChannel] = []
+            for node in sensors:
+                for channel in index.get(node, ()):
+                    channel._sensed_keys.add(key)
+                    sensed.append(channel)
+            if sender not in sensors:
+                for channel in index.get(sender, ()):
+                    channel._sensed_keys.add(key)
+                    sensed.append(channel)
+            if sensed:
+                self._sensed_by_key[key] = sensed
+        else:
+            for channel in self._channel_list:
+                monitor = channel.monitor_id
+                if monitor == sender or monitor in sensors:
+                    channel._sensed_keys.add(key)
         subs = self._subs_by_tagged.get(sender)
         if not subs:
             return
-        # Decodable iff in decode range, the monitor itself silent, and
-        # no other sensed transmission garbling the preamble — resolved
-        # once per monitor node, not once per detector.
-        flags: Dict[int, bool] = {}
         for subscription in subs:
-            monitor = subscription.monitor_id
-            decodable = flags.get(monitor)
-            if decodable is None:
-                decodable = flags[monitor] = medium.clean_decode(
-                    sender, monitor
-                )
-            if decodable:
+            if subscription.monitor_id in decodable_monitors:
                 subscription._decodable_keys.add(key)
 
-    def on_transmission_end(
+    def ingest_end(
         self,
         slot: Slots,
-        transmission: "Transmission",
+        key: int,
+        sender: int,
+        receiver: int,
+        start_slot: Slots,
+        end_slot: Slots,
         success: bool,
-        medium: "Medium",
+        frame: object,
+        sensors: "FrozenSet[int]",
+        medium: "Optional[Medium]" = None,
     ) -> None:
-        key = id(transmission)
-        sender = transmission.sender
-        sensors = medium.sensors_of(sender)
-        start_slot = transmission.start_slot
-        end_slot = transmission.end_slot
+        """Absorb one transmission end: timelines, demux, evaluation."""
         collided = not success
-        for channel in self._channel_list:
-            channel.ingest_end(
-                slot,
-                key,
-                sender,
-                sensors,
-                start_slot,
-                end_slot,
-                collided,
-                transmission,
-            )
+        if self._lazy:
+            index = self._monitor_index
+            involved: Dict[int, MonitorChannel] = {}
+            for node in sensors:
+                for channel in index.get(node, ()):
+                    involved[id(channel)] = channel
+            for channel in index.get(sender, ()):
+                involved[id(channel)] = channel
+            # Sensed at start but outside the end-time sensor set
+            # (mobility): the in-flight key still closes a busy
+            # interval on those channels.  A channel detached while the
+            # transmission was in flight is dead (subscribers == 0) and
+            # must be skipped, exactly as the eager channel-list loop
+            # no longer visits it.
+            for channel in self._sensed_by_key.pop(key, ()):
+                if channel.subscribers > 0:
+                    involved[id(channel)] = channel
+            demux_subs = self._subs_by_tagged.get(sender)
+            if demux_subs:
+                for subscription in demux_subs:
+                    involved[id(subscription.channel)] = subscription.channel
+            for channel in involved.values():
+                self._sync_channel(channel)
+            self._log_end_event(slot, start_slot, end_slot)
+            tip = self._end_log_base + len(self._end_log)
+            for channel in involved.values():
+                channel.ingest_end(
+                    slot, key, sender, sensors, start_slot, end_slot, collided
+                )
+                channel._lazy_log_index = tip
+                channel._lazy_events = self._end_events
+        else:
+            for channel in self._channel_list:
+                channel.ingest_end(
+                    slot,
+                    key,
+                    sender,
+                    sensors,
+                    start_slot,
+                    end_slot,
+                    collided,
+                )
         subs = self._subs_by_tagged.get(sender)
         if self._tracer is not None:
             self._tracer.instant(
@@ -693,8 +959,6 @@ class SharedChannelObservatory(SimulationListener):
             )
         if not subs:
             return
-        frame = transmission.frame
-        receiver = transmission.receiver
         #: per-monitor-node fault resolution memo: (rts, impairment)
         delivered: Dict[int, Tuple[object, Optional[str]]] = {}
         for subscription in subs:
@@ -732,8 +996,63 @@ class SharedChannelObservatory(SimulationListener):
         # dispatch in one vectorized shot (no-op otherwise).
         self._scheduler.flush()
 
+    def ingest_positions(
+        self,
+        slot: Slots,
+        positions: Dict[int, Position],
+        medium: "Optional[Medium]" = None,
+    ) -> None:
+        """Forward a mobility epoch to every registered position unit."""
+        for unit in self._position_units:
+            unit.on_positions_updated(slot, positions, medium)
+
+    # -- engine listener callbacks -----------------------------------------
+
+    def on_transmission_start(
+        self, slot: Slots, transmission: "Transmission", medium: "Medium"
+    ) -> None:
+        key = id(transmission)
+        sender = transmission.sender
+        sensors = medium.sensors_of(sender)
+        # Decodable iff in decode range, the monitor itself silent, and
+        # no other sensed transmission garbling the preamble — resolved
+        # once per monitor node, not once per detector.
+        decodable_monitors: Set[int] = set()
+        subs = self._subs_by_tagged.get(sender)
+        if subs:
+            flags: Dict[int, bool] = {}
+            for subscription in subs:
+                monitor = subscription.monitor_id
+                decodable = flags.get(monitor)
+                if decodable is None:
+                    decodable = flags[monitor] = medium.clean_decode(
+                        sender, monitor
+                    )
+                if decodable:
+                    decodable_monitors.add(monitor)
+        self.ingest_start(slot, key, sender, sensors, decodable_monitors)
+
+    def on_transmission_end(
+        self,
+        slot: Slots,
+        transmission: "Transmission",
+        success: bool,
+        medium: "Medium",
+    ) -> None:
+        self.ingest_end(
+            slot,
+            id(transmission),
+            transmission.sender,
+            transmission.receiver,
+            transmission.start_slot,
+            transmission.end_slot,
+            success,
+            transmission.frame,
+            medium.sensors_of(transmission.sender),
+            medium,
+        )
+
     def on_positions_updated(
         self, slot: Slots, positions: Dict[int, Position], medium: "Medium"
     ) -> None:
-        for unit in self._position_units:
-            unit.on_positions_updated(slot, positions, medium)
+        self.ingest_positions(slot, positions, medium)

@@ -1,0 +1,153 @@
+"""Line sources for the streaming server: stdin, file, tail, socket.
+
+Every source yields raw text lines; the session parses and counts them.
+Backpressure is explicit and observable: burst sources (socket reads,
+tail polls) stage lines through a :class:`BoundedLineQueue` that drops
+the *oldest* staged line on overflow and counts every drop — the server
+never blocks the producer silently and never grows without bound.
+
+``time.sleep`` is the only clock use here (poll pacing for the tail
+source); the determinism lint bans wall-clock *reads*, and none happen.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+from collections import deque
+from typing import Deque, Iterable, Iterator, Optional
+
+#: Default capacity of the staging queue (lines).
+DEFAULT_QUEUE_CAP = 65536
+
+#: Default pause between tail polls, in seconds.
+DEFAULT_POLL_S = 0.05
+
+
+class BoundedLineQueue:
+    """A drop-oldest staging queue with a public drop counter."""
+
+    def __init__(self, cap: int = DEFAULT_QUEUE_CAP) -> None:
+        if cap < 1:
+            raise ValueError(f"queue cap must be >= 1, got {cap}")
+        self.cap = cap
+        self.dropped = 0
+        self._lines: Deque[str] = deque()
+
+    def __len__(self) -> int:
+        return len(self._lines)
+
+    def push(self, line: str) -> None:
+        """Stage one line, evicting the oldest staged line when full."""
+        if len(self._lines) >= self.cap:
+            self._lines.popleft()
+            self.dropped += 1
+        self._lines.append(line)
+
+    def push_all(self, lines: Iterable[str]) -> None:
+        for line in lines:
+            self.push(line)
+
+    def pop(self) -> Optional[str]:
+        return self._lines.popleft() if self._lines else None
+
+    def drain(self) -> Iterator[str]:
+        while self._lines:
+            yield self._lines.popleft()
+
+
+def iter_file(path: str) -> Iterator[str]:
+    """Every line of ``path``, once (the replay source)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            yield line
+
+
+def iter_handle(handle: Iterable[str]) -> Iterator[str]:
+    """Lines from an open text handle (stdin)."""
+    for line in handle:
+        yield line
+
+
+def iter_follow(
+    path: str,
+    queue: Optional[BoundedLineQueue] = None,
+    poll_s: float = DEFAULT_POLL_S,
+    max_polls: Optional[int] = None,
+) -> Iterator[str]:
+    """Tail ``path``: replay existing lines, then poll for appends.
+
+    Runs until the consumer stops iterating (the session breaks on a
+    ``shutdown`` record) or ``max_polls`` consecutive empty polls (None
+    = forever; tests bound it).  Partial trailing lines are held back
+    until their newline arrives.
+    """
+    staging = queue if queue is not None else BoundedLineQueue()
+    empty_polls = 0
+    carry = ""
+    with open(path, "r", encoding="utf-8") as handle:
+        while True:
+            chunk = handle.read()
+            if chunk:
+                empty_polls = 0
+                carry += chunk
+                lines = carry.split("\n")
+                carry = lines.pop()
+                staging.push_all(line for line in lines if line)
+                for line in staging.drain():
+                    yield line
+                continue
+            empty_polls += 1
+            if max_polls is not None and empty_polls >= max_polls:
+                return
+            time.sleep(poll_s)
+
+
+def iter_socket(
+    path: str,
+    queue: Optional[BoundedLineQueue] = None,
+    chunk_bytes: int = 1 << 16,
+) -> Iterator[str]:
+    """Serve one client on an ``AF_UNIX`` stream socket at ``path``.
+
+    Binds, accepts a single connection, and yields its lines until the
+    client disconnects (a ``shutdown`` record lets the client end the
+    stream explicitly first).  Reads are staged through the bounded
+    queue, so a burst larger than the cap drops its oldest lines
+    instead of growing the heap.
+    """
+    staging = queue if queue is not None else BoundedLineQueue()
+    if os.path.exists(path):
+        os.unlink(path)
+    server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    try:
+        server.bind(path)
+        server.listen(1)
+        conn, _addr = server.accept()
+        try:
+            carry = b""
+            while True:
+                chunk = conn.recv(chunk_bytes)
+                if not chunk:
+                    break
+                carry += chunk
+                raw_lines = carry.split(b"\n")
+                carry = raw_lines.pop()
+                staging.push_all(
+                    raw.decode("utf-8", errors="replace")
+                    for raw in raw_lines
+                    if raw
+                )
+                for line in staging.drain():
+                    yield line
+            if carry:
+                staging.push(carry.decode("utf-8", errors="replace"))
+            for line in staging.drain():
+                yield line
+        finally:
+            conn.close()
+    finally:
+        server.close()
+        if os.path.exists(path):
+            os.unlink(path)

@@ -1,0 +1,217 @@
+"""Per-``(monitor, sender)`` link state and the bounded link table.
+
+Each tracked link owns one observatory subscription plus private audit
+and provenance logs whose records are tagged with the stream event
+index they were produced (or reserved) at — the merge key that lets
+sharded workers reassemble the exact single-process log interleaving.
+
+Bounded memory has three levers, all here or driven from here:
+
+* the :class:`LinkTable` cap with LRU eviction (least recent tagged
+  activity, attach order as the tie-break — deterministic, stream-only);
+* :class:`ObservationLedger`, a list replacement for
+  ``detector.observations`` that retains only the newest K entries while
+  preserving *virtual* indices (so provenance observation ids match an
+  unbounded run exactly);
+* demux compaction (:func:`compact_link`): processed
+  ``ObservedTransmission`` entries before the current sample anchor are
+  dropped from the subscription.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.detector import BackoffMisbehaviorDetector
+from repro.core.observatory import ObservatorySubscription
+from repro.core.records import BackoffObservation
+from repro.obs.audit import AuditRecord, DecisionAuditLog
+from repro.obs.provenance import ProvenanceLog, ProvenanceRecord
+
+LinkKey = Tuple[int, int]
+
+
+class EventClock:
+    """The session's monotone stream event counter (shared by tagged logs)."""
+
+    __slots__ = ("index",)
+
+    def __init__(self) -> None:
+        self.index = 0
+
+
+class TaggedAuditLog(DecisionAuditLog):
+    """An audit log that stamps each record with its stream event index."""
+
+    def __init__(self, clock: EventClock) -> None:
+        DecisionAuditLog.__init__(self)
+        self._clock = clock
+        self.tags: List[int] = []
+
+    def record(self, entry: AuditRecord) -> None:
+        self.tags.append(self._clock.index)
+        DecisionAuditLog.record(self, entry)
+
+    def reserve(self) -> int:
+        # The tag is fixed at reservation: a deferred fill must sort at
+        # the event that made the window ready, not at the flush event.
+        self.tags.append(self._clock.index)
+        return DecisionAuditLog.reserve(self)
+
+
+class TaggedProvenanceLog(ProvenanceLog):
+    """A provenance log that stamps each record with its event index."""
+
+    def __init__(self, clock: EventClock) -> None:
+        ProvenanceLog.__init__(self)
+        self._clock = clock
+        self.tags: List[int] = []
+
+    def record(self, entry: ProvenanceRecord) -> None:
+        self.tags.append(self._clock.index)
+        ProvenanceLog.record(self, entry)
+
+    def reserve(self) -> int:
+        self.tags.append(self._clock.index)
+        return ProvenanceLog.reserve(self)
+
+
+class ObservationLedger:
+    """A bounded ``observations`` store with stable virtual indices.
+
+    ``len()`` reports the count of observations *ever appended*, so
+    ``len(ledger) - 1`` — the id the detector stamps into provenance —
+    is identical to an unbounded run's; iteration yields only the
+    retained tail.
+    """
+
+    __slots__ = ("_items", "_offset", "retention")
+
+    def __init__(self, retention: int) -> None:
+        if retention < 1:
+            raise ValueError(f"retention must be >= 1, got {retention}")
+        self.retention = retention
+        self._items: List[BackoffObservation] = []
+        self._offset = 0
+
+    def __len__(self) -> int:
+        return self._offset + len(self._items)
+
+    def __iter__(self) -> Iterator[BackoffObservation]:
+        return iter(self._items)
+
+    def append(self, observation: BackoffObservation) -> None:
+        self._items.append(observation)
+
+    @property
+    def retained(self) -> int:
+        return len(self._items)
+
+    def trim(self) -> int:
+        """Drop all but the newest ``retention`` entries; returns drops."""
+        excess = len(self._items) - self.retention
+        if excess <= 0:
+            return 0
+        del self._items[:excess]
+        self._offset += excess
+        return excess
+
+
+@dataclass
+class LinkState:
+    """Everything the session holds for one tracked (monitor, sender)."""
+
+    monitor: int
+    tagged: int
+    attach_seq: int
+    discovered: bool
+    detector: BackoffMisbehaviorDetector
+    subscription: ObservatorySubscription
+    audit: TaggedAuditLog
+    provenance: TaggedProvenanceLog
+    #: stream event index of the tagged node's most recent end event
+    last_active: int = 0
+    #: audit/provenance records already flushed to an incremental sink
+    emitted_audit: int = 0
+    emitted_provenance: int = 0
+    ledger: Optional[ObservationLedger] = field(default=None)
+
+
+class LinkTable:
+    """Tracked links keyed by (monitor, sender), LRU-bounded.
+
+    ``max_links`` caps *this table*; a sharded deployment gives each
+    worker ``max_links // shard_count``.  Eviction picks the link whose
+    tagged node has been silent longest (stream event index of its last
+    end event), breaking ties by attach order — both are pure functions
+    of the stream, so eviction is deterministic and replayable.
+    """
+
+    def __init__(self, max_links: Optional[int] = None) -> None:
+        if max_links is not None and max_links < 1:
+            raise ValueError(f"max_links must be >= 1, got {max_links}")
+        self.max_links = max_links
+        self.evicted_links = 0
+        self.evicted_verdicts = 0
+        self._states: Dict[LinkKey, LinkState] = {}
+        self._by_tagged: Dict[int, List[LinkState]] = {}
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __contains__(self, key: LinkKey) -> bool:
+        return key in self._states
+
+    def get(self, key: LinkKey) -> Optional[LinkState]:
+        return self._states.get(key)
+
+    def states(self) -> List[LinkState]:
+        """Live links in attach order."""
+        return sorted(self._states.values(), key=lambda s: s.attach_seq)
+
+    def by_tagged(self, tagged: int) -> List[LinkState]:
+        return list(self._by_tagged.get(tagged, ()))
+
+    def needs_eviction(self) -> bool:
+        return self.max_links is not None and len(self._states) >= self.max_links
+
+    def pick_victim(self) -> LinkState:
+        """The LRU link (oldest activity, earliest attach breaks ties)."""
+        return min(
+            self._states.values(),
+            key=lambda s: (s.last_active, s.attach_seq),
+        )
+
+    def insert(self, state: LinkState) -> None:
+        key = (state.monitor, state.tagged)
+        if key in self._states:
+            raise ValueError(f"link {key} already tracked")
+        self._states[key] = state
+        self._by_tagged.setdefault(state.tagged, []).append(state)
+
+    def remove(self, state: LinkState) -> None:
+        del self._states[(state.monitor, state.tagged)]
+        siblings = self._by_tagged[state.tagged]
+        siblings.remove(state)
+        if not siblings:
+            del self._by_tagged[state.tagged]
+        self.evicted_links += 1
+        self.evicted_verdicts += len(state.detector.verdicts)
+
+
+def compact_link(state: LinkState) -> int:
+    """Drop demuxed observations older than the current sample anchor.
+
+    The next sample anchors at ``observed[_processed - 1]``; everything
+    before it can never be read again.  Indices into ``observed`` are
+    relative (the pipeline only uses ``_processed``), so shifting both
+    by the same count is invisible to the detector.  Returns drops.
+    """
+    detector = state.detector
+    excess = detector._processed - 1
+    if excess <= 0:
+        return 0
+    del state.subscription.observed[:excess]
+    detector._processed -= excess
+    return excess

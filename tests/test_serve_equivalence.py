@@ -1,0 +1,302 @@
+"""Serve-vs-simulator equivalence and the bounded-memory soak.
+
+The streaming service's correctness anchor: a captured simulator stream
+replayed through :func:`repro.serve.shard.run_serve` must produce the
+same verdicts, audit records, and provenance records — byte for byte —
+as the in-process observatory detectors that watched the same run,
+at any worker count.  The committed golden
+(``tests/golden/serve_streams.json``) additionally pins each scenario's
+captured stream bytes and combined detection fingerprint, so stream
+codec drift and detection drift each trip a named assertion.
+
+To regenerate after an intentional change::
+
+    PYTHONPATH=src python -m pytest tests/test_serve_equivalence.py --update-golden
+
+The soak half replays a two-phase synthetic stream (cold churn, then a
+hot working set) through a memory-capped session and proves the caps
+fire — links evicted, observations compacted, timelines pruned — while
+the hot links' verdict/audit/provenance streams stay identical to an
+uncapped run's.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import itertools
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.detector import DetectorConfig, reset_region_cache
+from repro.core.observatory import SharedChannelObservatory
+from repro.experiments.runner import reset_fidelity_cache
+from repro.mac.constants import DEFAULT_TIMING
+from repro.obs.audit import DecisionAuditLog
+from repro.obs.provenance import ProvenanceLog
+from repro.serve.capture import (
+    STREAM_SCENARIOS,
+    StreamCapture,
+    synthetic_links,
+    synthetic_stream,
+)
+from repro.serve.server import (
+    ServeConfig,
+    export_detector,
+    result_fingerprint,
+)
+from repro.serve.shard import run_serve
+from repro.traffic import queue as traffic_queue
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "serve_streams.json"
+
+CONFIG = DetectorConfig(sample_size=25, known_n=5, known_k=5)
+
+#: Scenarios pinned by the golden (one static cheat, one mobile, one
+#: dense multi-monitor grid with two cheaters).
+GOLDEN_SCENARIOS = ("grid-cheat", "mobile", "multi")
+
+JOBS = (1, 2, 4)
+
+
+def _fresh_process_state():
+    traffic_queue._packet_ids = itertools.count()
+    reset_region_cache()
+    reset_fidelity_cache()
+
+
+def _sha(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+_RUNS = {}
+
+
+def _captured_run(name: str):
+    """One scenario run with the stream capture AND the in-process
+    observatory attached — the serve replay and its reference come from
+    the same events.  Memoized: captures are same-seed deterministic and
+    read-only, so every jobs-parametrization shares one simulation."""
+    if name in _RUNS:
+        return _RUNS[name]
+    _fresh_process_state()
+    sim, pairs, separation, duration_s = STREAM_SCENARIOS[name](3.0)
+    capture = StreamCapture(pairs)
+    sim.add_listener(capture)
+    observatory = SharedChannelObservatory()
+    sim.add_listener(observatory)
+    attached = []
+    for seq, (monitor, tagged) in enumerate(pairs):
+        audit = DecisionAuditLog()
+        provenance = ProvenanceLog()
+        detector = observatory.attach(
+            monitor,
+            tagged,
+            config=CONFIG,
+            separation=separation,
+            audit=audit,
+            provenance=provenance,
+        )
+        attached.append((monitor, tagged, seq, detector, audit, provenance))
+    sim.run(duration_s)
+    reference = [
+        export_detector(monitor, tagged, seq, detector, audit, provenance)
+        for monitor, tagged, seq, detector, audit, provenance in attached
+    ]
+    _RUNS[name] = (capture.finished_lines(), pairs, separation, reference)
+    return _RUNS[name]
+
+
+def _serve_config(separation):
+    return ServeConfig(
+        detector=CONFIG,
+        separation=separation,
+        discover=False,
+        flush_every=32,
+    )
+
+
+class TestServeEquivalence:
+    @pytest.mark.parametrize("jobs", JOBS)
+    @pytest.mark.parametrize("name", GOLDEN_SCENARIOS)
+    def test_replay_matches_in_process_reference(self, name, jobs):
+        lines, pairs, separation, reference = _captured_run(name)
+        result = run_serve(
+            iter(lines), _serve_config(separation), links=pairs, jobs=jobs
+        )
+        assert result.jobs == jobs
+        ref_print = result_fingerprint(reference)
+        srv_print = result.fingerprint()
+        assert srv_print["combined"] == ref_print["combined"], (
+            f"{name} at jobs={jobs}: streamed detection diverged from the "
+            f"in-process observatory (per-link: "
+            f"{ {k: (srv_print['links'].get(k), v) for k, v in ref_print['links'].items() if srv_print['links'].get(k) != v} })"
+        )
+        assert srv_print == ref_print
+
+    @pytest.mark.parametrize("name", GOLDEN_SCENARIOS)
+    def test_merged_logs_are_jobs_invariant(self, name):
+        lines, pairs, separation, _reference = _captured_run(name)
+        outputs = []
+        for jobs in JOBS:
+            result = run_serve(
+                iter(lines), _serve_config(separation), links=pairs, jobs=jobs
+            )
+            outputs.append(
+                (jobs, result.audit_jsonl(), result.provenance_jsonl())
+            )
+        _jobs0, audit0, provenance0 = outputs[0]
+        for jobs, audit, provenance in outputs[1:]:
+            assert audit == audit0, f"audit interleaving moved at jobs={jobs}"
+            assert provenance == provenance0, (
+                f"provenance interleaving moved at jobs={jobs}"
+            )
+
+    @pytest.mark.parametrize("name", GOLDEN_SCENARIOS)
+    def test_golden_stream_fingerprint(self, name, request):
+        lines, _pairs, separation, reference = _captured_run(name)
+        stream_text = "\n".join(lines)
+        entry = {
+            "scenario": name,
+            "lines": len(lines),
+            "stream_sha256": _sha(stream_text),
+            "combined": result_fingerprint(reference)["combined"],
+            "link_count": len(reference),
+            "verdicts": sum(len(link.verdicts) for link in reference),
+            "observations": sum(len(link.observations) for link in reference),
+        }
+        golden = (
+            json.loads(GOLDEN_PATH.read_text()) if GOLDEN_PATH.exists() else {}
+        )
+        if request.config.getoption("--update-golden"):
+            golden[name] = entry
+            GOLDEN_PATH.write_text(
+                json.dumps(golden, indent=2, sort_keys=True) + "\n"
+            )
+            pytest.skip(f"regenerated {GOLDEN_PATH.name}[{name}]")
+        assert name in golden, (
+            f"missing golden entry {name!r}; regenerate with --update-golden"
+        )
+        assert entry == golden[name], (
+            f"{name}: same-seed capture or detection fingerprint drifted "
+            f"from {GOLDEN_PATH.name} — if intentional, rerun with "
+            "--update-golden and commit"
+        )
+
+    def test_discovery_finds_the_monitored_links(self):
+        lines, pairs, separation, _reference = _captured_run("multi")
+        result = run_serve(
+            iter(lines),
+            ServeConfig(detector=CONFIG, separation=separation),
+            jobs=1,
+        )
+        discovered = {(link.monitor, link.tagged) for link in result.links}
+        assert discovered
+        assert discovered <= set(pairs)
+        assert all(link.discovered for link in result.links)
+        assert sum(len(link.observations) for link in result.links) > 0
+
+
+# -- bounded-memory soak ---------------------------------------------------
+
+COLD_LINKS = 300
+COLD_SAMPLES = 35
+HOT_LINKS = 100
+HOT_SAMPLES = 140
+LINK_CAP = 120
+
+SOAK_CONFIG = dataclasses.replace(CONFIG, warmup_slots=0)
+
+
+def _soak_stream():
+    """Cold churn then a hot working set, ~49k events total.
+
+    Phase 1: 300 short-lived links (the churn an LRU cap must absorb).
+    Phase 2: 100 fresh links carrying 4x the traffic, offset past every
+    phase-1 slot so the concatenation stays slot-monotone.
+    """
+    timing = DEFAULT_TIMING
+    phase1_bound = 97 + COLD_SAMPLES * (
+        timing.difs_slots + timing.cw_min + timing.exchange_slots
+    )
+    cold = synthetic_stream(COLD_LINKS, COLD_SAMPLES, emit_shutdown=False)
+    hot = synthetic_stream(
+        HOT_LINKS,
+        HOT_SAMPLES,
+        monitor_base=1_500_000,
+        tagged_base=2_500_000,
+        start_slot=phase1_bound + 1,
+    )
+    return itertools.chain(cold, hot)
+
+
+def _hot_links(result):
+    return sorted(
+        (
+            link
+            for link in result.links
+            if (link.monitor, link.tagged) in set(synthetic_links(
+                HOT_LINKS, monitor_base=1_500_000, tagged_base=2_500_000
+            ))
+        ),
+        key=lambda link: (link.monitor, link.tagged),
+    )
+
+
+@pytest.mark.slow
+def test_soak_bounded_memory_preserves_live_link_verdicts():
+    capped = run_serve(
+        _soak_stream(),
+        ServeConfig(
+            detector=SOAK_CONFIG,
+            max_links=LINK_CAP,
+            observation_retention=64,
+            maintain_every=256,
+        ),
+        jobs=1,
+    )
+    uncapped = run_serve(
+        _soak_stream(),
+        ServeConfig(detector=SOAK_CONFIG),
+        jobs=1,
+    )
+
+    # The caps actually fired: churn forced evictions, maintenance
+    # compacted demuxes and pruned timelines, the table stayed bounded.
+    assert capped.evicted_links > 0
+    assert capped.compacted_observations > 0
+    assert capped.pruned_intervals > 0
+    assert len(capped.links) <= LINK_CAP
+    counters = capped.link_snapshot["counters"]
+    assert counters.get("serve.links.evicted", 0) > 0
+    assert counters.get("serve.observations.compacted", 0) > 0
+    assert counters.get("serve.timeline.pruned_intervals", 0) > 0
+    assert len(uncapped.links) == COLD_LINKS + HOT_LINKS
+
+    # ... without perturbing detection on the links that stayed live.
+    capped_hot = _hot_links(capped)
+    uncapped_hot = _hot_links(uncapped)
+    assert len(capped_hot) == HOT_LINKS
+    assert len(uncapped_hot) == HOT_LINKS
+    for capped_link, uncapped_link in zip(capped_hot, uncapped_hot):
+        key = f"{capped_link.monitor}->{capped_link.tagged}"
+        assert [repr(v) for v in capped_link.verdicts] == [
+            repr(v) for v in uncapped_link.verdicts
+        ], f"verdicts moved on hot link {key}"
+        assert capped_link.violations == uncapped_link.violations, key
+        assert capped_link.audit_jsonl() == uncapped_link.audit_jsonl(), key
+        assert (
+            capped_link.provenance_jsonl() == uncapped_link.provenance_jsonl()
+        ), key
+        assert (
+            capped_link.quarantine_counts == uncapped_link.quarantine_counts
+        ), key
+        assert capped_link.skipped_samples == uncapped_link.skipped_samples, key
+        # Bounded retention kept only the tail (trims run at the
+        # maintenance cadence, so a few appends can sit past the cap
+        # between sweeps), but virtual indexing means provenance
+        # observation ids never noticed.
+        assert len(capped_link.observations) <= 64 + 8
+        assert len(capped_link.observations) < len(uncapped_link.observations)
